@@ -1,0 +1,91 @@
+"""Ablation: fault-injection hardware overhead across injector variants and array sizes.
+
+Table I's synthesis columns show that the constant-error injector costs +18
+LUTs and the fully programmable (variable-error) injector costs +1 643 LUTs /
++1 418 FFs — 0.71% / 0.31% of the XCZU7EV device.  This ablation sweeps the
+injector variant and the MAC-array geometry through the resource model to
+quantify how the overhead scales, which is exactly the "flexibility,
+configurability and scalability" direction the paper's conclusion announces.
+"""
+
+from __future__ import annotations
+
+from repro.accelerator.geometry import ArrayGeometry, PAPER_GEOMETRY
+from repro.accelerator.resources import (
+    XCZU7EV_FFS,
+    XCZU7EV_LUTS,
+    FIVariant,
+    ResourceModel,
+)
+from repro.utils.tabulate import format_table
+
+from benchmarks.conftest import write_report
+
+GEOMETRIES = [
+    ArrayGeometry(4, 4),
+    ArrayGeometry(8, 8),
+    ArrayGeometry(8, 16),
+    ArrayGeometry(16, 16),
+    ArrayGeometry(32, 32),
+]
+
+
+def _sweep():
+    rows = []
+    for geometry in GEOMETRIES:
+        model = ResourceModel(geometry=geometry)
+        base = model.estimate(FIVariant.NONE)
+        const = model.estimate(FIVariant.CONSTANT)
+        var = model.estimate(FIVariant.VARIABLE)
+        rows.append([
+            f"{geometry.num_macs}x{geometry.muls_per_mac}",
+            geometry.total_multipliers,
+            base.luts,
+            const.luts - base.luts,
+            var.luts - base.luts,
+            f"{(var.luts - base.luts) / XCZU7EV_LUTS * 100:.2f}%",
+            var.ffs - base.ffs,
+            f"{(var.ffs - base.ffs) / XCZU7EV_FFS * 100:.2f}%",
+        ])
+    return rows
+
+
+def test_fi_overhead_scaling(benchmark):
+    rows = benchmark(_sweep)
+    text = format_table(
+        ["array", "#multipliers", "base LUTs", "+LUT (const FI)", "+LUT (var FI)",
+         "var FI LUTs (% device)", "+FF (var FI)", "var FI FFs (% device)"],
+        rows,
+        title="Ablation: fault-injection hardware overhead vs MAC-array size",
+    )
+    write_report("ablation_fi_overhead.txt", text)
+
+    # The paper's 8x8 point must reproduce Table I exactly.
+    paper_row = [r for r in rows if r[0] == "8x8"][0]
+    assert paper_row[3] == 18
+    assert paper_row[4] == 1643
+    assert paper_row[6] == 1418
+
+    # Overheads grow with the multiplier count, and the constant-error
+    # injector stays negligible at every size.
+    var_overheads = [r[4] for r in rows]
+    assert var_overheads == sorted(var_overheads)
+    assert all(r[3] <= 32 for r in rows)
+
+
+def test_fi_overhead_relative_cost_stays_small(benchmark):
+    """Even the largest swept array keeps variable-FI overhead below ~3% of its own size."""
+
+    def relative_costs():
+        out = []
+        for geometry in GEOMETRIES:
+            model = ResourceModel(geometry=geometry)
+            base = model.estimate(FIVariant.NONE)
+            var = model.estimate(FIVariant.VARIABLE)
+            out.append((var.luts - base.luts) / base.luts)
+        return out
+
+    costs = benchmark(relative_costs)
+    assert all(cost < 0.25 for cost in costs)
+    # and at the paper's geometry it is under 2%
+    assert costs[1] < 0.02

@@ -1,0 +1,73 @@
+"""Ablation: per-channel vs per-tensor weight quantisation.
+
+DESIGN.md design choice 4.  The quantisation scheme changes the int8 weight
+values that the multipliers see, and therefore both the fault-free accuracy
+and the per-site fault sensitivity.  This ablation recompiles the case-study
+model under both schemes and compares fault-free accuracy plus the effect of
+one representative multiplier fault.
+"""
+
+from __future__ import annotations
+
+from repro.core.platform import EmulationPlatform, PlatformConfig
+from repro.faults.injector import InjectionConfig
+from repro.faults.models import StuckAtZero
+from repro.faults.sites import FaultSite
+from repro.utils.tabulate import format_table
+
+from benchmarks.conftest import FULL_SCALE, write_report
+
+NUM_IMAGES = 128 if FULL_SCALE else 64
+PROBE_SITE = FaultSite(mac_unit=0, multiplier=7)
+
+
+def _evaluate_scheme(case, per_channel: bool):
+    platform = EmulationPlatform(
+        case.graph,
+        case.dataset.calibration_batch(64),
+        config=PlatformConfig(
+            per_channel_quantization=per_channel,
+            name=f"resnet18-{'per-channel' if per_channel else 'per-tensor'}",
+        ),
+    )
+    images = case.dataset.test_images[:NUM_IMAGES]
+    labels = case.dataset.test_labels[:NUM_IMAGES]
+    baseline = platform.baseline_accuracy(images, labels)
+    faulted = platform.accuracy_with_faults(
+        InjectionConfig.single(PROBE_SITE, StuckAtZero()), images, labels
+    )
+    return baseline, faulted
+
+
+def test_quantization_scheme_ablation(benchmark, case_study):
+    platform, case = case_study
+
+    def run():
+        per_channel = _evaluate_scheme(case, per_channel=True)
+        per_tensor = _evaluate_scheme(case, per_channel=False)
+        return per_channel, per_tensor
+
+    (pc_base, pc_fault), (pt_base, pt_fault) = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        ["per-channel (NVDLA default)", pc_base, pc_fault, pc_base - pc_fault],
+        ["per-tensor", pt_base, pt_fault, pt_base - pt_fault],
+    ]
+    text = format_table(
+        ["weight quantisation", "fault-free accuracy",
+         f"accuracy with {PROBE_SITE.display()} stuck-at-0", "drop"],
+        rows,
+        floatfmt=".3f",
+        title=f"Ablation: quantisation scheme ({NUM_IMAGES} images, float accuracy "
+              f"{case.float_accuracy:.3f})",
+    )
+    write_report("ablation_quantization.txt", text)
+
+    # Per-channel quantisation should not lose accuracy versus per-tensor, and
+    # both must stay within a reasonable distance of the float model.
+    assert pc_base >= pt_base - 0.05
+    assert case.float_accuracy - pc_base < 0.15
+    # The fault effect exists (or at least does not *improve* accuracy) under
+    # both schemes.
+    assert pc_fault <= pc_base + 0.05
+    assert pt_fault <= pt_base + 0.05

@@ -1,0 +1,78 @@
+"""Fig. 2: accuracy drop vs number of affected multipliers.
+
+Regenerates the paper's first experiment: constant errors (0, 1 and -1) are
+injected into randomly selected multipliers; for every (injected value,
+number of affected multipliers) pair the classification-accuracy drop is
+recorded and summarised as box-plot statistics.
+
+Paper reference: 210 fault injections (3 values x 7 fault counts x 10
+trials); accuracy drops grow with the number of affected multipliers,
+largely independently of the injected value, reaching tens of percent at 7
+faulty multipliers.  The default benchmark scale is reduced (2 trials per
+point, 64 evaluation images); set ``REPRO_BENCH_FULL=1`` for the paper's
+exact scale.
+"""
+
+from __future__ import annotations
+
+from repro.core.analysis import accuracy_drop_boxplots, monotonicity_score
+from repro.core.campaign import CampaignConfig, FaultInjectionCampaign
+from repro.core.strategies import RandomMultipliers
+from repro.utils.tabulate import format_table
+
+from benchmarks.conftest import FULL_SCALE, write_report
+
+TRIALS_PER_POINT = 10 if FULL_SCALE else 2
+FAULT_COUNTS = (1, 2, 3, 4, 5, 6, 7)
+VALUES = (0, 1, -1)
+
+
+def _run_campaign(platform, images, labels, seed=0):
+    strategy = RandomMultipliers(
+        values=VALUES, fault_counts=FAULT_COUNTS, trials_per_point=TRIALS_PER_POINT
+    )
+    campaign = FaultInjectionCampaign(platform, strategy, CampaignConfig(seed=seed))
+    return campaign.run(images, labels)
+
+
+def test_fig2_accuracy_drop_boxplots(benchmark, platform, eval_images):
+    images, labels = eval_images
+    result = benchmark.pedantic(
+        _run_campaign, args=(platform, images, labels), rounds=1, iterations=1
+    )
+
+    series = accuracy_drop_boxplots(result)
+    lines = [
+        f"Fig. 2: accuracy drop vs number of affected multipliers "
+        f"({len(result)} fault injections, {result.num_images} images/trial, "
+        f"baseline accuracy {result.baseline_accuracy:.3f})",
+    ]
+    for value in VALUES:
+        s = series[value]
+        rows = []
+        for count in s.positions():
+            box = s.boxes[count]
+            rows.append([count, box.minimum, box.q1, box.median, box.q3, box.maximum, box.mean])
+        lines.append("")
+        lines.append(format_table(
+            ["#affected multipliers", "min", "q1", "median", "q3", "max", "mean"],
+            rows,
+            floatfmt=".3f",
+            title=f"Injected value {value} (monotonicity {monotonicity_score(s):.2f})",
+        ))
+    write_report("fig2_accuracy_drop.txt", "\n".join(lines))
+
+    # Shape checks mirroring the paper's observations.
+    assert len(result) == len(VALUES) * len(FAULT_COUNTS) * TRIALS_PER_POINT
+    for value in VALUES:
+        s = series[value]
+        # More faulty multipliers -> (weakly) larger mean accuracy drop.
+        assert s.boxes[7].mean >= s.boxes[1].mean
+        # The trend is largely monotone (the paper's box plots show the same).
+        assert monotonicity_score(s) >= 0.5
+        # Drops are non-negative within statistical noise of the finite test set.
+        assert s.boxes[1].minimum >= -0.1
+    # The degradation is "independent of the injected value" (paper): the three
+    # curves end up in the same ballpark at 7 faulty multipliers.
+    ends = [series[v].boxes[7].mean for v in VALUES]
+    assert max(ends) - min(ends) < 0.5

@@ -1,0 +1,57 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and prints
+the corresponding rows/series (also written under ``benchmarks/out/``).  The
+scale of the fault-injection campaigns is reduced by default so the whole
+harness finishes in a few minutes; set ``REPRO_BENCH_FULL=1`` to run the
+paper's exact scale (210 fault injections for Fig. 2, 192 sites x values for
+Fig. 3, the full test set per trial).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.platform import EmulationPlatform
+from repro.zoo import CaseStudyModel, build_case_study_platform
+
+#: Directory where benchmark reports are written.
+OUTPUT_DIR = Path(__file__).resolve().parent / "out"
+
+#: Full (paper-scale) mode toggle.
+FULL_SCALE = os.environ.get("REPRO_BENCH_FULL", "0") not in ("0", "", "false", "False")
+
+
+def write_report(name: str, text: str) -> Path:
+    """Print a report and persist it under ``benchmarks/out/``."""
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    path = OUTPUT_DIR / name
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[report written to {path}]")
+    return path
+
+
+@pytest.fixture(scope="session")
+def case_study() -> tuple[EmulationPlatform, CaseStudyModel]:
+    """The trained + compiled case-study platform (cached across runs)."""
+    return build_case_study_platform()
+
+
+@pytest.fixture(scope="session")
+def platform(case_study) -> EmulationPlatform:
+    return case_study[0]
+
+
+@pytest.fixture(scope="session")
+def dataset(case_study):
+    return case_study[1].dataset
+
+
+@pytest.fixture(scope="session")
+def eval_images(dataset):
+    """Evaluation set used per fault-injection trial."""
+    count = len(dataset.test_images) if FULL_SCALE else 64
+    return dataset.test_images[:count], dataset.test_labels[:count]

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Quickstart: train, compile, emulate and inject a first fault.
+
+This example walks the complete pipeline of the paper on a deliberately tiny
+configuration so it finishes in well under a minute:
+
+1. generate a CIFAR-10-like synthetic dataset,
+2. train a width-reduced ResNet-18 in pure numpy,
+3. quantise + compile it onto the 8x8 MAC-array accelerator,
+4. run fault-free inference on the emulator and on the bit-exact CPU backend,
+5. arm a single stuck-at-0 fault at one multiplier and observe the accuracy.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import EmulationPlatform, PlatformConfig
+from repro.data import SyntheticCIFAR10
+from repro.faults import ConstantValue, FaultSite, InjectionConfig, StuckAtZero
+from repro.nn import TrainConfig, Trainer, build_resnet18
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Data: a synthetic stand-in for CIFAR-10 (same shapes, 10 classes).
+    # ------------------------------------------------------------------
+    dataset = SyntheticCIFAR10(num_train=400, num_test=100, seed=1)
+    print(f"dataset: {dataset.num_train} train / {dataset.num_test} test images, "
+          f"shape {dataset.input_shape}")
+
+    # ------------------------------------------------------------------
+    # 2. Model: ResNet-18 topology, width-reduced so numpy training is quick.
+    # ------------------------------------------------------------------
+    graph = build_resnet18(width_multiplier=0.125, seed=1)
+    trainer = Trainer(graph, TrainConfig(epochs=3, batch_size=40, lr=0.08, seed=1))
+    result = trainer.fit(
+        dataset.train_images, dataset.train_labels, dataset.test_images, dataset.test_labels
+    )
+    print(f"float model accuracy after {len(result.history)} epochs: "
+          f"{result.best_test_accuracy:.3f}")
+
+    # ------------------------------------------------------------------
+    # 3. Compile onto the fault-injection-capable accelerator.
+    # ------------------------------------------------------------------
+    platform = EmulationPlatform(
+        graph, dataset.calibration_batch(64), config=PlatformConfig(name="quickstart")
+    )
+    print()
+    print(platform.describe())
+
+    # ------------------------------------------------------------------
+    # 4. Fault-free execution: emulator vs the independent CPU backend.
+    # ------------------------------------------------------------------
+    emulator_acc = platform.baseline_accuracy(dataset.test_images, dataset.test_labels)
+    cpu_acc = platform.cpu_reference_accuracy(dataset.test_images, dataset.test_labels)
+    print()
+    print(f"int8 accuracy on the accelerator emulator : {emulator_acc:.3f}")
+    print(f"int8 accuracy on the CPU reference backend: {cpu_acc:.3f}  (must match exactly)")
+
+    # ------------------------------------------------------------------
+    # 5. Arm one fault: multiplier 8 of MAC unit 1, stuck at zero, then with
+    #    the constant -1 ("variable error" injector of the paper).
+    # ------------------------------------------------------------------
+    site = FaultSite(mac_unit=0, multiplier=7)
+    for model in (StuckAtZero(), ConstantValue(-1)):
+        config = InjectionConfig.single(site, model)
+        acc = platform.accuracy_with_faults(config, dataset.test_images, dataset.test_labels)
+        print(f"accuracy with {model.label():>12s} at {site.display()}: "
+              f"{acc:.3f} (drop {emulator_acc - acc:+.3f})")
+
+    # A whole MAC unit stuck at zero is far more destructive.
+    config = InjectionConfig.uniform(platform.universe.sites_in_mac(0), StuckAtZero())
+    acc = platform.accuracy_with_faults(config, dataset.test_images, dataset.test_labels)
+    print(f"accuracy with all 8 multipliers of MAC 1 stuck at 0: "
+          f"{acc:.3f} (drop {emulator_acc - acc:+.3f})")
+
+
+if __name__ == "__main__":
+    np.set_printoptions(precision=3, suppress=True)
+    main()

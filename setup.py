@@ -1,0 +1,17 @@
+"""Compatibility shim for environments without PEP 660 editable-install support.
+
+The canonical metadata lives in ``pyproject.toml``; this file only enables
+``python setup.py develop`` (or legacy ``pip install -e .``) on toolchains
+that lack the ``wheel`` package, such as fully offline machines.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

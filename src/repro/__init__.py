@@ -1,0 +1,50 @@
+"""repro: FPGA-style emulation and fault injection for CNN inference accelerators.
+
+A Python reproduction of *"Late Breaking Result: FPGA-Based Emulation and
+Fault Injection for CNN Inference Accelerators"* (Masar, Mrazek, Sekanina,
+DATE 2025).  The library provides every layer of the paper's stack as a
+simulatable substrate:
+
+* :mod:`repro.nn` / :mod:`repro.data` — train a ResNet-18-topology CNN on a
+  CIFAR-10-like dataset (standing in for the Caffe/Tengine model zoo model).
+* :mod:`repro.quant` / :mod:`repro.compiler` — quantise to int8 and compile
+  onto the MAC-array execution plan (the Tengine/NVDLA compiler role).
+* :mod:`repro.accelerator` — the NVDLA-like accelerator emulator with
+  per-multiplier fault injectors, timing and FPGA-resource models.
+* :mod:`repro.faults` — fault models, fault sites, injector and register file.
+* :mod:`repro.runtime` — the host runtime, the bit-exact CPU backend and the
+  Table I latency models.
+* :mod:`repro.core` — the fault-tolerance analysis platform: campaigns,
+  strategies and analysis (Fig. 2 / Fig. 3 of the paper).
+* :mod:`repro.baselines` — graph-level software FI and a slow systolic-array
+  simulator for the paper's speed/fidelity comparisons.
+"""
+
+from repro.core import (
+    CampaignConfig,
+    EmulationPlatform,
+    ExhaustiveSingleSite,
+    FaultInjectionCampaign,
+    PlatformConfig,
+    RandomMultipliers,
+)
+from repro.faults import ConstantValue, FaultSite, InjectionConfig, StuckAtZero
+from repro.zoo import build_case_study_platform, train_case_study_model
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "EmulationPlatform",
+    "PlatformConfig",
+    "FaultInjectionCampaign",
+    "CampaignConfig",
+    "RandomMultipliers",
+    "ExhaustiveSingleSite",
+    "InjectionConfig",
+    "FaultSite",
+    "ConstantValue",
+    "StuckAtZero",
+    "build_case_study_platform",
+    "train_case_study_model",
+    "__version__",
+]

@@ -1,0 +1,49 @@
+"""NVDLA-like CNN inference accelerator emulator.
+
+The paper maps an NVDLA configuration with 8 MAC units of 8 signed 8-bit
+multipliers each onto a Zynq UltraScale+ FPGA and adds fault injection logic
+to every multiplier output.  This subpackage is the behavioural model of
+that accelerator:
+
+* bit-accurate datapath primitives (:mod:`multiplier`, :mod:`mac_unit`,
+  :mod:`cmac`, :mod:`cacc`, :mod:`sdp`, :mod:`pdp`),
+* two execution engines — a fast vectorised one (:mod:`engine`) used by the
+  fault-injection campaigns and a literal scalar one (:mod:`reference`) used
+  to validate it,
+* a cycle-level timing model (:mod:`timing`) and an FPGA resource model
+  (:mod:`resources`) reproducing the paper's Table I,
+* the :class:`~repro.accelerator.accelerator.NVDLAAccelerator` facade that
+  executes a compiled :class:`~repro.compiler.loadable.Loadable`.
+"""
+
+from repro.accelerator.geometry import ArrayGeometry, PAPER_GEOMETRY
+from repro.accelerator.multiplier import Int8Multiplier
+from repro.accelerator.mac_unit import MACUnit
+from repro.accelerator.cmac import CMACArray
+from repro.accelerator.cacc import Accumulator
+from repro.accelerator.sdp import SDP
+from repro.accelerator.pdp import PDP
+from repro.accelerator.engine import VectorisedEngine
+from repro.accelerator.reference import ScalarReferenceEngine
+from repro.accelerator.timing import TimingModel, TimingReport
+from repro.accelerator.resources import ResourceModel, ResourceReport, FIVariant
+from repro.accelerator.accelerator import NVDLAAccelerator
+
+__all__ = [
+    "ArrayGeometry",
+    "PAPER_GEOMETRY",
+    "Int8Multiplier",
+    "MACUnit",
+    "CMACArray",
+    "Accumulator",
+    "SDP",
+    "PDP",
+    "VectorisedEngine",
+    "ScalarReferenceEngine",
+    "TimingModel",
+    "TimingReport",
+    "ResourceModel",
+    "ResourceReport",
+    "FIVariant",
+    "NVDLAAccelerator",
+]

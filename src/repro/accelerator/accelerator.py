@@ -1,0 +1,191 @@
+"""The accelerator facade: executes a compiled loadable end to end.
+
+:class:`NVDLAAccelerator` glues the datapath models together the way the
+platform of Fig. 1 does: the runtime programs each operation over the CSB,
+the CMAC/CACC engine (vectorised or scalar reference) produces raw
+accumulators for conv/FC layers with the currently armed fault injection
+configuration applied, the SDP adds bias / requantises / applies ReLU and
+elementwise additions, and the PDP performs pooling.  The final classifier
+logits are returned as raw int32 accumulators.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accelerator.csb import ConfigSpaceBus
+from repro.accelerator.engine import VectorisedEngine
+from repro.accelerator.geometry import ArrayGeometry, PAPER_GEOMETRY
+from repro.accelerator.pdp import PDP
+from repro.accelerator.reference import ScalarReferenceEngine
+from repro.accelerator.sdp import SDP
+from repro.accelerator.timing import TimingModel, TimingReport
+from repro.compiler.loadable import Loadable
+from repro.compiler.ops import ConvOp, EltwiseAddOp, FullyConnectedOp, GlobalAvgPoolOp, PoolOp
+from repro.faults.injector import InjectionConfig
+from repro.faults.registers import FaultInjectionRegisterFile
+from repro.faults.sites import FaultUniverse
+from repro.quant.qlayers import QAdd, QConv, QGlobalAvgPool, QLinear, QMaxPool
+
+
+class NVDLAAccelerator:
+    """Behavioural model of the fault-injection-capable NVDLA accelerator.
+
+    Parameters
+    ----------
+    geometry:
+        MAC-array shape (8x8 in the paper).
+    engine:
+        ``"vectorised"`` (default, fast) or ``"scalar"`` (literal reference,
+        only practical for tiny layers).
+    seed:
+        Seed for fault models that need randomness (transient pulses).
+    """
+
+    def __init__(
+        self,
+        geometry: ArrayGeometry = PAPER_GEOMETRY,
+        engine: str = "vectorised",
+        seed: int = 0,
+    ):
+        self.geometry = geometry
+        rng = np.random.default_rng(seed)
+        if engine == "vectorised":
+            self.engine = VectorisedEngine(geometry, rng=rng)
+        elif engine == "scalar":
+            self.engine = ScalarReferenceEngine(geometry, rng=rng)
+        else:
+            raise ValueError(f"unknown engine {engine!r}; use 'vectorised' or 'scalar'")
+        self.engine_name = engine
+        self.sdp = SDP()
+        self.pdp = PDP()
+        self.csb = ConfigSpaceBus()
+        self.fi_registers = FaultInjectionRegisterFile(
+            FaultUniverse(geometry.num_macs, geometry.muls_per_mac)
+        )
+        self._injection = InjectionConfig.fault_free()
+
+    # ------------------------------------------------------------------
+    # Fault injection control
+    # ------------------------------------------------------------------
+    def set_injection_config(self, config: InjectionConfig | None) -> None:
+        """Arm a fault-injection configuration for subsequent inferences.
+
+        Uniform constant-override configurations are additionally written to
+        the AXI register-file model, so the control path stays faithful to
+        the platform; mixed or value-dependent configurations bypass the
+        register encoding (the paper notes such models require modifying the
+        injector RTL).
+        """
+        self._injection = config or InjectionConfig.fault_free()
+        try:
+            self.fi_registers.program_config(self._injection)
+        except ValueError:
+            # Not representable on the register map (mixed models); the
+            # emulator still honours the configuration directly.
+            self.fi_registers.reset()
+
+    def clear_faults(self) -> None:
+        self.set_injection_config(InjectionConfig.fault_free())
+
+    @property
+    def injection_config(self) -> InjectionConfig:
+        return self._injection
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        loadable: Loadable,
+        images: np.ndarray,
+        return_activations: bool = False,
+    ):
+        """Run inference on a batch of float images.
+
+        The input is quantised with the loadable's input scale (the runtime
+        does this on the ARM cores in the real platform), every op of the
+        execution plan is programmed and executed in order, and the raw
+        int32/int64 logits of the final layer are returned (shape
+        ``(N, num_classes)``).
+        """
+        model = loadable.model
+        qinput = model.input_node
+        activations: dict[str, np.ndarray] = {qinput.name: qinput.quantize(images)}
+        self.csb.reset()
+
+        for op in loadable.ops:
+            node = model.node(op.name)
+            inputs = [activations[src] for src in op.inputs]
+
+            if isinstance(op, ConvOp):
+                assert isinstance(node, QConv)
+                self.csb.program_operation(
+                    op.name,
+                    {
+                        "D_DATAIN_CHANNEL": node.in_channels,
+                        "D_DATAOUT_CHANNEL": node.out_channels,
+                        "D_KERNEL_SIZE": node.kernel_size,
+                        "D_STRIDE": node.stride,
+                        "D_PAD": node.padding,
+                    },
+                )
+                self.csb.ring_doorbell()
+                acc = self.engine.conv_accumulate(inputs[0], node, self._injection)
+                activations[op.name] = self.sdp.conv_post(acc, node, channel_axis=1)
+
+            elif isinstance(op, FullyConnectedOp):
+                assert isinstance(node, QLinear)
+                self.csb.program_operation(
+                    op.name,
+                    {"D_IN_FEATURES": node.in_features, "D_OUT_FEATURES": node.out_features},
+                )
+                self.csb.ring_doorbell()
+                acc = self.engine.linear_accumulate(inputs[0], node, self._injection)
+                activations[op.name] = self.sdp.conv_post(acc, node, channel_axis=1)
+
+            elif isinstance(op, PoolOp):
+                assert isinstance(node, QMaxPool)
+                self.csb.program_operation(
+                    op.name, {"D_POOL_KERNEL": op.kernel, "D_POOL_STRIDE": op.stride}
+                )
+                self.csb.ring_doorbell()
+                activations[op.name] = self.pdp.max_pool(inputs[0], node)
+
+            elif isinstance(op, GlobalAvgPoolOp):
+                assert isinstance(node, QGlobalAvgPool)
+                self.csb.program_operation(op.name, {"D_POOL_SPATIAL": op.spatial_size})
+                self.csb.ring_doorbell()
+                activations[op.name] = self.sdp.global_average(inputs[0], node)
+
+            elif isinstance(op, EltwiseAddOp):
+                assert isinstance(node, QAdd)
+                self.csb.program_operation(op.name, {"D_EW_RELU": int(op.relu)})
+                self.csb.ring_doorbell()
+                activations[op.name] = self.sdp.elementwise_add(inputs[0], inputs[1], node)
+
+            else:
+                raise TypeError(f"cannot execute op type {type(op).__name__}")
+
+        logits = activations[model.output_name]
+        if return_activations:
+            return logits, activations
+        return logits
+
+    def classify(self, loadable: Loadable, images: np.ndarray) -> np.ndarray:
+        """Return predicted class indices for a batch of float images."""
+        logits = self.execute(loadable, images)
+        return np.asarray(logits).argmax(axis=-1)
+
+    def accuracy(self, loadable: Loadable, images: np.ndarray, labels: np.ndarray) -> float:
+        """Top-1 accuracy of the (possibly fault-injected) accelerator."""
+        predictions = self.classify(loadable, images)
+        return float((predictions == np.asarray(labels)).mean())
+
+    # ------------------------------------------------------------------
+    # Timing
+    # ------------------------------------------------------------------
+    def timing_report(self, loadable: Loadable, timing_model: TimingModel | None = None) -> TimingReport:
+        """Per-inference latency estimate from the cycle model."""
+        timing_model = timing_model or TimingModel(geometry=self.geometry)
+        return timing_model.time_model(loadable.model)

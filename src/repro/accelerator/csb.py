@@ -1,0 +1,53 @@
+"""Configuration space bus: the register-programming interface of the emulator.
+
+The real NVDLA is programmed layer by layer through its CSB registers; the
+kernel driver writes a descriptor per hardware layer and rings a doorbell.
+The emulator keeps a faithful but lightweight analogue: every executed
+operation is "programmed" by writing a small set of named registers, and the
+programming log can be inspected by tests and by the runtime to verify that
+the execution plan that ran is the one that was submitted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class RegisterWrite:
+    """One logged register write: (operation, register, value)."""
+
+    op_name: str
+    register: str
+    value: int
+
+
+@dataclass
+class ConfigSpaceBus:
+    """Register write log + doorbell counter."""
+
+    writes: list[RegisterWrite] = field(default_factory=list)
+    doorbells: int = 0
+
+    def write(self, op_name: str, register: str, value: int) -> None:
+        """Record a register write for operation ``op_name``."""
+        self.writes.append(RegisterWrite(op_name=op_name, register=register, value=int(value)))
+
+    def program_operation(self, op_name: str, fields: dict[str, int]) -> None:
+        """Program a full operation descriptor (one write per field)."""
+        for register, value in fields.items():
+            self.write(op_name, register, value)
+
+    def ring_doorbell(self) -> None:
+        """Kick off the programmed operation."""
+        self.doorbells += 1
+
+    def writes_for(self, op_name: str) -> list[RegisterWrite]:
+        return [w for w in self.writes if w.op_name == op_name]
+
+    def reset(self) -> None:
+        self.writes.clear()
+        self.doorbells = 0
+
+    def __len__(self) -> int:
+        return len(self.writes)

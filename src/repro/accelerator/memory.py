@@ -1,0 +1,95 @@
+"""Byte-level surface model of the accelerator's external memory traffic.
+
+The emulated platform keeps feature maps and weights in DRAM (the Zynq PS
+DDR) and streams them through the convolution buffer.  For the purposes of
+this library the memory model answers two questions:
+
+* how many bytes does each layer move (feeds the timing model's bandwidth
+  term), and
+* do the surfaces of an execution plan fit the modelled DRAM partition
+  (sanity check mirroring the platform's fixed CMA allocation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Surface:
+    """One contiguous tensor allocation in accelerator memory."""
+
+    name: str
+    address: int
+    num_bytes: int
+
+    @property
+    def end(self) -> int:
+        return self.address + self.num_bytes
+
+
+class AllocationError(RuntimeError):
+    """Raised when an execution plan does not fit in the modelled memory."""
+
+
+@dataclass
+class MemoryModel:
+    """A bump allocator over a fixed-size DRAM partition.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Size of the partition reserved for the accelerator (the FPGA mapping
+        used by the paper reserves a 256 MiB CMA region for the NVDLA
+        runtime).
+    alignment:
+        Allocation alignment in bytes (DMA engines require 32-byte aligned
+        surfaces).
+    """
+
+    capacity_bytes: int = 256 * 1024 * 1024
+    alignment: int = 32
+    surfaces: dict[str, Surface] = field(default_factory=dict)
+    _cursor: int = 0
+
+    def allocate(self, name: str, num_bytes: int) -> Surface:
+        """Allocate a named surface; raises :class:`AllocationError` when full."""
+        if num_bytes <= 0:
+            raise ValueError(f"surface {name!r} must have positive size")
+        if name in self.surfaces:
+            raise ValueError(f"surface {name!r} already allocated")
+        aligned = ((num_bytes + self.alignment - 1) // self.alignment) * self.alignment
+        if self._cursor + aligned > self.capacity_bytes:
+            raise AllocationError(
+                f"allocating {aligned} bytes for {name!r} exceeds the "
+                f"{self.capacity_bytes}-byte partition (used {self._cursor})"
+            )
+        surface = Surface(name=name, address=self._cursor, num_bytes=aligned)
+        self.surfaces[name] = surface
+        self._cursor += aligned
+        return surface
+
+    def release_all(self) -> None:
+        self.surfaces.clear()
+        self._cursor = 0
+
+    @property
+    def used_bytes(self) -> int:
+        return self._cursor
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self._cursor
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.surfaces
+
+
+def feature_map_bytes(channels: int, height: int, width: int, bytes_per_element: int = 1) -> int:
+    """Size of an int8 NCHW feature-map surface for batch 1."""
+    return channels * height * width * bytes_per_element
+
+
+def weight_bytes(out_channels: int, in_channels: int, kernel: int, bytes_per_element: int = 1) -> int:
+    """Size of an int8 convolution weight surface."""
+    return out_channels * in_channels * kernel * kernel * bytes_per_element

@@ -1,0 +1,167 @@
+"""The scalar reference engine: a literal cycle-by-cycle MAC-array model.
+
+This engine executes a convolution exactly as the hardware schedule does —
+one atomic operation per (output position, kernel position, channel group,
+kernel group), each atomic operation driving all 64 multiplier objects of a
+:class:`~repro.accelerator.cmac.CMACArray` — so faults are applied by the
+same per-multiplier :class:`~repro.faults.injector.FaultInjector` logic the
+paper adds to the RTL.
+
+It is orders of magnitude slower than the vectorised engine and exists for
+one purpose: proving, in the test suite and in the engine-ablation
+benchmark, that the vectorised engine produces bit-identical accumulators on
+every layer shape and fault configuration it is given.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accelerator.cmac import CMACArray
+from repro.accelerator.geometry import ArrayGeometry, PAPER_GEOMETRY
+from repro.faults.injector import InjectionConfig
+from repro.nn.functional import conv_output_size
+from repro.quant.qlayers import QConv, QLinear
+from repro.utils.bitops import ACCUMULATOR_WIDTH, saturate
+
+
+class ScalarReferenceEngine:
+    """Slow but literal per-multiplier execution of conv/FC layers."""
+
+    def __init__(self, geometry: ArrayGeometry = PAPER_GEOMETRY, rng: np.random.Generator | None = None):
+        self.geometry = geometry
+        self.rng = rng or np.random.default_rng(0)
+        #: Atomic operations executed by the last layer run (timing cross-check).
+        self.last_atomic_ops = 0
+
+    def conv_accumulate(
+        self,
+        x_q: np.ndarray,
+        node: QConv,
+        config: InjectionConfig | None = None,
+    ) -> np.ndarray:
+        """Raw accumulator of a convolution, computed one atomic op at a time."""
+        config = config or InjectionConfig.fault_free()
+        cmac = CMACArray(self.geometry, rng=self.rng)
+        cmac.apply_injection_config(config)
+
+        n, in_channels, h, w = x_q.shape
+        out_channels = node.out_channels
+        k = node.kernel_size
+        stride, padding = node.stride, node.padding
+        out_h = conv_output_size(h, k, stride, padding)
+        out_w = conv_output_size(w, k, stride, padding)
+
+        atomic_c = self.geometry.atomic_c
+        atomic_k = self.geometry.atomic_k
+        channel_groups = self.geometry.channel_groups(in_channels)
+        kernel_groups = self.geometry.kernel_groups(out_channels)
+
+        x_pad = np.pad(
+            x_q.astype(np.int64),
+            ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+            mode="constant",
+        )
+        weight = node.weight.astype(np.int64)
+
+        acc = np.zeros((n, out_channels, out_h, out_w), dtype=np.int64)
+        self.last_atomic_ops = 0
+
+        for sample in range(n):
+            for oy in range(out_h):
+                for ox in range(out_w):
+                    for kg in range(kernel_groups):
+                        oc_base = kg * atomic_k
+                        partial = np.zeros(atomic_k, dtype=np.int64)
+                        for cg in range(channel_groups):
+                            ic_base = cg * atomic_c
+                            for ky in range(k):
+                                for kx in range(k):
+                                    iy = oy * stride + ky
+                                    ix = ox * stride + kx
+                                    activations = [
+                                        int(x_pad[sample, ic_base + lane, iy, ix])
+                                        if ic_base + lane < in_channels
+                                        else 0
+                                        for lane in range(atomic_c)
+                                    ]
+                                    weights_per_kernel = []
+                                    for mac in range(atomic_k):
+                                        oc = oc_base + mac
+                                        if oc < out_channels:
+                                            weights_per_kernel.append(
+                                                [
+                                                    int(weight[oc, ic_base + lane, ky, kx])
+                                                    if ic_base + lane < in_channels
+                                                    else 0
+                                                    for lane in range(atomic_c)
+                                                ]
+                                            )
+                                        else:
+                                            weights_per_kernel.append([0] * atomic_c)
+                                    sums = cmac.atomic_op(activations, weights_per_kernel)
+                                    partial += np.asarray(sums, dtype=np.int64)
+                                    self.last_atomic_ops += 1
+                        for mac in range(atomic_k):
+                            oc = oc_base + mac
+                            if oc < out_channels:
+                                acc[sample, oc, oy, ox] = saturate(
+                                    acc[sample, oc, oy, ox] + partial[mac], ACCUMULATOR_WIDTH
+                                )
+        return acc
+
+    def linear_accumulate(
+        self,
+        x_q: np.ndarray,
+        node: QLinear,
+        config: InjectionConfig | None = None,
+    ) -> np.ndarray:
+        """Raw accumulator of a fully-connected layer via atomic operations."""
+        config = config or InjectionConfig.fault_free()
+        cmac = CMACArray(self.geometry, rng=self.rng)
+        cmac.apply_injection_config(config)
+
+        n, in_features = x_q.shape
+        out_features = node.out_features
+        atomic_c = self.geometry.atomic_c
+        atomic_k = self.geometry.atomic_k
+        channel_groups = self.geometry.channel_groups(in_features)
+        kernel_groups = self.geometry.kernel_groups(out_features)
+
+        x_int = x_q.astype(np.int64)
+        weight = node.weight.astype(np.int64)
+        acc = np.zeros((n, out_features), dtype=np.int64)
+        self.last_atomic_ops = 0
+
+        for sample in range(n):
+            for kg in range(kernel_groups):
+                oc_base = kg * atomic_k
+                partial = np.zeros(atomic_k, dtype=np.int64)
+                for cg in range(channel_groups):
+                    ic_base = cg * atomic_c
+                    activations = [
+                        int(x_int[sample, ic_base + lane]) if ic_base + lane < in_features else 0
+                        for lane in range(atomic_c)
+                    ]
+                    weights_per_kernel = []
+                    for mac in range(atomic_k):
+                        oc = oc_base + mac
+                        if oc < out_features:
+                            weights_per_kernel.append(
+                                [
+                                    int(weight[oc, ic_base + lane])
+                                    if ic_base + lane < in_features
+                                    else 0
+                                    for lane in range(atomic_c)
+                                ]
+                            )
+                        else:
+                            weights_per_kernel.append([0] * atomic_c)
+                    sums = cmac.atomic_op(activations, weights_per_kernel)
+                    partial += np.asarray(sums, dtype=np.int64)
+                    self.last_atomic_ops += 1
+                for mac in range(atomic_k):
+                    oc = oc_base + mac
+                    if oc < out_features:
+                        acc[sample, oc] = saturate(acc[sample, oc] + partial[mac], ACCUMULATOR_WIDTH)
+        return acc

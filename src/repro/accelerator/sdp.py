@@ -1,0 +1,60 @@
+"""The SDP (single-point data processor): post-processing of accumulator data.
+
+After the CMAC/CACC produce raw integer accumulators, the SDP applies, per
+output element: bias addition, requantisation (integer multiply + rounding
+shift), the fused ReLU, and — for residual connections — the elementwise
+addition of a second int8 operand rescaled to the same output scale.  These
+are the "Sum, activation, non-linear operations" partitions of the paper's
+Fig. 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quant.qlayers import QAdd, QConv, QGlobalAvgPool, QLinear
+from repro.quant.qscheme import INT8_MAX, INT8_MIN, requantize
+from repro.utils.bitops import ACCUMULATOR_WIDTH, saturate
+
+
+class SDP:
+    """Stateless post-processor; every method maps integer arrays to int8."""
+
+    def bias_add(self, accumulator: np.ndarray, bias: np.ndarray, channel_axis: int = 1) -> np.ndarray:
+        """Add the per-channel int32 bias to raw accumulator values."""
+        acc = np.asarray(accumulator, dtype=np.int64)
+        bias = np.asarray(bias, dtype=np.int64)
+        shape = [1] * acc.ndim
+        shape[channel_axis] = -1
+        return saturate(acc + bias.reshape(shape), ACCUMULATOR_WIDTH)
+
+    def conv_post(self, accumulator: np.ndarray, node: QConv | QLinear, channel_axis: int = 1) -> np.ndarray:
+        """Full convolution/FC post-processing: bias, requantise, ReLU.
+
+        For a final :class:`QLinear` with ``requant=None`` the biased raw
+        accumulator is returned (int64) instead of an int8 tensor.
+        """
+        acc = self.bias_add(accumulator, node.bias, channel_axis)
+        if isinstance(node, QLinear) and node.requant is None:
+            return acc
+        return requantize(acc, node.requant, channel_axis=channel_axis, relu=node.relu)
+
+    def elementwise_add(self, a: np.ndarray, b: np.ndarray, node: QAdd) -> np.ndarray:
+        """Residual addition of two int8 tensors with independent rescaling."""
+        if a.shape != b.shape:
+            raise ValueError(f"elementwise add shapes differ: {a.shape} vs {b.shape}")
+        a_scaled = requantize(
+            np.asarray(a, dtype=np.int64), node.requant_a, channel_axis=1, saturate_to_int8=False
+        )
+        b_scaled = requantize(
+            np.asarray(b, dtype=np.int64), node.requant_b, channel_axis=1, saturate_to_int8=False
+        )
+        total = a_scaled + b_scaled
+        if node.relu:
+            total = np.maximum(total, 0)
+        return np.clip(total, INT8_MIN, INT8_MAX).astype(np.int8)
+
+    def global_average(self, x: np.ndarray, node: QGlobalAvgPool) -> np.ndarray:
+        """Global average pooling: integer spatial sum then requantisation."""
+        acc = np.asarray(x, dtype=np.int64).sum(axis=(2, 3))
+        return requantize(acc, node.requant, channel_axis=1, relu=False)

@@ -1,0 +1,213 @@
+"""Cycle-level timing model of the emulated accelerator.
+
+The paper reports a 4.59 ms ResNet-18 inference at 187.5 MHz, unchanged by
+the fault-injection logic (the injectors are pure combinational muxes on the
+product buses and add no pipeline stages).  This model derives per-layer and
+per-inference latency from the execution plan:
+
+* **compute cycles** — one atomic operation per cycle: for a convolution,
+  ``out_h * out_w * channel_groups * K * K * kernel_groups`` cycles;
+* **weight-load cycles** — weights stream into the convolution buffer over a
+  bus of ``memory_bytes_per_cycle`` bytes per cycle;
+* **activation-traffic cycles** — input/output feature maps move over the
+  same bus (double-buffering overlaps most of it; the ``memory_overlap``
+  factor controls how much remains exposed);
+* **per-layer overhead** — register programming, pipeline fill and drain.
+
+The constants are calibrated so that the *ordering and ratios* of the
+paper's Table I are reproduced; absolute values are documented in
+EXPERIMENTS.md as model outputs, not silicon measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.accelerator.geometry import ArrayGeometry, PAPER_GEOMETRY
+from repro.quant.qlayers import (
+    QAdd,
+    QConv,
+    QGlobalAvgPool,
+    QInput,
+    QLinear,
+    QMaxPool,
+    QuantizedModel,
+)
+from repro.quant.shape_infer import infer_quantized_shapes
+
+#: Clock frequency of the accelerator fabric in the paper's platform.
+PAPER_CLOCK_HZ = 187.5e6
+
+
+@dataclass(frozen=True)
+class LayerTiming:
+    """Cycle breakdown of one executed operation."""
+
+    name: str
+    op_type: str
+    compute_cycles: int
+    memory_cycles: int
+    overhead_cycles: int
+
+    @property
+    def total_cycles(self) -> int:
+        return self.compute_cycles + self.memory_cycles + self.overhead_cycles
+
+
+@dataclass
+class TimingReport:
+    """Latency report of one inference."""
+
+    layers: list[LayerTiming] = field(default_factory=list)
+    clock_hz: float = PAPER_CLOCK_HZ
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(layer.total_cycles for layer in self.layers)
+
+    @property
+    def latency_seconds(self) -> float:
+        return self.total_cycles / self.clock_hz
+
+    @property
+    def latency_ms(self) -> float:
+        return self.latency_seconds * 1e3
+
+    @property
+    def inferences_per_second(self) -> float:
+        return 1.0 / self.latency_seconds if self.total_cycles else float("inf")
+
+    def compute_utilisation(self) -> float:
+        """Fraction of cycles spent in atomic operations (vs memory/overhead)."""
+        total = self.total_cycles
+        if total == 0:
+            return 0.0
+        return sum(layer.compute_cycles for layer in self.layers) / total
+
+
+@dataclass
+class TimingModel:
+    """Analytic cycle model parameterised by the array geometry.
+
+    Parameters
+    ----------
+    geometry:
+        MAC-array shape; the paper's 8x8 array by default.
+    clock_hz:
+        Fabric clock.
+    memory_bytes_per_cycle:
+        Effective bytes per cycle of the weight/feature DMA path.
+    memory_overlap:
+        Fraction of memory traffic hidden behind computation by
+        double-buffering (0 = fully exposed, 1 = fully hidden).
+    layer_overhead_cycles:
+        Fixed per-operation cost: CSB programming, pipeline fill/drain and
+        the runtime's submission latency, expressed in fabric cycles.
+    """
+
+    geometry: ArrayGeometry = PAPER_GEOMETRY
+    clock_hz: float = PAPER_CLOCK_HZ
+    memory_bytes_per_cycle: float = 8.0
+    memory_overlap: float = 0.7
+    layer_overhead_cycles: int = 2500
+    fault_injection_enabled: bool = False
+
+    def conv_timing(self, node: QConv, out_h: int, out_w: int) -> LayerTiming:
+        """Timing of one convolution layer."""
+        g = self.geometry
+        atomic_ops = (
+            out_h
+            * out_w
+            * g.channel_groups(node.in_channels)
+            * node.kernel_size
+            * node.kernel_size
+            * g.kernel_groups(node.out_channels)
+        )
+        weight_traffic = node.weight.size + node.bias.size * 4
+        activation_traffic = (
+            node.in_channels * out_h * out_w * node.stride * node.stride
+            + node.out_channels * out_h * out_w
+        )
+        memory_cycles = self._memory_cycles(weight_traffic + activation_traffic)
+        return LayerTiming(
+            name=node.name,
+            op_type="Convolution",
+            compute_cycles=int(atomic_ops),
+            memory_cycles=memory_cycles,
+            overhead_cycles=self.layer_overhead_cycles,
+        )
+
+    def linear_timing(self, node: QLinear) -> LayerTiming:
+        """Timing of one fully-connected layer."""
+        g = self.geometry
+        atomic_ops = g.channel_groups(node.in_features) * g.kernel_groups(node.out_features)
+        weight_traffic = node.weight.size + node.bias.size * 4
+        memory_cycles = self._memory_cycles(weight_traffic + node.in_features + node.out_features * 4)
+        return LayerTiming(
+            name=node.name,
+            op_type="FullyConnected",
+            compute_cycles=int(atomic_ops),
+            memory_cycles=memory_cycles,
+            overhead_cycles=self.layer_overhead_cycles,
+        )
+
+    def pooling_timing(self, node: QMaxPool | QGlobalAvgPool, out_elements: int) -> LayerTiming:
+        """Timing of a PDP pooling operation (one output element per cycle)."""
+        return LayerTiming(
+            name=node.name,
+            op_type=type(node).__name__.lstrip("Q"),
+            compute_cycles=int(out_elements),
+            memory_cycles=self._memory_cycles(out_elements * 2),
+            overhead_cycles=self.layer_overhead_cycles // 2,
+        )
+
+    def eltwise_timing(self, node: QAdd, elements: int) -> LayerTiming:
+        """Timing of an SDP elementwise addition (residual join)."""
+        return LayerTiming(
+            name=node.name,
+            op_type="ElementwiseAdd",
+            compute_cycles=int(elements),
+            memory_cycles=self._memory_cycles(elements * 3),
+            overhead_cycles=self.layer_overhead_cycles // 2,
+        )
+
+    def _memory_cycles(self, num_bytes: float) -> int:
+        exposed = (1.0 - self.memory_overlap) * num_bytes / self.memory_bytes_per_cycle
+        return int(round(exposed))
+
+    # ------------------------------------------------------------------
+    # Whole-model timing
+    # ------------------------------------------------------------------
+    def time_model(self, model: QuantizedModel) -> TimingReport:
+        """Latency report of one inference of a quantised model.
+
+        The fault-injection configuration does not appear here on purpose:
+        the injectors are combinational and add no cycles, which is exactly
+        the paper's observation that latency is identical with and without
+        FI support.
+        """
+        shapes = infer_quantized_shapes(model)
+        report = TimingReport(clock_hz=self.clock_hz)
+        for node in model.nodes:
+            if isinstance(node, QInput):
+                continue
+            if isinstance(node, QConv):
+                _, out_h, out_w = shapes[node.name]
+                report.layers.append(self.conv_timing(node, out_h, out_w))
+            elif isinstance(node, QLinear):
+                report.layers.append(self.linear_timing(node))
+            elif isinstance(node, (QMaxPool, QGlobalAvgPool)):
+                shape = shapes[node.name]
+                elements = 1
+                for dim in shape:
+                    elements *= dim
+                report.layers.append(self.pooling_timing(node, elements))
+            elif isinstance(node, QAdd):
+                shape = shapes[node.name]
+                elements = 1
+                for dim in shape:
+                    elements *= dim
+                report.layers.append(self.eltwise_timing(node, elements))
+            else:
+                raise TypeError(f"unsupported node type {type(node).__name__}")
+        return report

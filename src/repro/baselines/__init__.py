@@ -1,0 +1,25 @@
+"""Baseline fault-injection approaches the paper compares against.
+
+* :mod:`repro.baselines.software_fi` — graph-level software fault injection
+  in the style of PyTorchFI/FIdelity: faults are applied to layer *outputs*
+  in the CNN execution graph rather than to individual multipliers, which is
+  cheap but architecture-blind (the "easiest but least reliable" analysis in
+  the paper's introduction).
+* :mod:`repro.baselines.saffira` — a deliberately faithful (and therefore
+  slow) systolic-array software simulator in the spirit of SAFFIRA, used for
+  the conclusion's throughput comparison (217 emulated inferences/s vs 5.8
+  software simulations/s covering only two layers).
+"""
+
+from repro.baselines.software_fi import (
+    GraphFaultSpec,
+    SoftwareFaultInjector,
+)
+from repro.baselines.saffira import SystolicArraySimulator, SimulationReport
+
+__all__ = [
+    "SoftwareFaultInjector",
+    "GraphFaultSpec",
+    "SystolicArraySimulator",
+    "SimulationReport",
+]

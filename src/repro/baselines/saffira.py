@@ -1,0 +1,208 @@
+"""A SAFFIRA-style systolic-array software simulator (the slow baseline).
+
+The paper's conclusion contrasts its FPGA emulator (217 full ResNet-18
+inferences per second) with a recent software framework that reaches 5.8
+simulations per second while covering only two convolutional layers.  To
+reproduce that comparison without the original (unavailable) tool, this
+module implements a faithful-but-slow software simulator in the same spirit:
+
+* the layer is lowered to a GEMM and executed on an ``rows x cols``
+  output-stationary systolic array, cycle by cycle, with explicit operand
+  skewing — the Uniform Recurrent Equation style of modelling;
+* faults are applied to the product computed by a chosen PE in every cycle,
+  so the fault semantics match the emulator's multiplier faults;
+* like the original, it is only practical for a subset of layers, which is
+  exactly the limitation the paper calls out.
+
+The simulator is intentionally *not* optimised: its per-cycle Python loop is
+the point of the comparison.  (Its results are still exact, and the test
+suite checks a small layer against the vectorised engine.)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.faults.injector import InjectionConfig
+from repro.faults.sites import FaultSite
+from repro.nn.functional import conv_output_size, im2col
+from repro.quant.qlayers import QConv, QuantizedModel
+from repro.utils.bitops import ACCUMULATOR_WIDTH, saturate
+
+
+@dataclass
+class SimulationReport:
+    """Outcome of simulating a set of layers for one image batch."""
+
+    layers: list[str] = field(default_factory=list)
+    cycles: int = 0
+    wall_seconds: float = 0.0
+    macs_simulated: int = 0
+
+    @property
+    def simulations_per_second(self) -> float:
+        """Layer-set simulations per wall-clock second (the paper's metric)."""
+        if self.wall_seconds == 0:
+            return float("inf")
+        return 1.0 / self.wall_seconds
+
+
+class SystolicArraySimulator:
+    """Cycle-by-cycle output-stationary systolic GEMM simulator."""
+
+    def __init__(self, rows: int = 8, cols: int = 8):
+        if rows <= 0 or cols <= 0:
+            raise ValueError("array dimensions must be positive")
+        self.rows = rows
+        self.cols = cols
+
+    # ------------------------------------------------------------------
+    # Single-tile simulation
+    # ------------------------------------------------------------------
+    def _simulate_tile(
+        self,
+        a_tile: np.ndarray,  # (rows, depth)  weights rows
+        b_tile: np.ndarray,  # (depth, cols)  activation columns
+        faulty_pes: dict[tuple[int, int], int],
+    ) -> tuple[np.ndarray, int]:
+        """Simulate one output-stationary tile; returns (result, cycles).
+
+        Operands are skewed diagonally as in a real systolic array: PE
+        ``(r, c)`` multiplies ``a[r, t - r - c]`` with ``b[t - r - c, c]`` in
+        cycle ``t`` (when the index is in range), accumulating locally.  A
+        faulty PE has every product it computes replaced by the injected
+        constant.
+        """
+        depth = a_tile.shape[1]
+        rows, cols = self.rows, self.cols
+        acc = np.zeros((rows, cols), dtype=np.int64)
+        total_cycles = depth + rows + cols - 2
+        for t in range(total_cycles):
+            for r in range(rows):
+                for c in range(cols):
+                    k = t - r - c
+                    if 0 <= k < depth:
+                        product = int(a_tile[r, k]) * int(b_tile[k, c])
+                        if (r, c) in faulty_pes:
+                            product = faulty_pes[(r, c)]
+                        acc[r, c] += product
+        return saturate(acc, ACCUMULATOR_WIDTH), total_cycles
+
+    # ------------------------------------------------------------------
+    # Layer simulation
+    # ------------------------------------------------------------------
+    def simulate_conv(
+        self,
+        x_q: np.ndarray,
+        node: QConv,
+        config: InjectionConfig | None = None,
+        max_output_positions: int | None = None,
+    ) -> tuple[np.ndarray, SimulationReport]:
+        """Simulate one convolution layer on the systolic array.
+
+        Parameters
+        ----------
+        x_q:
+            int8 input batch (N, IC, H, W).
+        node:
+            The quantised convolution.
+        config:
+            Constant-override fault configuration (value-dependent models are
+            not supported by this baseline, matching its lower fidelity).
+        max_output_positions:
+            Optionally limit the number of simulated output pixels — software
+            simulators commonly sub-sample to stay tractable; the report
+            still records the cycle count of what was simulated.
+        """
+        config = config or InjectionConfig.fault_free()
+        faulty_pes: dict[tuple[int, int], int] = {}
+        for site, model in config.faults.items():
+            constant = model.constant_override()
+            if constant is None:
+                raise ValueError(
+                    "the systolic baseline only supports constant-override fault models"
+                )
+            faulty_pes[(site.mac_unit, site.multiplier)] = constant
+
+        n, ic, h, w = x_q.shape
+        k = node.kernel_size
+        out_h = conv_output_size(h, k, node.stride, node.padding)
+        out_w = conv_output_size(w, k, node.stride, node.padding)
+        positions = out_h * out_w
+        if max_output_positions is not None:
+            positions = min(positions, max_output_positions)
+
+        cols_buf = im2col(x_q.astype(np.int64), k, node.stride, node.padding)
+        w_mat = node.weight.astype(np.int64).reshape(node.out_channels, -1)
+        depth_total = w_mat.shape[1]
+
+        acc = np.zeros((n, node.out_channels, out_h * out_w), dtype=np.int64)
+        report = SimulationReport(layers=[node.name])
+        start = time.perf_counter()
+
+        for sample in range(n):
+            for pos_base in range(0, positions, self.cols):
+                pos_slice = range(pos_base, min(pos_base + self.cols, positions))
+                b_full = cols_buf[sample][:, list(pos_slice)]  # (depth, <=cols)
+                b_tile = np.zeros((depth_total, self.cols), dtype=np.int64)
+                b_tile[:, : b_full.shape[1]] = b_full
+                for oc_base in range(0, node.out_channels, self.rows):
+                    oc_slice = range(oc_base, min(oc_base + self.rows, node.out_channels))
+                    a_full = w_mat[list(oc_slice), :]
+                    a_tile = np.zeros((self.rows, depth_total), dtype=np.int64)
+                    a_tile[: a_full.shape[0], :] = a_full
+                    # The depth dimension is streamed in chunks of the lane
+                    # count so that the PE-to-lane fault mapping matches the
+                    # emulator's channel-group interleaving.
+                    result = np.zeros((self.rows, self.cols), dtype=np.int64)
+                    for depth_base in range(0, depth_total, self.cols):
+                        depth_slice = slice(depth_base, min(depth_base + self.cols, depth_total))
+                        a_chunk = np.zeros((self.rows, self.cols), dtype=np.int64)
+                        b_chunk = np.zeros((self.cols, self.cols), dtype=np.int64)
+                        a_part = a_tile[:, depth_slice]
+                        b_part = b_tile[depth_slice, :]
+                        a_chunk[:, : a_part.shape[1]] = a_part
+                        b_chunk[: b_part.shape[0], :] = b_part
+                        tile_result, cycles = self._simulate_tile(a_chunk, b_chunk, faulty_pes)
+                        result += tile_result
+                        report.cycles += cycles
+                        report.macs_simulated += self.rows * self.cols * self.cols
+                    acc[sample][np.ix_(list(oc_slice), list(pos_slice))] = result[
+                        : len(list(oc_slice)), : len(list(pos_slice))
+                    ]
+
+        report.wall_seconds = time.perf_counter() - start
+        return acc.reshape(n, node.out_channels, out_h, out_w), report
+
+    # ------------------------------------------------------------------
+    # Multi-layer entry point
+    # ------------------------------------------------------------------
+    def simulate_layers(
+        self,
+        model: QuantizedModel,
+        layer_names: list[str],
+        x_by_layer: dict[str, np.ndarray],
+        config: InjectionConfig | None = None,
+        max_output_positions: int | None = None,
+    ) -> SimulationReport:
+        """Simulate a subset of a model's convolution layers.
+
+        ``x_by_layer`` supplies the int8 input of each simulated layer
+        (obtained from a fault-free reference run); this mirrors how
+        layer-restricted software analyses operate.
+        """
+        combined = SimulationReport(layers=list(layer_names))
+        for name in layer_names:
+            node = model.node(name)
+            if not isinstance(node, QConv):
+                raise TypeError(f"{name!r} is not a convolution layer")
+            _, report = self.simulate_conv(
+                x_by_layer[name], node, config, max_output_positions=max_output_positions
+            )
+            combined.cycles += report.cycles
+            combined.wall_seconds += report.wall_seconds
+            combined.macs_simulated += report.macs_simulated
+        return combined

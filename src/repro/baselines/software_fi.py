@@ -1,0 +1,164 @@
+"""Graph-level software fault injection (PyTorchFI / FIdelity style).
+
+The paper's introduction describes the common software approach to fault
+tolerance analysis: inject faults directly into the CNN execution graph —
+for example "stuck-at-0 faults at the outputs of multiplication operations"
+or by disconnecting components — without modelling which hardware multiplier
+actually computes which product.  This module implements that approach on
+the quantised model so the examples and benchmarks can compare it against
+the architecture-accurate emulator on both fidelity and speed:
+
+* it is faster per analysed configuration (no lane bookkeeping), but
+* a "multiplier fault" can only be approximated by corrupting the output
+  channels that the faulty MAC unit would produce, which ignores how partial
+  products recombine inside the accumulation — precisely the imprecision the
+  paper's emulator removes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.faults.sites import FaultSite
+from repro.quant.qlayers import (
+    QAdd,
+    QConv,
+    QGlobalAvgPool,
+    QInput,
+    QLinear,
+    QMaxPool,
+    QuantizedModel,
+)
+from repro.quant.qscheme import INT8_MAX, INT8_MIN
+from repro.runtime.cpu_backend import CPUBackend
+from repro.accelerator.pdp import max_pool_int8
+
+
+@dataclass(frozen=True)
+class GraphFaultSpec:
+    """One graph-level fault: corrupt activations of selected output channels.
+
+    Attributes
+    ----------
+    layer:
+        Name of the quantised conv/FC node whose output is corrupted, or
+        ``"*"`` for every conv/FC node.
+    channels:
+        Output channels to corrupt (empty tuple = all channels).
+    value:
+        int8 value written into the corrupted activations.
+    fraction:
+        Fraction of the selected activations that are corrupted (1.0 = all).
+    """
+
+    layer: str = "*"
+    channels: tuple[int, ...] = ()
+    value: int = 0
+    fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not INT8_MIN <= self.value <= INT8_MAX:
+            raise ValueError(f"injected value {self.value} is not an int8 activation")
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+
+
+class SoftwareFaultInjector:
+    """Runs a quantised model with graph-level output corruption."""
+
+    def __init__(self, model: QuantizedModel, seed: int = 0):
+        self.model = model
+        self.backend = CPUBackend()
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    # Fault spec helpers
+    # ------------------------------------------------------------------
+    def specs_for_hardware_site(
+        self, site: FaultSite, value: int = 0, atomic_k: int = 8
+    ) -> list[GraphFaultSpec]:
+        """Approximate a hardware multiplier fault at graph level.
+
+        The best a graph-level injector can do is corrupt the output channels
+        that the faulty MAC unit produces (every ``atomic_k``-th channel),
+        because the per-product effect inside the accumulation is invisible
+        at this abstraction.  The fraction of affected activations is set to
+        ``1 / atomic_c`` to mimic that only one of the MAC's lanes is faulty.
+        """
+        return [
+            GraphFaultSpec(
+                layer="*",
+                channels=(),
+                value=value,
+                fraction=1.0 / atomic_k,
+            )
+        ]
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _corrupt(self, activations: np.ndarray, spec: GraphFaultSpec) -> np.ndarray:
+        out = activations.copy()
+        if out.ndim == 4:
+            channel_axis_len = out.shape[1]
+        elif out.ndim == 2:
+            channel_axis_len = out.shape[1]
+        else:
+            return out
+        channels = spec.channels if spec.channels else tuple(range(channel_axis_len))
+        channels = tuple(c for c in channels if c < channel_axis_len)
+        if not channels:
+            return out
+        selected = out[:, list(channels)]
+        if spec.fraction >= 1.0:
+            mask = np.ones(selected.shape, dtype=bool)
+        else:
+            mask = self._rng.random(selected.shape) < spec.fraction
+        selected = np.where(mask, np.array(spec.value, dtype=selected.dtype), selected)
+        out[:, list(channels)] = selected
+        return out
+
+    def run(self, images: np.ndarray, specs: list[GraphFaultSpec]) -> np.ndarray:
+        """Run inference with the graph-level faults applied; returns logits."""
+        activations: dict[str, np.ndarray] = {}
+        for node in self.model.nodes:
+            if isinstance(node, QInput):
+                activations[node.name] = node.quantize(images)
+                continue
+            inputs = [activations[src] for src in node.inputs]
+            if isinstance(node, QConv):
+                value = CPUBackend._conv(inputs[0], node)
+            elif isinstance(node, QLinear):
+                value = CPUBackend._linear(inputs[0], node)
+            elif isinstance(node, QAdd):
+                value = CPUBackend._add(inputs[0], inputs[1], node)
+            elif isinstance(node, QMaxPool):
+                value = max_pool_int8(inputs[0], node.kernel, node.stride, node.padding)
+            elif isinstance(node, QGlobalAvgPool):
+                value = CPUBackend._global_avg(inputs[0], node)
+            else:
+                raise TypeError(f"unsupported node type {type(node).__name__}")
+
+            if isinstance(node, (QConv, QLinear)) and node.requant is not None:
+                for spec in specs:
+                    if spec.layer in ("*", node.name):
+                        value = self._corrupt(value, spec)
+            activations[node.name] = value
+        return activations[self.model.output_name]
+
+    def accuracy(
+        self,
+        images: np.ndarray,
+        labels: np.ndarray,
+        specs: list[GraphFaultSpec],
+        batch_size: int = 64,
+    ) -> float:
+        """Top-1 accuracy under graph-level fault injection."""
+        correct = 0
+        for start in range(0, len(labels), batch_size):
+            batch = images[start : start + batch_size]
+            logits = self.run(batch, specs)
+            correct += int((logits.argmax(axis=-1) == labels[start : start + batch_size]).sum())
+        return correct / max(len(labels), 1)

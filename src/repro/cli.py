@@ -1,0 +1,173 @@
+"""Command-line interface for the fault-tolerance analysis platform.
+
+The paper's platform is driven by command-line tools running on the board's
+ARM cores; this module is the emulator-side equivalent so that campaigns can
+be scripted without writing Python:
+
+.. code-block:: bash
+
+    python -m repro describe
+    python -m repro campaign --strategy random --values 0 1 -1 --trials 2 --images 64
+    python -m repro heatmap  --value 0 --images 64 --output fig3.json
+    python -m repro table1
+
+All subcommands use the cached case-study model (training it on first use);
+``--width`` and ``--epochs`` select a different model variant.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.core.analysis import accuracy_drop_boxplots, heatmap_matrix, most_sensitive_site
+from repro.core.campaign import CampaignConfig, FaultInjectionCampaign
+from repro.core.strategies import ExhaustiveSingleSite, PerMACUnitSweep, RandomMultipliers
+from repro.runtime.perf_model import table1_performance_rows
+from repro.utils.tabulate import format_heatmap, format_table
+from repro.zoo import CaseStudySpec, build_case_study_platform
+
+
+def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--width", type=float, default=0.25,
+                        help="ResNet-18 width multiplier of the case-study model")
+    parser.add_argument("--epochs", type=int, default=6, help="training epochs")
+    parser.add_argument("--train-images", type=int, default=1500)
+    parser.add_argument("--test-images", type=int, default=300)
+    parser.add_argument("--seed", type=int, default=7, help="model/dataset seed")
+
+
+def _build_platform(args: argparse.Namespace):
+    spec = CaseStudySpec(
+        width_multiplier=args.width,
+        num_train=args.train_images,
+        num_test=args.test_images,
+        epochs=args.epochs,
+        seed=args.seed,
+    )
+    return build_case_study_platform(spec)
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    platform, case = _build_platform(args)
+    print(platform.describe())
+    print(f"float accuracy: {case.float_accuracy:.3f}")
+    baseline = platform.baseline_accuracy(case.dataset.test_images, case.dataset.test_labels)
+    print(f"int8 accuracy (emulator): {baseline:.3f}")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    platform, _ = _build_platform(args)
+    rows = []
+    for est in table1_performance_rows(platform.loadable):
+        rows.append([
+            est.device,
+            est.threads if est.threads is not None else "-",
+            est.inference_ms,
+            est.luts if est.luts is not None else None,
+            est.ffs if est.ffs is not None else None,
+        ])
+    print(format_table(["Device", "Threads", "Inference (ms)", "#LUT", "#FF"], rows,
+                       title="Table I equivalent"))
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    platform, case = _build_platform(args)
+    if args.strategy == "random":
+        strategy = RandomMultipliers(
+            values=tuple(args.values),
+            fault_counts=tuple(args.counts),
+            trials_per_point=args.trials,
+        )
+    elif args.strategy == "per-mac":
+        strategy = PerMACUnitSweep(values=tuple(args.values))
+    else:
+        raise ValueError(f"unknown strategy {args.strategy!r}")
+
+    images = case.dataset.test_images[: args.images]
+    labels = case.dataset.test_labels[: args.images]
+    campaign = FaultInjectionCampaign(platform, strategy, CampaignConfig(seed=args.campaign_seed))
+    result = campaign.run(images, labels)
+
+    print(f"baseline accuracy: {result.baseline_accuracy:.3f}; "
+          f"{len(result)} injections in {result.wall_seconds:.1f}s")
+    series = accuracy_drop_boxplots(result)
+    for value, s in sorted(series.items(), key=lambda kv: str(kv[0])):
+        rows = [[count, s.boxes[count].mean, s.boxes[count].maximum] for count in s.positions()]
+        print(format_table(["#faults", "mean drop", "max drop"], rows, floatfmt=".3f",
+                           title=f"injected value {value}"))
+    if args.output:
+        Path(args.output).write_text(result.to_json())
+        print(f"records written to {args.output}")
+    return 0
+
+
+def _cmd_heatmap(args: argparse.Namespace) -> int:
+    platform, case = _build_platform(args)
+    images = case.dataset.test_images[: args.images]
+    labels = case.dataset.test_labels[: args.images]
+    strategy = ExhaustiveSingleSite(values=(args.value,))
+    campaign = FaultInjectionCampaign(platform, strategy, CampaignConfig(seed=args.campaign_seed))
+    result = campaign.run(images, labels)
+
+    matrix = heatmap_matrix(result, injected_value=args.value)
+    print(format_heatmap(matrix * 100.0, "MAC unit", "multiplier", cellfmt="+6.1f"))
+    worst = most_sensitive_site(result, injected_value=args.value)
+    print(f"most sensitive site: MAC {worst.mac_unit + 1} / MUL {worst.multiplier + 1} "
+          f"({worst.accuracy_drop * 100:.1f}% drop)")
+    if args.output:
+        Path(args.output).write_text(json.dumps(
+            {"baseline_accuracy": result.baseline_accuracy,
+             "injected_value": args.value,
+             "heatmap": matrix.tolist()}, indent=2))
+        print(f"heat map written to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    describe = subparsers.add_parser("describe", help="summarise the compiled platform")
+    _add_model_arguments(describe)
+    describe.set_defaults(func=_cmd_describe)
+
+    table1 = subparsers.add_parser("table1", help="print the Table I equivalent")
+    _add_model_arguments(table1)
+    table1.set_defaults(func=_cmd_table1)
+
+    campaign = subparsers.add_parser("campaign", help="run a fault-injection campaign (Fig. 2 style)")
+    _add_model_arguments(campaign)
+    campaign.add_argument("--strategy", choices=("random", "per-mac"), default="random")
+    campaign.add_argument("--values", type=int, nargs="+", default=[0, 1, -1])
+    campaign.add_argument("--counts", type=int, nargs="+", default=[1, 2, 3, 4, 5, 6, 7])
+    campaign.add_argument("--trials", type=int, default=2)
+    campaign.add_argument("--images", type=int, default=64)
+    campaign.add_argument("--campaign-seed", type=int, default=0)
+    campaign.add_argument("--output", type=str, default="")
+    campaign.set_defaults(func=_cmd_campaign)
+
+    heatmap = subparsers.add_parser("heatmap", help="run the single-site sweep (Fig. 3 style)")
+    _add_model_arguments(heatmap)
+    heatmap.add_argument("--value", type=int, default=0)
+    heatmap.add_argument("--images", type=int, default=64)
+    heatmap.add_argument("--campaign-seed", type=int, default=0)
+    heatmap.add_argument("--output", type=str, default="")
+    heatmap.set_defaults(func=_cmd_heatmap)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""Tengine-like compiler: float graph -> quantised model -> execution plan.
+
+The paper converts a Caffe-trained CNN into an NVDLA execution plan with the
+Tengine framework.  This subpackage provides the equivalent offline flow:
+
+1. :mod:`repro.compiler.passes` — graph transformations (BatchNorm folding).
+2. :mod:`repro.quant` — post-training int8 quantisation (invoked from here).
+3. :mod:`repro.compiler.mapper` — tiling of conv/FC layers onto the MAC array
+   (channel/kernel groups, atomic-operation counts, lane assignment).
+4. :mod:`repro.compiler.loadable` — the execution plan ("loadable") consumed
+   by the accelerator emulator and the runtime.
+
+:func:`repro.compiler.compile.compile_model` runs the whole flow.
+"""
+
+from repro.compiler.passes import fold_batchnorm
+from repro.compiler.mapper import ConvMapping, Mapper
+from repro.compiler.ops import (
+    CompiledOp,
+    ConvOp,
+    EltwiseAddOp,
+    FullyConnectedOp,
+    GlobalAvgPoolOp,
+    PoolOp,
+)
+from repro.compiler.loadable import Loadable
+from repro.compiler.compile import CompilationResult, compile_model
+
+__all__ = [
+    "fold_batchnorm",
+    "Mapper",
+    "ConvMapping",
+    "CompiledOp",
+    "ConvOp",
+    "FullyConnectedOp",
+    "PoolOp",
+    "EltwiseAddOp",
+    "GlobalAvgPoolOp",
+    "Loadable",
+    "compile_model",
+    "CompilationResult",
+]

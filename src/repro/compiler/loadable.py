@@ -1,0 +1,105 @@
+"""The loadable: a compiled execution plan plus its quantised weights.
+
+A real NVDLA loadable bundles the per-layer command stream, tensor surface
+descriptors and weight blobs.  The emulator's loadable keeps the same split:
+an ordered list of :class:`~repro.compiler.ops.CompiledOp` records (the
+command stream) and a reference to the :class:`QuantizedModel` (the weight
+blobs and quantisation metadata).  It also records the memory-surface plan
+and summary statistics, and can be serialised to a JSON-friendly dict for
+inspection (weights excluded, like a loadable header dump).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.accelerator.geometry import ArrayGeometry, PAPER_GEOMETRY
+from repro.accelerator.memory import MemoryModel
+from repro.compiler.ops import CompiledOp, ConvOp, FullyConnectedOp, OpStatistics
+from repro.quant.qlayers import QuantizedModel
+
+
+@dataclass
+class Loadable:
+    """A compiled network ready for execution on the emulator."""
+
+    model: QuantizedModel
+    ops: list[CompiledOp] = field(default_factory=list)
+    geometry: ArrayGeometry = PAPER_GEOMETRY
+    name: str = "network"
+    #: Per-surface byte sizes planned by the compiler (node name -> bytes).
+    surfaces: dict[str, int] = field(default_factory=dict)
+
+    def op_by_name(self, name: str) -> CompiledOp:
+        for op in self.ops:
+            if op.name == name:
+                return op
+        raise KeyError(f"no compiled op named {name!r}")
+
+    def conv_like_ops(self) -> list[CompiledOp]:
+        """Ops executed on the MAC array (the fault-injection targets)."""
+        return [op for op in self.ops if isinstance(op, (ConvOp, FullyConnectedOp))]
+
+    def statistics(self) -> OpStatistics:
+        return OpStatistics.from_ops(self.ops)
+
+    def total_atomic_ops(self) -> int:
+        """Total CMAC atomic operations per inference (batch 1)."""
+        return self.statistics().total_atomic_ops
+
+    def total_macs(self) -> int:
+        """Total useful multiply-accumulates per inference (excluding padding)."""
+        return self.model.total_macs()
+
+    # ------------------------------------------------------------------
+    # Memory planning
+    # ------------------------------------------------------------------
+    def plan_memory(self, memory: MemoryModel | None = None) -> MemoryModel:
+        """Allocate every surface of the plan in a (fresh) memory model."""
+        memory = memory or MemoryModel()
+        for name, num_bytes in self.surfaces.items():
+            memory.allocate(name, num_bytes)
+        return memory
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-friendly summary (no weight data)."""
+        ops = []
+        for op in self.ops:
+            record: dict = {
+                "name": op.name,
+                "type": op.op_type,
+                "engine": op.engine,
+                "inputs": list(op.inputs),
+                "output_bytes": op.output_bytes,
+            }
+            if isinstance(op, (ConvOp, FullyConnectedOp)):
+                record.update(
+                    {
+                        "weight_bytes": op.weight_bytes,
+                        "atomic_ops": op.mapping.total_atomic_ops,
+                        "channel_groups": op.mapping.channel_groups,
+                        "kernel_groups": op.mapping.kernel_groups,
+                    }
+                )
+            ops.append(record)
+        return {
+            "name": self.name,
+            "geometry": {
+                "num_macs": self.geometry.num_macs,
+                "muls_per_mac": self.geometry.muls_per_mac,
+            },
+            "num_ops": len(self.ops),
+            "total_atomic_ops": self.total_atomic_ops(),
+            "total_macs": self.total_macs(),
+            "ops": ops,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def __len__(self) -> int:
+        return len(self.ops)

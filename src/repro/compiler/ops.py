@@ -1,0 +1,112 @@
+"""Compiled operation records: the entries of an execution plan.
+
+Each record names the quantised node it executes, its data dependencies and
+the hardware engine it runs on, plus the tiling/traffic information the
+timing model and the memory allocator need.  Weights themselves stay in the
+:class:`~repro.quant.qlayers.QuantizedModel`; the loadable references them by
+node name, mirroring how a real loadable separates the command stream from
+the weight blobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.mapper import ConvMapping
+
+
+@dataclass(frozen=True)
+class CompiledOp:
+    """Base class of all execution-plan entries."""
+
+    name: str
+    inputs: tuple[str, ...]
+    #: Hardware engine executing the op (CMAC+CACC+SDP, SDP only, PDP, ...).
+    engine: str = "none"
+    #: Output surface size in bytes (int8 elements, batch 1).
+    output_bytes: int = 0
+
+    @property
+    def op_type(self) -> str:
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class ConvOp(CompiledOp):
+    """A convolution executed on the MAC array + SDP post-processing."""
+
+    engine: str = "CMAC"
+    mapping: ConvMapping = None
+    weight_bytes: int = 0
+    relu: bool = False
+
+
+@dataclass(frozen=True)
+class FullyConnectedOp(CompiledOp):
+    """A fully-connected layer executed on the MAC array."""
+
+    engine: str = "CMAC"
+    mapping: ConvMapping = None
+    weight_bytes: int = 0
+
+
+@dataclass(frozen=True)
+class PoolOp(CompiledOp):
+    """Max pooling executed on the PDP."""
+
+    engine: str = "PDP"
+    kernel: int = 2
+    stride: int = 2
+    padding: int = 0
+
+
+@dataclass(frozen=True)
+class GlobalAvgPoolOp(CompiledOp):
+    """Global average pooling (PDP average mode + SDP rescale)."""
+
+    engine: str = "PDP"
+    spatial_size: int = 1
+
+
+@dataclass(frozen=True)
+class EltwiseAddOp(CompiledOp):
+    """Residual addition executed on the SDP elementwise path."""
+
+    engine: str = "SDP"
+    relu: bool = False
+
+
+@dataclass
+class OpStatistics:
+    """Aggregate statistics over an execution plan (reported by benchmarks)."""
+
+    num_conv: int = 0
+    num_fc: int = 0
+    num_pool: int = 0
+    num_eltwise: int = 0
+    total_atomic_ops: int = 0
+    total_weight_bytes: int = 0
+    total_output_bytes: int = 0
+    per_op: list[tuple[str, str, int]] = field(default_factory=list)
+
+    @classmethod
+    def from_ops(cls, ops: list[CompiledOp]) -> "OpStatistics":
+        stats = cls()
+        for op in ops:
+            atomic = 0
+            if isinstance(op, ConvOp):
+                stats.num_conv += 1
+                stats.total_weight_bytes += op.weight_bytes
+                atomic = op.mapping.total_atomic_ops
+            elif isinstance(op, FullyConnectedOp):
+                stats.num_fc += 1
+                stats.total_weight_bytes += op.weight_bytes
+                atomic = op.mapping.total_atomic_ops
+            elif isinstance(op, (PoolOp, GlobalAvgPoolOp)):
+                stats.num_pool += 1
+            elif isinstance(op, EltwiseAddOp):
+                stats.num_eltwise += 1
+            stats.total_atomic_ops += atomic
+            stats.total_output_bytes += op.output_bytes
+            stats.per_op.append((op.name, op.op_type, atomic))
+        return stats

@@ -1,0 +1,109 @@
+"""Graph transformation passes applied before quantisation.
+
+The only mandatory pass is BatchNorm folding: the accelerator has no
+BatchNorm engine, so every ``Conv2D -> BatchNorm2D`` pair is merged into a
+single convolution with adjusted weights and bias.  Folding is exact in
+inference mode (it uses the running statistics), so the folded graph
+produces bit-identical float outputs, which the tests verify.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.graph import Graph
+from repro.nn.layers import BatchNorm2D, Conv2D, Layer
+from repro.nn.tensor import Parameter
+
+
+def _clone_layer(layer: Layer) -> Layer:
+    """Deep-copy a layer: new instance of the same class with copied parameters."""
+    import copy
+
+    clone = copy.deepcopy(layer)
+    clone._cache = {}
+    return clone
+
+
+def _fold_conv_bn(conv: Conv2D, bn: BatchNorm2D) -> Conv2D:
+    """Return a new convolution equivalent to ``bn(conv(x))`` in eval mode."""
+    gamma = bn.gamma.value.astype(np.float64)
+    beta = bn.beta.value.astype(np.float64)
+    mean = bn.running_mean.value.astype(np.float64)
+    var = bn.running_var.value.astype(np.float64)
+    std = np.sqrt(var + bn.eps)
+    scale = gamma / std  # per output channel
+
+    folded = Conv2D(
+        conv.in_channels,
+        conv.out_channels,
+        conv.kernel_size,
+        stride=conv.stride,
+        padding=conv.padding,
+        bias=True,
+        name=conv.name,
+    )
+    folded.weight = Parameter(
+        (conv.weight.value.astype(np.float64) * scale[:, None, None, None]).astype(np.float32),
+        name=conv.weight.name,
+    )
+    old_bias = conv.bias.value.astype(np.float64) if conv.bias is not None else 0.0
+    folded_bias = beta + (old_bias - mean) * scale
+    folded.bias = Parameter(folded_bias.astype(np.float32), name=f"{conv.name}.bias")
+    return folded
+
+
+def fold_batchnorm(graph: Graph) -> Graph:
+    """Fold every ``Conv2D -> BatchNorm2D`` pair of ``graph`` into one conv.
+
+    The input graph is not modified.  BatchNorm nodes that do not directly
+    follow a convolution (none exist in ResNet) are rejected because the
+    accelerator cannot execute them.
+    """
+    folded = Graph(graph.input_shape)
+    #: maps original node names to their name in the folded graph
+    alias: dict[str, str] = {Graph.INPUT: Graph.INPUT}
+    skipped: set[str] = set()
+
+    order = graph.topological_order()
+    for name in order:
+        if name in skipped:
+            continue
+        node = graph.nodes[name]
+        layer = node.layer
+
+        if isinstance(layer, Conv2D):
+            consumers = graph.consumers(name)
+            bn_consumer = None
+            if len(consumers) == 1 and isinstance(graph.nodes[consumers[0]].layer, BatchNorm2D):
+                bn_consumer = consumers[0]
+            if bn_consumer is not None:
+                bn_layer = graph.nodes[bn_consumer].layer
+                new_layer = _fold_conv_bn(layer, bn_layer)
+                inputs = [alias[src] for src in node.inputs]
+                folded.add(name, new_layer, inputs)
+                alias[name] = name
+                alias[bn_consumer] = name
+                skipped.add(bn_consumer)
+                continue
+            # Convolution without a BatchNorm behind it: copy as-is.
+            folded.add(name, _clone_layer(layer), [alias[src] for src in node.inputs])
+            alias[name] = name
+            continue
+
+        if isinstance(layer, BatchNorm2D):
+            raise ValueError(
+                f"BatchNorm node {name!r} does not follow a convolution and cannot be "
+                "folded; the accelerator has no standalone BatchNorm engine"
+            )
+
+        folded.add(name, _clone_layer(layer), [alias[src] for src in node.inputs])
+        alias[name] = name
+
+    folded.set_output(alias[graph.output_name])
+    return folded
+
+
+def count_batchnorm_nodes(graph: Graph) -> int:
+    """Number of BatchNorm layers remaining in a graph (0 after folding)."""
+    return sum(1 for node in graph.nodes.values() if isinstance(node.layer, BatchNorm2D))

@@ -1,0 +1,54 @@
+"""The paper's contribution: the fault-tolerance analysis platform.
+
+This package ties the substrates together into the workflow of the paper's
+case study: take a trained CNN, compile it for the fault-injection-capable
+accelerator, run fault-injection campaigns according to a strategy, and
+analyse the classification-accuracy drop.
+
+* :class:`~repro.core.platform.EmulationPlatform` — model + accelerator +
+  dataset in one object (the "platform" of Fig. 1).
+* :mod:`repro.core.strategies` — how fault sites and values are chosen
+  (random multipliers for Fig. 2, exhaustive single-site sweep for Fig. 3).
+* :class:`~repro.core.campaign.FaultInjectionCampaign` — runs the trials and
+  collects records.
+* :mod:`repro.core.analysis` — box-plot series, heat maps and summary
+  statistics over campaign results.
+* :mod:`repro.core.results` — result records and serialisation.
+"""
+
+from repro.core.platform import EmulationPlatform, PlatformConfig
+from repro.core.campaign import CampaignConfig, FaultInjectionCampaign
+from repro.core.strategies import (
+    ExhaustiveSingleSite,
+    InjectionStrategy,
+    PerMACUnitSweep,
+    PerMultiplierPositionSweep,
+    RandomMultipliers,
+    StrategyTrial,
+)
+from repro.core.results import CampaignResult, TrialRecord
+from repro.core.analysis import (
+    BoxPlotSeries,
+    accuracy_drop_boxplots,
+    heatmap_matrix,
+    summarize_by_group,
+)
+
+__all__ = [
+    "EmulationPlatform",
+    "PlatformConfig",
+    "FaultInjectionCampaign",
+    "CampaignConfig",
+    "InjectionStrategy",
+    "StrategyTrial",
+    "RandomMultipliers",
+    "ExhaustiveSingleSite",
+    "PerMACUnitSweep",
+    "PerMultiplierPositionSweep",
+    "CampaignResult",
+    "TrialRecord",
+    "BoxPlotSeries",
+    "accuracy_drop_boxplots",
+    "heatmap_matrix",
+    "summarize_by_group",
+]

@@ -1,0 +1,141 @@
+"""Analysis of campaign results: box plots, heat maps, summary statistics.
+
+The paper presents its case-study results as box plots of accuracy drop
+versus the number of affected multipliers (Fig. 2) and as per-site heat maps
+(Fig. 3).  The functions here turn a :class:`~repro.core.results.CampaignResult`
+into exactly those series so the benchmark harness (and any plotting
+front-end) can print or render them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.results import CampaignResult, TrialRecord
+
+
+@dataclass(frozen=True)
+class BoxPlotStats:
+    """Five-number summary (plus mean) of one box in a box plot."""
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    mean: float
+    count: int
+
+    @classmethod
+    def from_values(cls, values: list[float]) -> "BoxPlotStats":
+        if not values:
+            raise ValueError("cannot summarise an empty group")
+        arr = np.asarray(values, dtype=np.float64)
+        return cls(
+            minimum=float(arr.min()),
+            q1=float(np.percentile(arr, 25)),
+            median=float(np.percentile(arr, 50)),
+            q3=float(np.percentile(arr, 75)),
+            maximum=float(arr.max()),
+            mean=float(arr.mean()),
+            count=int(arr.size),
+        )
+
+
+@dataclass
+class BoxPlotSeries:
+    """One series of a grouped box plot (e.g. one injected value in Fig. 2)."""
+
+    label: str
+    #: x-axis positions (number of affected multipliers) -> box statistics
+    boxes: dict[int, BoxPlotStats] = field(default_factory=dict)
+
+    def positions(self) -> list[int]:
+        return sorted(self.boxes)
+
+    def medians(self) -> list[float]:
+        return [self.boxes[p].median for p in self.positions()]
+
+    def means(self) -> list[float]:
+        return [self.boxes[p].mean for p in self.positions()]
+
+
+def accuracy_drop_boxplots(result: CampaignResult) -> dict[int, BoxPlotSeries]:
+    """Fig. 2 data: accuracy-drop box plots grouped by injected value.
+
+    Returns a mapping ``injected_value -> BoxPlotSeries``, where each series
+    groups the trials by the number of affected multipliers.
+    """
+    series: dict[int, BoxPlotSeries] = {}
+    grouped: dict[tuple[int, int], list[float]] = {}
+    for record in result.records:
+        if record.injected_value is None:
+            continue
+        key = (record.injected_value, record.num_faults)
+        grouped.setdefault(key, []).append(record.accuracy_drop)
+    for (value, count), drops in sorted(grouped.items()):
+        series.setdefault(value, BoxPlotSeries(label=f"injected {value}"))
+        series[value].boxes[count] = BoxPlotStats.from_values(drops)
+    return series
+
+
+def heatmap_matrix(
+    result: CampaignResult,
+    injected_value: int,
+    num_macs: int = 8,
+    muls_per_mac: int = 8,
+) -> np.ndarray:
+    """Fig. 3 data: accuracy drop per (MAC unit, multiplier) for one value.
+
+    Returns an array of shape ``(num_macs, muls_per_mac)``; entries with no
+    matching trial are NaN.
+    """
+    matrix = np.full((num_macs, muls_per_mac), np.nan, dtype=np.float64)
+    for record in result.records:
+        if record.injected_value != injected_value:
+            continue
+        if record.mac_unit is None or record.multiplier is None:
+            continue
+        matrix[record.mac_unit, record.multiplier] = record.accuracy_drop
+    return matrix
+
+
+def most_sensitive_site(result: CampaignResult, injected_value: int | None = None) -> TrialRecord:
+    """The single-site trial with the largest accuracy drop (Fig. 3 discussion)."""
+    candidates = [
+        r
+        for r in result.records
+        if r.mac_unit is not None
+        and r.multiplier is not None
+        and (injected_value is None or r.injected_value == injected_value)
+    ]
+    if not candidates:
+        raise ValueError("result contains no single-site trials")
+    return max(candidates, key=lambda r: r.accuracy_drop)
+
+
+def summarize_by_group(
+    result: CampaignResult, group_by: str = "num_faults"
+) -> dict[object, BoxPlotStats]:
+    """Aggregate accuracy drop by an arbitrary record attribute."""
+    grouped: dict[object, list[float]] = {}
+    for record in result.records:
+        key = getattr(record, group_by)
+        grouped.setdefault(key, []).append(record.accuracy_drop)
+    return {key: BoxPlotStats.from_values(values) for key, values in sorted(grouped.items(), key=lambda kv: str(kv[0]))}
+
+
+def monotonicity_score(series: BoxPlotSeries) -> float:
+    """How monotonically the mean accuracy drop grows with the fault count.
+
+    Returns the fraction of consecutive fault-count steps where the mean drop
+    does not decrease; 1.0 means perfectly monotone.  Fig. 2's expectation is
+    that this is close to 1 for every injected value.
+    """
+    means = series.means()
+    if len(means) < 2:
+        return 1.0
+    good = sum(1 for a, b in zip(means, means[1:]) if b >= a - 1e-9)
+    return good / (len(means) - 1)

@@ -1,0 +1,104 @@
+"""Fault-injection campaigns: run a strategy's trials and collect records."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.platform import EmulationPlatform
+from repro.core.results import CampaignResult, TrialRecord
+from repro.core.strategies import InjectionStrategy
+from repro.utils.logging import get_logger
+from repro.utils.rng import SeededRNG
+
+logger = get_logger(__name__)
+
+
+@dataclass
+class CampaignConfig:
+    """Parameters of one campaign run."""
+
+    batch_size: int = 64
+    seed: int = 0
+    #: Evaluate at most this many images per trial (None = all provided).
+    max_images: int | None = None
+    #: Log progress every N trials (0 disables).
+    log_every: int = 0
+
+
+class FaultInjectionCampaign:
+    """Runs an :class:`InjectionStrategy` against an :class:`EmulationPlatform`.
+
+    Example
+    -------
+    ::
+
+        platform = EmulationPlatform(graph, calib_images)
+        campaign = FaultInjectionCampaign(platform, RandomMultipliers())
+        result = campaign.run(test_images, test_labels)
+        series = accuracy_drop_boxplots(result)
+    """
+
+    def __init__(
+        self,
+        platform: EmulationPlatform,
+        strategy: InjectionStrategy,
+        config: CampaignConfig | None = None,
+    ):
+        self.platform = platform
+        self.strategy = strategy
+        self.config = config or CampaignConfig()
+
+    def run(self, images: np.ndarray, labels: np.ndarray) -> CampaignResult:
+        """Execute all trials of the strategy and return the campaign result."""
+        cfg = self.config
+        if cfg.max_images is not None:
+            images = images[: cfg.max_images]
+            labels = labels[: cfg.max_images]
+        if len(images) != len(labels):
+            raise ValueError("images and labels must have the same length")
+        if len(images) == 0:
+            raise ValueError("campaign needs at least one evaluation image")
+
+        rng = SeededRNG(cfg.seed)
+        start = time.perf_counter()
+        baseline = self.platform.baseline_accuracy(images, labels, batch_size=cfg.batch_size)
+        result = CampaignResult(
+            baseline_accuracy=baseline,
+            strategy=self.strategy.name,
+            num_images=len(labels),
+            seed=cfg.seed,
+            emulated_inferences_per_second=self.platform.inferences_per_second(),
+        )
+
+        expected = self.strategy.expected_trials(self.platform.universe)
+        for index, trial in enumerate(self.strategy.trials(self.platform.universe, rng)):
+            accuracy = self.platform.accuracy_with_faults(
+                trial.config, images, labels, batch_size=cfg.batch_size
+            )
+            record = TrialRecord(
+                trial_index=index,
+                description=trial.config.describe(),
+                num_faults=trial.num_faults,
+                injected_value=trial.injected_value,
+                mac_unit=trial.mac_unit,
+                multiplier=trial.multiplier,
+                accuracy=accuracy,
+                accuracy_drop=baseline - accuracy,
+                metadata=dict(trial.metadata),
+            )
+            result.add(record)
+            if cfg.log_every and (index + 1) % cfg.log_every == 0:
+                logger.info(
+                    "trial %d/%d: %s -> accuracy %.3f (drop %.3f)",
+                    index + 1,
+                    expected,
+                    record.description,
+                    record.accuracy,
+                    record.accuracy_drop,
+                )
+
+        result.wall_seconds = time.perf_counter() - start
+        return result

@@ -1,0 +1,136 @@
+"""The emulation platform: model, compiler, accelerator and runtime in one.
+
+:class:`EmulationPlatform` corresponds to the whole of the paper's Fig. 1:
+given a trained CNN and a MAC-array geometry it compiles the network,
+instantiates the accelerator emulator with fault-injection support, and
+exposes the operations the case study needs — baseline accuracy, accuracy
+under an arbitrary injection configuration, latency and resource reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.accelerator.accelerator import NVDLAAccelerator
+from repro.accelerator.geometry import ArrayGeometry, PAPER_GEOMETRY
+from repro.accelerator.resources import FIVariant, ResourceModel, ResourceReport
+from repro.accelerator.timing import TimingModel, TimingReport
+from repro.compiler.compile import CompilationResult, compile_model
+from repro.faults.injector import InjectionConfig
+from repro.faults.sites import FaultUniverse
+from repro.nn.graph import Graph
+from repro.runtime.cpu_backend import CPUBackend
+from repro.runtime.runtime import Runtime
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+
+@dataclass
+class PlatformConfig:
+    """Configuration of an :class:`EmulationPlatform`."""
+
+    geometry: ArrayGeometry = PAPER_GEOMETRY
+    per_channel_quantization: bool = True
+    calibration_percentile: float | None = 99.9
+    engine: str = "vectorised"
+    seed: int = 0
+    name: str = "resnet18-cifar10"
+
+
+class EmulationPlatform:
+    """End-to-end FT-analysis platform for one trained model."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        calibration_images: np.ndarray,
+        config: PlatformConfig | None = None,
+    ):
+        self.config = config or PlatformConfig()
+        self.compilation: CompilationResult = compile_model(
+            graph,
+            calibration_images,
+            geometry=self.config.geometry,
+            per_channel=self.config.per_channel_quantization,
+            name=self.config.name,
+            calibration_percentile=self.config.calibration_percentile,
+        )
+        self.loadable = self.compilation.loadable
+        self.quantized_model = self.compilation.quantized_model
+        self.accelerator = NVDLAAccelerator(
+            geometry=self.config.geometry, engine=self.config.engine, seed=self.config.seed
+        )
+        self.runtime = Runtime(accelerator=self.accelerator)
+        self.runtime.load(self.loadable)
+        self.universe = FaultUniverse(
+            self.config.geometry.num_macs, self.config.geometry.muls_per_mac
+        )
+        self.cpu_backend = CPUBackend()
+        logger.info(
+            "platform ready: %d ops, %d MACs, %d fault sites",
+            len(self.loadable),
+            self.loadable.total_macs(),
+            self.universe.size,
+        )
+
+    # ------------------------------------------------------------------
+    # Accuracy
+    # ------------------------------------------------------------------
+    def baseline_accuracy(self, images: np.ndarray, labels: np.ndarray, batch_size: int = 64) -> float:
+        """Fault-free accuracy of the accelerator on the given dataset."""
+        self.runtime.clear_faults()
+        return self.runtime.accuracy(images, labels, batch_size=batch_size)
+
+    def accuracy_with_faults(
+        self,
+        config: InjectionConfig,
+        images: np.ndarray,
+        labels: np.ndarray,
+        batch_size: int = 64,
+    ) -> float:
+        """Accuracy with the given fault configuration armed (then disarmed)."""
+        self.runtime.configure_faults(config)
+        try:
+            return self.runtime.accuracy(images, labels, batch_size=batch_size)
+        finally:
+            self.runtime.clear_faults()
+
+    def cpu_reference_accuracy(self, images: np.ndarray, labels: np.ndarray) -> float:
+        """Accuracy of the bit-exact CPU backend (must equal the fault-free emulator)."""
+        return self.cpu_backend.accuracy(self.quantized_model, images, labels)
+
+    # ------------------------------------------------------------------
+    # Reports
+    # ------------------------------------------------------------------
+    def timing_report(self) -> TimingReport:
+        """Latency report of one inference at the paper's clock."""
+        return self.accelerator.timing_report(self.loadable)
+
+    def resource_report(self, variant: FIVariant = FIVariant.VARIABLE) -> ResourceReport:
+        """FPGA resource estimate for the chosen fault-injection variant."""
+        return ResourceModel(geometry=self.config.geometry).estimate(variant)
+
+    def inferences_per_second(self) -> float:
+        """Emulated inference throughput (the paper reports 217/s)."""
+        return self.runtime.emulated_inferences_per_second()
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """Multi-line description used by the examples."""
+        timing = self.timing_report()
+        lines = [
+            f"platform: {self.config.name}",
+            f"geometry: {self.config.geometry.num_macs} MAC units x "
+            f"{self.config.geometry.muls_per_mac} multipliers",
+            f"compiled ops: {len(self.loadable)}",
+            f"MACs per inference: {self.loadable.total_macs():,}",
+            f"emulated latency: {timing.latency_ms:.2f} ms "
+            f"({timing.inferences_per_second:.0f} inf/s at {timing.clock_hz / 1e6:.1f} MHz)",
+            f"fault sites: {self.universe.size}",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,120 @@
+"""Result records of fault-injection campaigns and their serialisation."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, asdict
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """Outcome of one fault-injection trial (one configuration, full test set).
+
+    Attributes
+    ----------
+    trial_index:
+        Sequence number of the trial inside the campaign.
+    description:
+        Human-readable description of the injected faults.
+    num_faults:
+        Number of armed fault sites.
+    injected_value:
+        The shared injected constant, when the trial uses one (else ``None``).
+    mac_unit, multiplier:
+        Coordinates of the armed site for single-site trials (else ``None``).
+    accuracy:
+        Top-1 accuracy with the faults armed.
+    accuracy_drop:
+        ``baseline_accuracy - accuracy`` (positive = degradation).
+    metadata:
+        Extra strategy-specific fields.
+    """
+
+    trial_index: int
+    description: str
+    num_faults: int
+    accuracy: float
+    accuracy_drop: float
+    injected_value: int | None = None
+    mac_unit: int | None = None
+    multiplier: int | None = None
+    metadata: dict = field(default_factory=dict)
+
+
+@dataclass
+class CampaignResult:
+    """All records of one campaign plus campaign-level metadata."""
+
+    baseline_accuracy: float
+    records: list[TrialRecord] = field(default_factory=list)
+    strategy: str = ""
+    num_images: int = 0
+    seed: int = 0
+    wall_seconds: float = 0.0
+    emulated_inferences_per_second: float | None = None
+
+    def add(self, record: TrialRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def filter(self, **criteria) -> list[TrialRecord]:
+        """Records matching all given attribute values, e.g. ``injected_value=0``."""
+        out = []
+        for record in self.records:
+            if all(getattr(record, key) == value for key, value in criteria.items()):
+                out.append(record)
+        return out
+
+    def worst_record(self) -> TrialRecord:
+        """The trial with the largest accuracy drop."""
+        if not self.records:
+            raise ValueError("campaign has no records")
+        return max(self.records, key=lambda r: r.accuracy_drop)
+
+    def mean_accuracy_drop(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(r.accuracy_drop for r in self.records) / len(self.records)
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "baseline_accuracy": self.baseline_accuracy,
+            "strategy": self.strategy,
+            "num_images": self.num_images,
+            "seed": self.seed,
+            "wall_seconds": self.wall_seconds,
+            "emulated_inferences_per_second": self.emulated_inferences_per_second,
+            "records": [asdict(record) for record in self.records],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignResult":
+        result = cls(
+            baseline_accuracy=data["baseline_accuracy"],
+            strategy=data.get("strategy", ""),
+            num_images=data.get("num_images", 0),
+            seed=data.get("seed", 0),
+            wall_seconds=data.get("wall_seconds", 0.0),
+            emulated_inferences_per_second=data.get("emulated_inferences_per_second"),
+        )
+        for record in data.get("records", []):
+            result.add(TrialRecord(**record))
+        return result
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignResult":
+        return cls.from_dict(json.loads(text))

@@ -1,0 +1,188 @@
+"""Fault-injection strategies: how campaign trials are generated.
+
+A strategy produces a sequence of :class:`StrategyTrial` objects, each
+pairing an :class:`~repro.faults.injector.InjectionConfig` with the metadata
+the analysis needs (number of faults, injected value, site coordinates).
+The two strategies used by the paper's case study are:
+
+* :class:`RandomMultipliers` — Fig. 2: for each (number of affected
+  multipliers, injected value) pair, draw random multiplier subsets.
+* :class:`ExhaustiveSingleSite` — Fig. 3: every multiplier of every MAC unit
+  in turn, for each injected value.
+
+Two additional sweeps (per MAC unit, per multiplier position) support the
+sensitivity questions the paper raises about positional susceptibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.faults.injector import InjectionConfig
+from repro.faults.models import ConstantValue, FaultModel
+from repro.faults.sites import FaultSite, FaultUniverse
+from repro.utils.rng import SeededRNG
+
+
+@dataclass(frozen=True)
+class StrategyTrial:
+    """One trial: an injection configuration plus analysis metadata."""
+
+    config: InjectionConfig
+    num_faults: int
+    injected_value: int | None = None
+    mac_unit: int | None = None
+    multiplier: int | None = None
+    metadata: dict = field(default_factory=dict)
+
+
+class InjectionStrategy:
+    """Base class: iterates over the trials of a campaign."""
+
+    name = "strategy"
+
+    def trials(self, universe: FaultUniverse, rng: SeededRNG) -> Iterator[StrategyTrial]:
+        raise NotImplementedError
+
+    def expected_trials(self, universe: FaultUniverse) -> int:
+        """Number of trials the strategy will generate (for progress reporting)."""
+        raise NotImplementedError
+
+
+def _value_of(model: FaultModel) -> int | None:
+    return model.constant_override()
+
+
+@dataclass
+class RandomMultipliers(InjectionStrategy):
+    """Random multiplier subsets, swept over fault counts and injected values.
+
+    This is the paper's Fig. 2 experiment: for every injected value in
+    ``values`` and every fault count in ``fault_counts``, draw
+    ``trials_per_point`` random subsets of multipliers and arm them all with
+    the constant.  The default parameters reproduce the paper's 210 fault
+    injections: 3 values x 7 fault counts x 10 trials.
+    """
+
+    values: tuple[int, ...] = (0, 1, -1)
+    fault_counts: tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7)
+    trials_per_point: int = 10
+    name: str = "random-multipliers"
+
+    def expected_trials(self, universe: FaultUniverse) -> int:
+        return len(self.values) * len(self.fault_counts) * self.trials_per_point
+
+    def trials(self, universe: FaultUniverse, rng: SeededRNG) -> Iterator[StrategyTrial]:
+        for value in self.values:
+            model = ConstantValue(value)
+            for count in self.fault_counts:
+                stream = rng.child("random-multipliers", value, count).generator()
+                for trial in range(self.trials_per_point):
+                    sites = universe.random_sites(count, stream)
+                    config = InjectionConfig.uniform(sites, model)
+                    yield StrategyTrial(
+                        config=config,
+                        num_faults=count,
+                        injected_value=value,
+                        metadata={"trial": trial},
+                    )
+
+
+@dataclass
+class ExhaustiveSingleSite(InjectionStrategy):
+    """Every (MAC unit, multiplier) site in turn, for each injected value.
+
+    This is the paper's Fig. 3 experiment: one multiplier is consistently
+    affected ("complete alteration of the output value"), and the resulting
+    accuracy drop is recorded per site, producing one 8x8 heat map per
+    injected value.
+    """
+
+    values: tuple[int, ...] = (0, 1, -1)
+    name: str = "exhaustive-single-site"
+
+    def expected_trials(self, universe: FaultUniverse) -> int:
+        return len(self.values) * universe.size
+
+    def trials(self, universe: FaultUniverse, rng: SeededRNG) -> Iterator[StrategyTrial]:
+        for value in self.values:
+            model = ConstantValue(value)
+            for site in universe.all_sites():
+                yield StrategyTrial(
+                    config=InjectionConfig.single(site, model),
+                    num_faults=1,
+                    injected_value=value,
+                    mac_unit=site.mac_unit,
+                    multiplier=site.multiplier,
+                )
+
+
+@dataclass
+class PerMACUnitSweep(InjectionStrategy):
+    """Arm every multiplier of one whole MAC unit at a time."""
+
+    values: tuple[int, ...] = (0,)
+    name: str = "per-mac-unit"
+
+    def expected_trials(self, universe: FaultUniverse) -> int:
+        return len(self.values) * universe.num_macs
+
+    def trials(self, universe: FaultUniverse, rng: SeededRNG) -> Iterator[StrategyTrial]:
+        for value in self.values:
+            model = ConstantValue(value)
+            for mac in range(universe.num_macs):
+                sites = universe.sites_in_mac(mac)
+                yield StrategyTrial(
+                    config=InjectionConfig.uniform(sites, model),
+                    num_faults=len(sites),
+                    injected_value=value,
+                    mac_unit=mac,
+                )
+
+
+@dataclass
+class PerMultiplierPositionSweep(InjectionStrategy):
+    """Arm the same multiplier position across every MAC unit at a time."""
+
+    values: tuple[int, ...] = (0,)
+    name: str = "per-multiplier-position"
+
+    def expected_trials(self, universe: FaultUniverse) -> int:
+        return len(self.values) * universe.muls_per_mac
+
+    def trials(self, universe: FaultUniverse, rng: SeededRNG) -> Iterator[StrategyTrial]:
+        for value in self.values:
+            model = ConstantValue(value)
+            for position in range(universe.muls_per_mac):
+                sites = universe.sites_at_position(position)
+                yield StrategyTrial(
+                    config=InjectionConfig.uniform(sites, model),
+                    num_faults=len(sites),
+                    injected_value=value,
+                    multiplier=position,
+                )
+
+
+@dataclass
+class FixedConfigurations(InjectionStrategy):
+    """Run an explicit, user-supplied list of configurations (power users)."""
+
+    configurations: list[InjectionConfig] = field(default_factory=list)
+    name: str = "fixed"
+
+    def expected_trials(self, universe: FaultUniverse) -> int:
+        return len(self.configurations)
+
+    def trials(self, universe: FaultUniverse, rng: SeededRNG) -> Iterator[StrategyTrial]:
+        for config in self.configurations:
+            values = {m.constant_override() for m in config.faults.values()}
+            value = values.pop() if len(values) == 1 else None
+            sites = config.sites
+            yield StrategyTrial(
+                config=config,
+                num_faults=len(config),
+                injected_value=value,
+                mac_unit=sites[0].mac_unit if len(sites) == 1 else None,
+                multiplier=sites[0].multiplier if len(sites) == 1 else None,
+            )

@@ -1,0 +1,21 @@
+"""Dataset substrate.
+
+The paper evaluates a ResNet-18 classifier on CIFAR-10.  CIFAR-10 itself is
+not available offline, so :class:`SyntheticCIFAR10` generates a procedural
+10-class, 32x32x3 image dataset with the same tensor shapes and a comparable
+"natural image plus noise" character.  The classes are built from distinct
+shape/texture/colour signatures so that a small ResNet can reach a non-trivial
+accuracy quickly, which is all the fault-injection case study needs (the
+experiments measure the *drop* from the fault-free baseline).
+"""
+
+from repro.data.synthetic_cifar import SyntheticCIFAR10, CLASS_NAMES, generate_image
+from repro.data.dataloader import DataLoader, train_test_split
+
+__all__ = [
+    "SyntheticCIFAR10",
+    "CLASS_NAMES",
+    "generate_image",
+    "DataLoader",
+    "train_test_split",
+]

@@ -1,0 +1,82 @@
+"""Minimal batching helpers for the training and evaluation loops."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+
+class DataLoader:
+    """Iterate over (images, labels) mini-batches.
+
+    Parameters
+    ----------
+    images, labels:
+        Full dataset arrays; first dimension is the sample dimension.
+    batch_size:
+        Mini-batch size; the last batch may be smaller.
+    shuffle:
+        Reshuffle the sample order at the start of every iteration.
+    seed:
+        Seed of the shuffling RNG.
+    drop_last:
+        Drop a trailing incomplete batch.
+    """
+
+    def __init__(
+        self,
+        images: np.ndarray,
+        labels: np.ndarray,
+        batch_size: int = 32,
+        shuffle: bool = False,
+        seed: int = 0,
+        drop_last: bool = False,
+    ):
+        if len(images) != len(labels):
+            raise ValueError(
+                f"images ({len(images)}) and labels ({len(labels)}) must have equal length"
+            )
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.images = images
+        self.labels = labels
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        n = len(self.labels)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        n = len(self.labels)
+        order = np.arange(n)
+        if self.shuffle:
+            self._rng.shuffle(order)
+        for start in range(0, n, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            if self.drop_last and len(idx) < self.batch_size:
+                return
+            yield self.images[idx], self.labels[idx]
+
+
+def train_test_split(
+    images: np.ndarray,
+    labels: np.ndarray,
+    test_fraction: float = 0.2,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle and split a dataset into train and test portions."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    n = len(labels)
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    n_test = max(1, int(round(n * test_fraction)))
+    test_idx = order[:n_test]
+    train_idx = order[n_test:]
+    return images[train_idx], labels[train_idx], images[test_idx], labels[test_idx]

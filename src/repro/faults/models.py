@@ -1,0 +1,192 @@
+"""Fault models applied to the 18-bit multiplier product bus.
+
+A fault model answers one question: *given the fault-free product value a
+multiplier would have produced in this cycle, what value appears on its
+output bus instead?*  The paper's hardware supports overriding the bus with
+zero or a programmable constant; additional models (stuck-at-one, single-bit
+flips, transient pulses) are provided because the paper explicitly notes
+that "other fault models can easily be incorporated".
+
+All models operate on the *signed* interpretation of the 18-bit bus; the
+conversion helpers in :mod:`repro.utils.bitops` define the bus semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.bitops import PRODUCT_WIDTH, saturate, to_signed, to_unsigned
+
+
+class FaultModel:
+    """Base class for product-level fault models.
+
+    Subclasses implement :meth:`apply`, which transforms an array of
+    fault-free signed product values into faulty values, and declare whether
+    the faulty value depends on the original product (:attr:`value_dependent`)
+    — value-independent models admit a much faster vectorised execution path.
+    """
+
+    #: True when the faulty value depends on the fault-free product.
+    value_dependent: bool = False
+
+    #: True when the fault is persistent across all cycles of an inference.
+    persistent: bool = True
+
+    def apply(self, products: np.ndarray, rng: np.random.Generator | None = None) -> np.ndarray:
+        """Return the faulty products corresponding to ``products``."""
+        raise NotImplementedError
+
+    def constant_override(self) -> int | None:
+        """The signed constant this model injects, if it is a constant override.
+
+        Returns ``None`` for value-dependent models.
+        """
+        return None
+
+    def label(self) -> str:
+        """Short label used in result tables (e.g. ``"const(0)"``)."""
+        return type(self).__name__
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return self.label()
+
+
+@dataclass(frozen=True)
+class ConstantValue(FaultModel):
+    """Override the product bus with a programmable signed constant.
+
+    This is the paper's "pulse fault" / "variable error" injector: the
+    ``fdata`` register value is driven onto all selected bits.  The constant
+    is given as a *signed* value and must fit on the 18-bit bus.
+    """
+
+    value: int
+    value_dependent: bool = False
+    persistent: bool = True
+
+    def __post_init__(self) -> None:
+        lo = -(1 << (PRODUCT_WIDTH - 1))
+        hi = (1 << (PRODUCT_WIDTH - 1)) - 1
+        if not lo <= self.value <= hi:
+            raise ValueError(
+                f"constant {self.value} does not fit on the signed {PRODUCT_WIDTH}-bit product bus"
+            )
+
+    def apply(self, products: np.ndarray, rng: np.random.Generator | None = None) -> np.ndarray:
+        return np.full_like(np.asarray(products, dtype=np.int64), self.value)
+
+    def constant_override(self) -> int:
+        return int(self.value)
+
+    def bus_pattern(self) -> int:
+        """The unsigned 18-bit pattern written to the ``fdata`` register."""
+        return int(to_unsigned(self.value, PRODUCT_WIDTH))
+
+    def label(self) -> str:
+        return f"const({self.value})"
+
+
+@dataclass(frozen=True)
+class StuckAtZero(FaultModel):
+    """All 18 product bits stuck at logic 0 (the paper's stuck-at error)."""
+
+    value_dependent: bool = False
+    persistent: bool = True
+
+    def apply(self, products: np.ndarray, rng: np.random.Generator | None = None) -> np.ndarray:
+        return np.zeros_like(np.asarray(products, dtype=np.int64))
+
+    def constant_override(self) -> int:
+        return 0
+
+    def label(self) -> str:
+        return "stuck-at-0"
+
+
+@dataclass(frozen=True)
+class StuckAtOne(FaultModel):
+    """All 18 product bits stuck at logic 1 (bus pattern 0x3FFFF, i.e. -1)."""
+
+    value_dependent: bool = False
+    persistent: bool = True
+
+    def apply(self, products: np.ndarray, rng: np.random.Generator | None = None) -> np.ndarray:
+        return np.full_like(np.asarray(products, dtype=np.int64), -1)
+
+    def constant_override(self) -> int:
+        return -1
+
+    def label(self) -> str:
+        return "stuck-at-1"
+
+
+@dataclass(frozen=True)
+class BitFlip(FaultModel):
+    """Invert one bit of the product bus in every cycle.
+
+    Unlike the constant overrides, the resulting value depends on the
+    fault-free product, so the emulator has to materialise the affected
+    products before applying the model.
+    """
+
+    bit: int
+    value_dependent: bool = True
+    persistent: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.bit < PRODUCT_WIDTH:
+            raise ValueError(f"bit index must be in [0, {PRODUCT_WIDTH}), got {self.bit}")
+
+    def apply(self, products: np.ndarray, rng: np.random.Generator | None = None) -> np.ndarray:
+        unsigned = to_unsigned(np.asarray(products, dtype=np.int64), PRODUCT_WIDTH)
+        flipped = unsigned ^ (1 << self.bit)
+        return to_signed(flipped, PRODUCT_WIDTH)
+
+    def label(self) -> str:
+        return f"bitflip({self.bit})"
+
+
+@dataclass(frozen=True)
+class TransientPulse(FaultModel):
+    """Override a random fraction of the multiplier's cycles with a constant.
+
+    This approximates a transient (non-persistent) pulse: only ``duty`` of
+    the products computed by the faulty multiplier during an inference are
+    replaced by ``value``; the rest pass through unmodified.
+    """
+
+    value: int
+    duty: float = 0.5
+    value_dependent: bool = True  # requires the original products (to keep some)
+    persistent: bool = False
+
+    def __post_init__(self) -> None:
+        lo = -(1 << (PRODUCT_WIDTH - 1))
+        hi = (1 << (PRODUCT_WIDTH - 1)) - 1
+        if not lo <= self.value <= hi:
+            raise ValueError(f"constant {self.value} does not fit on the product bus")
+        if not 0.0 <= self.duty <= 1.0:
+            raise ValueError("duty must be in [0, 1]")
+
+    def apply(self, products: np.ndarray, rng: np.random.Generator | None = None) -> np.ndarray:
+        if rng is None:
+            rng = np.random.default_rng(0)
+        products = np.asarray(products, dtype=np.int64)
+        mask = rng.random(products.shape) < self.duty
+        return np.where(mask, np.int64(self.value), products)
+
+    def label(self) -> str:
+        return f"pulse({self.value},duty={self.duty:g})"
+
+
+def saturate_product(values: np.ndarray) -> np.ndarray:
+    """Clamp injected values onto the representable 18-bit signed range.
+
+    Fault models already validate their constants, but arithmetic on faulty
+    values (e.g. in tests) can overflow the bus; this helper re-applies the
+    hardware truncation.
+    """
+    return saturate(np.asarray(values, dtype=np.int64), PRODUCT_WIDTH)

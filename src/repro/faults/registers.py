@@ -1,0 +1,165 @@
+"""AXI4-Lite-style register file controlling the fault injectors.
+
+The paper's platform programs the fault injection logic from the ARM cores
+through an AXI4-Lite slave.  The register map modelled here follows Fig. 1:
+
+===========  =====================================================
+register     meaning
+===========  =====================================================
+``SEL_A``    32-bit mask, bit ``i`` arms the injector of multiplier
+             ``i`` (flat index 0–31, MAC-major order).
+``SEL_B``    32-bit mask for multipliers 32–63.
+``FSEL``     18-bit per-bit select mask shared by all armed injectors.
+``FDATA``    18-bit data pattern driven onto the selected bits.
+===========  =====================================================
+
+The register file is purely a control-plane model: the emulator reads the
+decoded :class:`~repro.faults.injector.InjectionConfig` out of it before an
+inference.  Keeping the register semantics separate lets the tests assert
+that a campaign configuration survives the trip through the "hardware"
+interface unchanged, exactly as the real platform's driver must guarantee.
+"""
+
+from __future__ import annotations
+
+from repro.faults.injector import FaultInjector, InjectionConfig
+from repro.faults.models import ConstantValue, FaultModel
+from repro.faults.sites import FaultSite, FaultUniverse
+from repro.utils.bitops import PRODUCT_WIDTH, to_signed, to_unsigned
+
+#: Word-aligned register offsets on the AXI4-Lite slave.
+REG_SEL_A = 0x00
+REG_SEL_B = 0x04
+REG_FSEL = 0x08
+REG_FDATA = 0x0C
+REG_CTRL = 0x10
+
+#: CTRL register bits.
+CTRL_ENABLE = 0x1
+
+_WORD_MASK = 0xFFFF_FFFF
+_PRODUCT_MASK = (1 << PRODUCT_WIDTH) - 1
+
+
+class FaultInjectionRegisterFile:
+    """Software model of the platform's fault-injection register file."""
+
+    def __init__(self, universe: FaultUniverse | None = None):
+        self.universe = universe or FaultUniverse()
+        if self.universe.size > 64:
+            raise ValueError(
+                "the AXI register map only addresses 64 multipliers "
+                f"(got {self.universe.size})"
+            )
+        self._regs: dict[int, int] = {
+            REG_SEL_A: 0,
+            REG_SEL_B: 0,
+            REG_FSEL: 0,
+            REG_FDATA: 0,
+            REG_CTRL: 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Raw bus access
+    # ------------------------------------------------------------------
+    def write(self, offset: int, value: int) -> None:
+        """Write a 32-bit word to a register offset."""
+        if offset not in self._regs:
+            raise ValueError(f"invalid register offset 0x{offset:02x}")
+        value = int(value) & _WORD_MASK
+        if offset in (REG_FSEL, REG_FDATA):
+            value &= _PRODUCT_MASK
+        self._regs[offset] = value
+
+    def read(self, offset: int) -> int:
+        """Read a 32-bit word from a register offset."""
+        if offset not in self._regs:
+            raise ValueError(f"invalid register offset 0x{offset:02x}")
+        return self._regs[offset]
+
+    # ------------------------------------------------------------------
+    # Driver-level helpers
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Disarm all injectors."""
+        for offset in self._regs:
+            self._regs[offset] = 0
+
+    def arm_sites(self, sites: list[FaultSite], value: int) -> None:
+        """Arm ``sites`` with a full-bus constant override of signed ``value``.
+
+        This mirrors what the platform driver does for the paper's
+        experiments: set the per-multiplier select bits, select all 18
+        product bits and program the constant.
+        """
+        sel_a = 0
+        sel_b = 0
+        for site in sites:
+            site.validate(self.universe.num_macs, self.universe.muls_per_mac)
+            flat = site.flat_index(self.universe.muls_per_mac)
+            if flat < 32:
+                sel_a |= 1 << flat
+            else:
+                sel_b |= 1 << (flat - 32)
+        self.write(REG_SEL_A, sel_a)
+        self.write(REG_SEL_B, sel_b)
+        self.write(REG_FSEL, _PRODUCT_MASK)
+        self.write(REG_FDATA, int(to_unsigned(value, PRODUCT_WIDTH)))
+        self.write(REG_CTRL, CTRL_ENABLE)
+
+    def armed_sites(self) -> list[FaultSite]:
+        """Decode the currently armed fault sites from ``SEL_A``/``SEL_B``."""
+        sites = []
+        combined = (self.read(REG_SEL_B) << 32) | self.read(REG_SEL_A)
+        for flat in range(self.universe.size):
+            if combined & (1 << flat):
+                sites.append(FaultSite.from_flat_index(flat, self.universe.muls_per_mac))
+        return sites
+
+    def injector(self) -> FaultInjector:
+        """The bit-level injector configured by ``FSEL``/``FDATA``."""
+        if not self.read(REG_CTRL) & CTRL_ENABLE:
+            return FaultInjector.disabled()
+        return FaultInjector(fsel=self.read(REG_FSEL), fdata=self.read(REG_FDATA))
+
+    def decode_config(self) -> InjectionConfig:
+        """Decode the register state into an :class:`InjectionConfig`.
+
+        The decoded model is the constant override produced by applying the
+        ``FSEL``/``FDATA`` mux to a zero product — which is exactly what a
+        persistent override looks like when all product bits are selected.
+        Partial-bit selections are not representable as a single constant and
+        are rejected; the runtime programs full-bus overrides only, like the
+        paper's driver.
+        """
+        if not self.read(REG_CTRL) & CTRL_ENABLE:
+            return InjectionConfig.fault_free()
+        fsel = self.read(REG_FSEL)
+        if fsel == 0:
+            return InjectionConfig.fault_free()
+        if fsel != _PRODUCT_MASK:
+            raise ValueError(
+                "partial-bit overrides cannot be decoded into a constant fault model; "
+                "use the emulator's bit-level injector path instead"
+            )
+        value = int(to_signed(self.read(REG_FDATA), PRODUCT_WIDTH))
+        model: FaultModel = ConstantValue(value)
+        return InjectionConfig.uniform(self.armed_sites(), model)
+
+    def program_config(self, config: InjectionConfig) -> None:
+        """Program a campaign configuration into the registers.
+
+        Only uniform constant-override configurations are representable on
+        the register map (one shared ``FDATA``); mixed-model configurations
+        must be applied directly to the emulator.
+        """
+        if not config.enabled:
+            self.reset()
+            return
+        constants = {model.constant_override() for model in config.faults.values()}
+        if len(constants) != 1 or None in constants:
+            raise ValueError(
+                "the register file can only encode a single shared constant override; "
+                f"got models {[m.label() for m in config.faults.values()]}"
+            )
+        self.arm_sites(config.sites, constants.pop())

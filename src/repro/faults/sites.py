@@ -1,0 +1,108 @@
+"""Fault-site addressing for the MAC array.
+
+The accelerator modelled here (and used in the paper) contains
+``NUM_MAC_UNITS`` MAC units with ``MULTIPLIERS_PER_MAC`` signed 8-bit
+multipliers each — an 8x8 arrangement, 64 multipliers in total.  A
+:class:`FaultSite` names one multiplier by its (MAC unit, multiplier lane)
+coordinates; a :class:`FaultUniverse` enumerates all sites of a given array
+geometry and supports the random / exhaustive selections used by the
+campaign strategies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Number of MAC units in the paper's accelerator configuration.
+NUM_MAC_UNITS = 8
+
+#: Number of multipliers inside each MAC unit.
+MULTIPLIERS_PER_MAC = 8
+
+
+@dataclass(frozen=True, order=True)
+class FaultSite:
+    """One multiplier in the MAC array, addressed as (MAC unit, lane).
+
+    Both coordinates are zero-based; the paper's figures use one-based IDs,
+    which :meth:`display` produces.
+    """
+
+    mac_unit: int
+    multiplier: int
+
+    def validate(self, num_macs: int = NUM_MAC_UNITS, muls_per_mac: int = MULTIPLIERS_PER_MAC) -> None:
+        if not 0 <= self.mac_unit < num_macs:
+            raise ValueError(f"MAC unit index {self.mac_unit} out of range [0, {num_macs})")
+        if not 0 <= self.multiplier < muls_per_mac:
+            raise ValueError(
+                f"multiplier index {self.multiplier} out of range [0, {muls_per_mac})"
+            )
+
+    def flat_index(self, muls_per_mac: int = MULTIPLIERS_PER_MAC) -> int:
+        """Flat index of this site in row-major (MAC-major) order."""
+        return self.mac_unit * muls_per_mac + self.multiplier
+
+    @classmethod
+    def from_flat_index(cls, index: int, muls_per_mac: int = MULTIPLIERS_PER_MAC) -> "FaultSite":
+        return cls(mac_unit=index // muls_per_mac, multiplier=index % muls_per_mac)
+
+    def display(self) -> str:
+        """One-based label matching the paper's figures, e.g. ``"MAC 1 / MUL 8"``."""
+        return f"MAC {self.mac_unit + 1} / MUL {self.multiplier + 1}"
+
+
+class FaultUniverse:
+    """The set of all injectable fault sites of a MAC-array geometry."""
+
+    def __init__(self, num_macs: int = NUM_MAC_UNITS, muls_per_mac: int = MULTIPLIERS_PER_MAC):
+        if num_macs <= 0 or muls_per_mac <= 0:
+            raise ValueError("array dimensions must be positive")
+        self.num_macs = num_macs
+        self.muls_per_mac = muls_per_mac
+
+    @property
+    def size(self) -> int:
+        """Total number of multipliers (fault sites)."""
+        return self.num_macs * self.muls_per_mac
+
+    def all_sites(self) -> list[FaultSite]:
+        """All sites in MAC-major order."""
+        return [
+            FaultSite(mac, mul)
+            for mac in range(self.num_macs)
+            for mul in range(self.muls_per_mac)
+        ]
+
+    def sites_in_mac(self, mac_unit: int) -> list[FaultSite]:
+        """All multiplier sites of a single MAC unit."""
+        if not 0 <= mac_unit < self.num_macs:
+            raise ValueError(f"MAC unit index {mac_unit} out of range")
+        return [FaultSite(mac_unit, mul) for mul in range(self.muls_per_mac)]
+
+    def sites_at_position(self, multiplier: int) -> list[FaultSite]:
+        """Sites at the same multiplier position across all MAC units."""
+        if not 0 <= multiplier < self.muls_per_mac:
+            raise ValueError(f"multiplier index {multiplier} out of range")
+        return [FaultSite(mac, multiplier) for mac in range(self.num_macs)]
+
+    def random_sites(self, count: int, rng: np.random.Generator) -> list[FaultSite]:
+        """Select ``count`` distinct sites uniformly at random."""
+        if not 0 <= count <= self.size:
+            raise ValueError(f"cannot select {count} sites out of {self.size}")
+        indices = rng.choice(self.size, size=count, replace=False)
+        return [FaultSite.from_flat_index(int(i), self.muls_per_mac) for i in sorted(indices)]
+
+    def contains(self, site: FaultSite) -> bool:
+        return 0 <= site.mac_unit < self.num_macs and 0 <= site.multiplier < self.muls_per_mac
+
+    def __contains__(self, site: FaultSite) -> bool:
+        return self.contains(site)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"FaultUniverse({self.num_macs}x{self.muls_per_mac})"

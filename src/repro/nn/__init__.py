@@ -1,0 +1,55 @@
+"""Pure-numpy CNN substrate: layers, graphs, ResNet-18, training.
+
+The paper executes a Caffe-trained, 8-bit quantised ResNet-18 on the NVDLA
+accelerator.  Because no pre-trained model or framework is available in this
+environment, this subpackage provides everything needed to *produce* such a
+model from scratch: float layers with forward and backward passes, a small
+DAG graph container, ResNet builders, initialisers, an SGD optimiser and a
+training loop.  The resulting float graph is then quantised by
+:mod:`repro.quant` and compiled by :mod:`repro.compiler`.
+"""
+
+from repro.nn.tensor import Parameter
+from repro.nn.layers import (
+    Add,
+    AvgPool2D,
+    BatchNorm2D,
+    Conv2D,
+    Flatten,
+    GlobalAvgPool2D,
+    Identity,
+    Layer,
+    Linear,
+    MaxPool2D,
+    ReLU,
+)
+from repro.nn.graph import Graph, Node
+from repro.nn.resnet import build_resnet18, build_resnet, BasicBlockSpec
+from repro.nn.optim import SGD, StepLR, CosineLR
+from repro.nn.train import Trainer, TrainConfig, evaluate_accuracy
+
+__all__ = [
+    "Parameter",
+    "Layer",
+    "Conv2D",
+    "BatchNorm2D",
+    "ReLU",
+    "MaxPool2D",
+    "AvgPool2D",
+    "GlobalAvgPool2D",
+    "Linear",
+    "Add",
+    "Flatten",
+    "Identity",
+    "Graph",
+    "Node",
+    "build_resnet18",
+    "build_resnet",
+    "BasicBlockSpec",
+    "SGD",
+    "StepLR",
+    "CosineLR",
+    "Trainer",
+    "TrainConfig",
+    "evaluate_accuracy",
+]

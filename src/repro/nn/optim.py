@@ -1,0 +1,94 @@
+"""Optimisers and learning-rate schedules for the float training stack."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.nn.tensor import Parameter
+
+
+class SGD:
+    """Stochastic gradient descent with momentum and weight decay.
+
+    Parameters
+    ----------
+    parameters:
+        Trainable parameters (e.g. ``graph.trainable_parameters()``).
+    lr:
+        Learning rate.
+    momentum:
+        Classical momentum coefficient.
+    weight_decay:
+        L2 regularisation coefficient applied to the gradient.
+    """
+
+    def __init__(
+        self,
+        parameters: list[Parameter],
+        lr: float = 0.1,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+    ):
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.parameters = list(parameters)
+        self.lr = float(lr)
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self._velocity = [np.zeros_like(p.value) for p in self.parameters]
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update using the gradients accumulated on the parameters."""
+        for p, v in zip(self.parameters, self._velocity):
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.value
+            if self.momentum:
+                v *= self.momentum
+                v += grad
+                update = v
+            else:
+                update = grad
+            p.value -= self.lr * update
+
+
+class StepLR:
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: SGD, step_size: int, gamma: float = 0.1):
+        self.optimizer = optimizer
+        self.step_size = int(step_size)
+        self.gamma = float(gamma)
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> float:
+        """Advance one epoch and return the new learning rate."""
+        self.epoch += 1
+        drops = self.epoch // self.step_size
+        self.optimizer.lr = self.base_lr * (self.gamma ** drops)
+        return self.optimizer.lr
+
+
+class CosineLR:
+    """Cosine-annealed learning rate over ``total_epochs`` epochs."""
+
+    def __init__(self, optimizer: SGD, total_epochs: int, min_lr: float = 0.0):
+        self.optimizer = optimizer
+        self.total_epochs = max(1, int(total_epochs))
+        self.min_lr = float(min_lr)
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> float:
+        """Advance one epoch and return the new learning rate."""
+        self.epoch = min(self.epoch + 1, self.total_epochs)
+        cos = 0.5 * (1.0 + math.cos(math.pi * self.epoch / self.total_epochs))
+        self.optimizer.lr = self.min_lr + (self.base_lr - self.min_lr) * cos
+        return self.optimizer.lr

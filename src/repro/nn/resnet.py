@@ -1,0 +1,194 @@
+"""ResNet builders for the CIFAR-10-sized input used in the paper.
+
+The paper's case study runs a (small) ResNet-18 trained on CIFAR-10 at 8-bit
+precision.  :func:`build_resnet18` constructs the standard ResNet-18
+topology with the CIFAR-style stem (3x3 stem convolution, no initial max
+pooling) used by the Tengine model zoo variant.  :func:`build_resnet` is the
+generic builder and supports width-reduced variants that train quickly in a
+pure-numpy environment while keeping the exact same topology, which is what
+the examples and benchmarks use by default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.graph import Graph
+from repro.nn.layers import (
+    Add,
+    BatchNorm2D,
+    Conv2D,
+    Flatten,
+    GlobalAvgPool2D,
+    Linear,
+    MaxPool2D,
+    ReLU,
+)
+
+
+@dataclass(frozen=True)
+class BasicBlockSpec:
+    """Configuration of one ResNet stage built from basic (2-conv) blocks."""
+
+    num_blocks: int
+    out_channels: int
+    stride: int
+
+
+#: Stage configuration of ResNet-18 (channels scaled by ``width_multiplier``).
+RESNET18_STAGES = (
+    BasicBlockSpec(num_blocks=2, out_channels=64, stride=1),
+    BasicBlockSpec(num_blocks=2, out_channels=128, stride=2),
+    BasicBlockSpec(num_blocks=2, out_channels=256, stride=2),
+    BasicBlockSpec(num_blocks=2, out_channels=512, stride=2),
+)
+
+
+def _add_conv_bn_relu(
+    graph: Graph,
+    name: str,
+    src: str,
+    in_channels: int,
+    out_channels: int,
+    kernel: int,
+    stride: int,
+    padding: int,
+    rng: np.random.Generator,
+    relu: bool = True,
+) -> str:
+    """Append a conv -> BN (-> ReLU) chain and return the last node name."""
+    graph.add(
+        f"{name}.conv",
+        Conv2D(in_channels, out_channels, kernel, stride, padding, bias=False, rng=rng),
+        src,
+    )
+    graph.add(f"{name}.bn", BatchNorm2D(out_channels), f"{name}.conv")
+    last = f"{name}.bn"
+    if relu:
+        graph.add(f"{name}.relu", ReLU(), last)
+        last = f"{name}.relu"
+    return last
+
+
+def _add_basic_block(
+    graph: Graph,
+    name: str,
+    src: str,
+    in_channels: int,
+    out_channels: int,
+    stride: int,
+    rng: np.random.Generator,
+) -> str:
+    """Append one ResNet basic block (two 3x3 convs + shortcut)."""
+    branch = _add_conv_bn_relu(
+        graph, f"{name}.branch1", src, in_channels, out_channels, 3, stride, 1, rng
+    )
+    branch = _add_conv_bn_relu(
+        graph, f"{name}.branch2", branch, out_channels, out_channels, 3, 1, 1, rng, relu=False
+    )
+
+    if stride != 1 or in_channels != out_channels:
+        shortcut = _add_conv_bn_relu(
+            graph, f"{name}.downsample", src, in_channels, out_channels, 1, stride, 0, rng, relu=False
+        )
+    else:
+        shortcut = src
+
+    graph.add(f"{name}.add", Add(), [branch, shortcut])
+    graph.add(f"{name}.relu", ReLU(), f"{name}.add")
+    return f"{name}.relu"
+
+
+def build_resnet(
+    num_classes: int = 10,
+    input_shape: tuple[int, int, int] = (3, 32, 32),
+    stages: tuple[BasicBlockSpec, ...] = RESNET18_STAGES,
+    width_multiplier: float = 1.0,
+    stem_channels: int | None = None,
+    imagenet_stem: bool = False,
+    seed: int = 0,
+) -> Graph:
+    """Build a ResNet graph.
+
+    Parameters
+    ----------
+    num_classes:
+        Number of output classes of the final fully-connected layer.
+    input_shape:
+        (C, H, W) of one input sample; (3, 32, 32) for CIFAR-10.
+    stages:
+        Per-stage block configuration; defaults to ResNet-18.
+    width_multiplier:
+        Scales the channel counts of every stage.  A multiplier of 0.125
+        yields a network that trains in seconds in pure numpy while keeping
+        the ResNet-18 topology (same number of convolutions, residual
+        structure and strides), which is what the fault-injection case study
+        actually exercises.
+    stem_channels:
+        Channels of the stem convolution; defaults to the first stage width.
+    imagenet_stem:
+        Use the 7x7/stride-2 stem followed by max pooling (ImageNet style)
+        instead of the CIFAR 3x3/stride-1 stem.
+    seed:
+        Seed for weight initialisation.
+    """
+    rng = np.random.default_rng(seed)
+    scaled = [
+        BasicBlockSpec(s.num_blocks, max(8, int(round(s.out_channels * width_multiplier))), s.stride)
+        for s in stages
+    ]
+    stem_out = stem_channels if stem_channels is not None else scaled[0].out_channels
+
+    graph = Graph(input_shape)
+    in_channels = input_shape[0]
+    if imagenet_stem:
+        last = _add_conv_bn_relu(graph, "stem", Graph.INPUT, in_channels, stem_out, 7, 2, 3, rng)
+        graph.add("stem.pool", MaxPool2D(3, 2, 1), last)
+        last = "stem.pool"
+    else:
+        last = _add_conv_bn_relu(graph, "stem", Graph.INPUT, in_channels, stem_out, 3, 1, 1, rng)
+
+    channels = stem_out
+    for stage_idx, spec in enumerate(scaled):
+        for block_idx in range(spec.num_blocks):
+            stride = spec.stride if block_idx == 0 else 1
+            last = _add_basic_block(
+                graph,
+                f"layer{stage_idx + 1}.block{block_idx}",
+                last,
+                channels,
+                spec.out_channels,
+                stride,
+                rng,
+            )
+            channels = spec.out_channels
+
+    graph.add("gap", GlobalAvgPool2D(), last)
+    graph.add("fc", Linear(channels, num_classes, rng=rng), "gap")
+    graph.set_output("fc")
+    return graph
+
+
+def build_resnet18(
+    num_classes: int = 10,
+    input_shape: tuple[int, int, int] = (3, 32, 32),
+    width_multiplier: float = 1.0,
+    seed: int = 0,
+) -> Graph:
+    """Build the ResNet-18 topology used by the paper's case study."""
+    return build_resnet(
+        num_classes=num_classes,
+        input_shape=input_shape,
+        stages=RESNET18_STAGES,
+        width_multiplier=width_multiplier,
+        seed=seed,
+    )
+
+
+def count_conv_layers(graph: Graph) -> int:
+    """Number of convolution layers in a graph (ResNet-18 has 20 incl. downsample)."""
+    from repro.nn.layers import Conv2D as _Conv2D
+
+    return sum(1 for node in graph.nodes.values() if isinstance(node.layer, _Conv2D))

@@ -1,0 +1,60 @@
+"""Parameter container for trainable arrays.
+
+The training stack is deliberately simple: layers own :class:`Parameter`
+objects holding a value and an accumulated gradient, and the optimiser walks
+the list of parameters exposed by the graph.  There is no tape-based
+autograd; every layer implements an explicit ``backward`` method.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Parameter:
+    """A named trainable array with an accumulated gradient.
+
+    Parameters
+    ----------
+    value:
+        Initial value; stored as ``float32``.
+    name:
+        Human-readable name (layer name plus role, e.g. ``"conv1.weight"``).
+    trainable:
+        Whether the optimiser should update this parameter.  BatchNorm running
+        statistics are stored as non-trainable parameters so that they are
+        serialised and quantised together with the weights.
+    """
+
+    def __init__(self, value: np.ndarray, name: str = "", trainable: bool = True):
+        self.value = np.asarray(value, dtype=np.float32)
+        self.grad = np.zeros_like(self.value)
+        self.name = name
+        self.trainable = trainable
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(self.value.shape)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient to zero."""
+        self.grad.fill(0.0)
+
+    def accumulate_grad(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into the accumulated gradient (shape-checked)."""
+        grad = np.asarray(grad, dtype=np.float32)
+        if grad.shape != self.value.shape:
+            raise ValueError(
+                f"gradient shape {grad.shape} does not match parameter "
+                f"{self.name!r} shape {self.value.shape}"
+            )
+        self.grad += grad
+
+    def copy(self) -> "Parameter":
+        """Return a deep copy (used for checkpointing the best model)."""
+        p = Parameter(self.value.copy(), name=self.name, trainable=self.trainable)
+        p.grad = self.grad.copy()
+        return p
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Parameter(name={self.name!r}, shape={self.shape}, trainable={self.trainable})"

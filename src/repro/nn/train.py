@@ -1,0 +1,174 @@
+"""Training loop for the float graphs.
+
+The paper uses a pre-trained Caffe ResNet-18; here the equivalent model is
+produced by training on the synthetic dataset from :mod:`repro.data`.  The
+trainer is intentionally small: SGD with momentum, optional LR schedule,
+per-epoch evaluation and best-checkpoint tracking.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.graph import Graph
+from repro.nn.optim import SGD, CosineLR
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+
+@dataclass
+class TrainConfig:
+    """Hyper-parameters for :class:`Trainer`."""
+
+    epochs: int = 10
+    batch_size: int = 32
+    lr: float = 0.05
+    momentum: float = 0.9
+    weight_decay: float = 1e-4
+    cosine_schedule: bool = True
+    shuffle: bool = True
+    seed: int = 0
+    log_every: int = 0  # batches; 0 disables intra-epoch logging
+
+
+@dataclass
+class EpochStats:
+    """Statistics of one training epoch."""
+
+    epoch: int
+    train_loss: float
+    train_accuracy: float
+    test_accuracy: float
+    lr: float
+    seconds: float
+
+
+@dataclass
+class TrainResult:
+    """Outcome of a full training run."""
+
+    history: list[EpochStats] = field(default_factory=list)
+    best_test_accuracy: float = 0.0
+    best_epoch: int = -1
+
+
+def evaluate_accuracy(
+    graph: Graph, images: np.ndarray, labels: np.ndarray, batch_size: int = 128
+) -> float:
+    """Top-1 accuracy of a float graph on a dataset (eval mode)."""
+    graph.eval()
+    correct = 0
+    total = len(labels)
+    for start in range(0, total, batch_size):
+        batch = images[start : start + batch_size]
+        logits = graph.forward(batch)
+        correct += int((logits.argmax(axis=-1) == labels[start : start + batch_size]).sum())
+    return correct / max(total, 1)
+
+
+class Trainer:
+    """Train a float :class:`~repro.nn.graph.Graph` with SGD.
+
+    Example
+    -------
+    >>> from repro.nn import build_resnet18
+    >>> from repro.data import SyntheticCIFAR10
+    >>> ds = SyntheticCIFAR10(num_train=256, num_test=64, seed=1)
+    >>> graph = build_resnet18(width_multiplier=0.125, seed=1)
+    >>> trainer = Trainer(graph, TrainConfig(epochs=1, batch_size=32))
+    >>> result = trainer.fit(ds.train_images, ds.train_labels,
+    ...                      ds.test_images, ds.test_labels)
+    >>> len(result.history)
+    1
+    """
+
+    def __init__(self, graph: Graph, config: TrainConfig | None = None):
+        self.graph = graph
+        self.config = config or TrainConfig()
+        self.optimizer = SGD(
+            graph.trainable_parameters(),
+            lr=self.config.lr,
+            momentum=self.config.momentum,
+            weight_decay=self.config.weight_decay,
+        )
+        self.scheduler = (
+            CosineLR(self.optimizer, self.config.epochs) if self.config.cosine_schedule else None
+        )
+        self._rng = np.random.default_rng(self.config.seed)
+        self.best_state: dict[str, np.ndarray] | None = None
+
+    def train_epoch(self, images: np.ndarray, labels: np.ndarray) -> tuple[float, float]:
+        """Run one epoch; returns (mean loss, training accuracy)."""
+        cfg = self.config
+        self.graph.train()
+        n = len(labels)
+        order = np.arange(n)
+        if cfg.shuffle:
+            self._rng.shuffle(order)
+
+        losses = []
+        correct = 0
+        for batch_idx, start in enumerate(range(0, n, cfg.batch_size)):
+            idx = order[start : start + cfg.batch_size]
+            x = images[idx]
+            y = labels[idx]
+            self.optimizer.zero_grad()
+            logits = self.graph.forward(x)
+            loss, grad = F.cross_entropy_loss(logits, y)
+            self.graph.backward(grad)
+            self.optimizer.step()
+            losses.append(loss)
+            correct += int((logits.argmax(axis=-1) == y).sum())
+            if cfg.log_every and (batch_idx + 1) % cfg.log_every == 0:
+                logger.info("batch %d loss=%.4f", batch_idx + 1, loss)
+        return float(np.mean(losses)), correct / max(n, 1)
+
+    def fit(
+        self,
+        train_images: np.ndarray,
+        train_labels: np.ndarray,
+        test_images: np.ndarray | None = None,
+        test_labels: np.ndarray | None = None,
+    ) -> TrainResult:
+        """Train for ``config.epochs`` epochs, tracking the best test accuracy."""
+        result = TrainResult()
+        for epoch in range(self.config.epochs):
+            start = time.perf_counter()
+            train_loss, train_acc = self.train_epoch(train_images, train_labels)
+            if test_images is not None and test_labels is not None:
+                test_acc = evaluate_accuracy(self.graph, test_images, test_labels)
+            else:
+                test_acc = train_acc
+            elapsed = time.perf_counter() - start
+            lr = self.optimizer.lr
+            if self.scheduler is not None:
+                lr = self.scheduler.step()
+            stats = EpochStats(
+                epoch=epoch,
+                train_loss=train_loss,
+                train_accuracy=train_acc,
+                test_accuracy=test_acc,
+                lr=lr,
+                seconds=elapsed,
+            )
+            result.history.append(stats)
+            if test_acc >= result.best_test_accuracy:
+                result.best_test_accuracy = test_acc
+                result.best_epoch = epoch
+                self.best_state = self.graph.state_dict()
+            logger.info(
+                "epoch %d: loss=%.4f train_acc=%.3f test_acc=%.3f (%.1fs)",
+                epoch,
+                train_loss,
+                train_acc,
+                test_acc,
+                elapsed,
+            )
+        if self.best_state is not None:
+            self.graph.load_state_dict(self.best_state)
+        return result

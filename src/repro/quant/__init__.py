@@ -1,0 +1,57 @@
+"""8-bit quantisation of float graphs (NVDLA-style symmetric int8).
+
+The NVDLA small configuration used in the paper executes convolutions on
+signed 8-bit operands and accumulates in wide integer registers; the SDP
+post-processor rescales the accumulator back to int8 with an integer
+multiplier and right shift.  This subpackage converts a trained float graph
+into exactly that representation:
+
+* :mod:`repro.quant.qscheme` — scale computation, integer requantisation.
+* :mod:`repro.quant.calibrate` — activation-range collection on calibration data.
+* :mod:`repro.quant.quantize` — graph-level post-training quantisation.
+* :mod:`repro.quant.qlayers` — the quantised-layer records consumed by the
+  compiler, CPU backend and accelerator emulator.
+"""
+
+from repro.quant.qscheme import (
+    QuantParams,
+    RequantParams,
+    compute_requant_params,
+    dequantize,
+    quantize_tensor,
+    requantize,
+    symmetric_scale,
+)
+from repro.quant.calibrate import ActivationRanges, collect_activation_ranges
+from repro.quant.qlayers import (
+    QAdd,
+    QConv,
+    QGlobalAvgPool,
+    QInput,
+    QLinear,
+    QMaxPool,
+    QNode,
+    QuantizedModel,
+)
+from repro.quant.quantize import quantize_graph
+
+__all__ = [
+    "QuantParams",
+    "RequantParams",
+    "symmetric_scale",
+    "quantize_tensor",
+    "dequantize",
+    "requantize",
+    "compute_requant_params",
+    "ActivationRanges",
+    "collect_activation_ranges",
+    "QuantizedModel",
+    "QNode",
+    "QInput",
+    "QConv",
+    "QLinear",
+    "QAdd",
+    "QMaxPool",
+    "QGlobalAvgPool",
+    "quantize_graph",
+]

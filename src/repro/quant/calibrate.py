@@ -1,0 +1,78 @@
+"""Activation-range calibration for post-training quantisation.
+
+The quantiser needs, for every tensor flowing between layers, the dynamic
+range it must represent in int8.  Ranges are collected by running the float
+graph on a batch of calibration images and recording either the maximum
+absolute value or a high percentile of the absolute values (percentile
+calibration clips rare outliers and usually loses less accuracy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.graph import Graph
+
+
+@dataclass
+class ActivationRanges:
+    """Per-node maximum absolute activation values observed during calibration."""
+
+    max_abs: dict[str, float] = field(default_factory=dict)
+
+    def get(self, name: str) -> float:
+        if name not in self.max_abs:
+            raise KeyError(f"no calibration range recorded for node {name!r}")
+        return self.max_abs[name]
+
+    def update(self, name: str, value: float) -> None:
+        self.max_abs[name] = max(self.max_abs.get(name, 0.0), float(value))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.max_abs
+
+
+def _reduce(values: np.ndarray, percentile: float | None) -> float:
+    magnitudes = np.abs(values).reshape(-1)
+    if magnitudes.size == 0:
+        return 1e-6
+    if percentile is None or percentile >= 100.0:
+        return float(magnitudes.max())
+    return float(np.percentile(magnitudes, percentile))
+
+
+def collect_activation_ranges(
+    graph: Graph,
+    calibration_images: np.ndarray,
+    batch_size: int = 32,
+    percentile: float | None = 99.9,
+) -> ActivationRanges:
+    """Run calibration batches through a float graph and record ranges.
+
+    Parameters
+    ----------
+    graph:
+        The float graph (should already have BatchNorm folded if the ranges
+        will be used to quantise the folded graph; calibrating the unfolded
+        graph gives nearly identical ranges because folding is numerically
+        equivalent in eval mode).
+    calibration_images:
+        Array of shape (N, C, H, W).
+    batch_size:
+        Batch size used for the forward passes.
+    percentile:
+        Percentile of absolute activations used as the range; ``None`` or
+        100 uses the true maximum.
+    """
+    if calibration_images.ndim != 4:
+        raise ValueError("calibration images must have shape (N, C, H, W)")
+    graph.eval()
+    ranges = ActivationRanges()
+    for start in range(0, len(calibration_images), batch_size):
+        batch = calibration_images[start : start + batch_size]
+        _, activations = graph.forward(batch, return_activations=True)
+        for name, value in activations.items():
+            ranges.update(name, _reduce(value, percentile))
+    return ranges

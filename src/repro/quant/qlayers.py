@@ -1,0 +1,212 @@
+"""Quantised-layer records and the :class:`QuantizedModel` container.
+
+A :class:`QuantizedModel` is the int8 form of a trained network: every node
+carries int8 weights, int32 biases and the integer requantisation parameters
+needed to execute the layer exactly as the accelerator's SDP would.  The
+model is consumed by three components:
+
+* :mod:`repro.runtime.cpu_backend` — the bit-exact software reference
+  (the "Tengine on ARM/Ryzen" execution path of the paper's Table I),
+* :mod:`repro.compiler` — lowering onto the MAC-array execution plan,
+* :mod:`repro.baselines.software_fi` — graph-level fault injection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.quant.qscheme import QuantParams, RequantParams
+
+
+@dataclass
+class QNode:
+    """Base class of all quantised nodes."""
+
+    name: str
+    inputs: list[str]
+
+    @property
+    def op_type(self) -> str:
+        return type(self).__name__
+
+
+@dataclass
+class QInput(QNode):
+    """Graph input: records the input quantisation scale and shape."""
+
+    scale: float = 1.0
+    shape: tuple[int, ...] = ()
+
+    def quantize(self, images: np.ndarray) -> np.ndarray:
+        """Quantise float input images to int8 using the input scale."""
+        q = np.round(images / self.scale)
+        return np.clip(q, -128, 127).astype(np.int8)
+
+
+@dataclass
+class QConv(QNode):
+    """Quantised convolution with fused bias, requantisation and ReLU."""
+
+    weight: np.ndarray = None  # int8, (OC, IC, K, K)
+    bias: np.ndarray = None  # int64, (OC,)
+    stride: int = 1
+    padding: int = 0
+    input_scale: float = 1.0
+    weight_params: QuantParams = None
+    output_scale: float = 1.0
+    requant: RequantParams = None
+    relu: bool = False
+
+    @property
+    def out_channels(self) -> int:
+        return int(self.weight.shape[0])
+
+    @property
+    def in_channels(self) -> int:
+        return int(self.weight.shape[1])
+
+    @property
+    def kernel_size(self) -> int:
+        return int(self.weight.shape[2])
+
+    def macs_per_output(self) -> int:
+        """Multiply-accumulate operations needed for one output element."""
+        return self.in_channels * self.kernel_size * self.kernel_size
+
+
+@dataclass
+class QLinear(QNode):
+    """Quantised fully-connected layer.
+
+    When ``requant`` is ``None`` the output is left as raw int32 accumulator
+    values (plus bias); the final classifier layer uses this mode because the
+    class decision is an argmax and never needs to be re-quantised.
+    """
+
+    weight: np.ndarray = None  # int8, (OUT, IN)
+    bias: np.ndarray = None  # int64, (OUT,)
+    input_scale: float = 1.0
+    weight_params: QuantParams = None
+    output_scale: float = 1.0
+    requant: RequantParams | None = None
+    relu: bool = False
+
+    @property
+    def out_features(self) -> int:
+        return int(self.weight.shape[0])
+
+    @property
+    def in_features(self) -> int:
+        return int(self.weight.shape[1])
+
+
+@dataclass
+class QAdd(QNode):
+    """Quantised elementwise addition (the residual join).
+
+    Each input is rescaled to the output scale with its own multiplier/shift
+    before the integer addition, then optionally passed through ReLU.
+    """
+
+    input_scales: tuple[float, float] = (1.0, 1.0)
+    output_scale: float = 1.0
+    requant_a: RequantParams = None
+    requant_b: RequantParams = None
+    relu: bool = False
+
+
+@dataclass
+class QMaxPool(QNode):
+    """Max pooling on int8 activations (order-preserving, no rescaling)."""
+
+    kernel: int = 2
+    stride: int = 2
+    padding: int = 0
+
+
+@dataclass
+class QGlobalAvgPool(QNode):
+    """Global average pooling: integer sum followed by requantisation."""
+
+    spatial_size: int = 1  # H * W of the input feature map
+    input_scale: float = 1.0
+    output_scale: float = 1.0
+    requant: RequantParams = None
+
+
+@dataclass
+class QuantizedModel:
+    """A quantised network: nodes in topological order plus metadata."""
+
+    nodes: list[QNode] = field(default_factory=list)
+    output_name: str = ""
+    input_shape: tuple[int, int, int] = (3, 32, 32)
+    #: Mapping from original float-graph node names to quantised node names
+    #: (fused ReLU nodes map onto their producer).
+    name_map: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._by_name = {node.name: node for node in self.nodes}
+
+    def node(self, name: str) -> QNode:
+        if name not in self._by_name:
+            raise KeyError(f"unknown quantised node {name!r}")
+        return self._by_name[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __iter__(self):
+        return iter(self.nodes)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def input_node(self) -> QInput:
+        for node in self.nodes:
+            if isinstance(node, QInput):
+                return node
+        raise RuntimeError("quantised model has no input node")
+
+    def conv_like_nodes(self) -> list[QNode]:
+        """Nodes that execute on the MAC array (convolutions and FC layers)."""
+        return [n for n in self.nodes if isinstance(n, (QConv, QLinear))]
+
+    def total_macs(self, input_shape: tuple[int, int, int] | None = None) -> int:
+        """Total multiply-accumulate count of one inference.
+
+        Spatial sizes are inferred by propagating the input shape through the
+        conv/pool nodes; this is the number the performance model feeds on.
+        """
+        from repro.quant.shape_infer import infer_quantized_shapes
+
+        shape = input_shape or self.input_shape
+        shapes = infer_quantized_shapes(self, shape)
+        total = 0
+        for node in self.nodes:
+            if isinstance(node, QConv):
+                _, out_h, out_w = shapes[node.name]
+                total += node.out_channels * out_h * out_w * node.macs_per_output()
+            elif isinstance(node, QLinear):
+                total += node.out_features * node.in_features
+        return int(total)
+
+    def summary(self) -> str:
+        """One line per node: type, name, key parameters."""
+        lines = []
+        for node in self.nodes:
+            extra = ""
+            if isinstance(node, QConv):
+                extra = (
+                    f"oc={node.out_channels} ic={node.in_channels} k={node.kernel_size} "
+                    f"s={node.stride} relu={node.relu}"
+                )
+            elif isinstance(node, QLinear):
+                extra = f"out={node.out_features} in={node.in_features}"
+            elif isinstance(node, QAdd):
+                extra = f"relu={node.relu}"
+            lines.append(f"{node.op_type:<16s} {node.name:<36s} {extra}")
+        return "\n".join(lines)

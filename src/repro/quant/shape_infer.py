@@ -1,0 +1,61 @@
+"""Shape inference over a :class:`~repro.quant.qlayers.QuantizedModel`.
+
+The compiler, timing model and CPU backend all need the spatial size of each
+quantised node's output; this module propagates the input shape through the
+quantised graph without executing it.
+"""
+
+from __future__ import annotations
+
+from repro.nn.functional import conv_output_size
+from repro.quant.qlayers import (
+    QAdd,
+    QConv,
+    QGlobalAvgPool,
+    QInput,
+    QLinear,
+    QMaxPool,
+    QuantizedModel,
+)
+
+
+def infer_quantized_shapes(
+    model: QuantizedModel, input_shape: tuple[int, int, int] | None = None
+) -> dict[str, tuple[int, ...]]:
+    """Return per-node output shapes (batch dimension excluded)."""
+    shapes: dict[str, tuple[int, ...]] = {}
+    base_shape = tuple(input_shape or model.input_shape)
+
+    for node in model.nodes:
+        if isinstance(node, QInput):
+            shapes[node.name] = base_shape
+            continue
+        in_shapes = [shapes[src] for src in node.inputs]
+        if isinstance(node, QConv):
+            c, h, w = in_shapes[0]
+            if c != node.in_channels:
+                raise ValueError(
+                    f"{node.name}: input has {c} channels, weights expect {node.in_channels}"
+                )
+            out_h = conv_output_size(h, node.kernel_size, node.stride, node.padding)
+            out_w = conv_output_size(w, node.kernel_size, node.stride, node.padding)
+            shapes[node.name] = (node.out_channels, out_h, out_w)
+        elif isinstance(node, QMaxPool):
+            c, h, w = in_shapes[0]
+            out_h = conv_output_size(h, node.kernel, node.stride, node.padding)
+            out_w = conv_output_size(w, node.kernel, node.stride, node.padding)
+            shapes[node.name] = (c, out_h, out_w)
+        elif isinstance(node, QGlobalAvgPool):
+            c, _, _ = in_shapes[0]
+            shapes[node.name] = (c,)
+        elif isinstance(node, QAdd):
+            if in_shapes[0] != in_shapes[1]:
+                raise ValueError(
+                    f"{node.name}: mismatched add input shapes {in_shapes[0]} vs {in_shapes[1]}"
+                )
+            shapes[node.name] = in_shapes[0]
+        elif isinstance(node, QLinear):
+            shapes[node.name] = (node.out_features,)
+        else:
+            raise TypeError(f"unsupported quantised node type {type(node).__name__}")
+    return shapes

@@ -1,0 +1,39 @@
+"""Software stack analogue: runtime, CPU reference backend, latency models.
+
+In the paper, a Tengine-based runtime on the on-chip ARM cores loads the
+execution plan, feeds images, controls the fault injection registers and
+collects results; Table I additionally compares the accelerator's latency
+against running the same int8 network on the ARM Cortex-A53 and an AMD
+Ryzen 7 7700.  This subpackage provides the equivalents:
+
+* :class:`~repro.runtime.runtime.Runtime` — the host-side driver of the
+  emulated accelerator,
+* :mod:`repro.runtime.cpu_backend` — a bit-exact int8 software execution of
+  the quantised model (the "CPU rows" of Table I, and the golden model the
+  accelerator emulator is validated against),
+* :mod:`repro.runtime.perf_model` — analytic latency models for the CPU and
+  accelerator operating points reported in Table I.
+"""
+
+from repro.runtime.cpu_backend import CPUBackend
+from repro.runtime.perf_model import (
+    CPUDevice,
+    DevicePerformanceModel,
+    PerformanceEstimate,
+    ARM_CORTEX_A53,
+    AMD_RYZEN_7700,
+    table1_performance_rows,
+)
+from repro.runtime.runtime import Runtime, InferenceResult
+
+__all__ = [
+    "CPUBackend",
+    "Runtime",
+    "InferenceResult",
+    "CPUDevice",
+    "DevicePerformanceModel",
+    "PerformanceEstimate",
+    "ARM_CORTEX_A53",
+    "AMD_RYZEN_7700",
+    "table1_performance_rows",
+]

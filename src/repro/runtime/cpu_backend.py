@@ -1,0 +1,118 @@
+"""Bit-exact int8 execution of a quantised model on the CPU.
+
+This backend plays two roles:
+
+1. It is the software execution path of Table I — the same int8 network
+   running through Tengine on the ARM cores or a desktop CPU instead of on
+   the accelerator.
+2. It is the *golden model* for the accelerator emulator: it is written
+   independently of the MAC-array tiling (plain matrix multiplication per
+   layer), so agreement between the two implementations on every layer and
+   every image is strong evidence that the lane-level engine is correct.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.nn.functional import conv_output_size, im2col
+from repro.quant.qlayers import (
+    QAdd,
+    QConv,
+    QGlobalAvgPool,
+    QInput,
+    QLinear,
+    QMaxPool,
+    QuantizedModel,
+)
+from repro.quant.qscheme import INT8_MAX, INT8_MIN, requantize
+from repro.accelerator.pdp import max_pool_int8
+
+
+class CPUBackend:
+    """Executes a :class:`QuantizedModel` with plain numpy integer arithmetic."""
+
+    def __init__(self, num_threads: int = 1):
+        #: Modelled thread count; numpy execution is unaffected, but the
+        #: value is recorded so performance reports can label results.
+        self.num_threads = num_threads
+        #: Wall-clock seconds of the last :meth:`run` call.
+        self.last_run_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # Layer implementations
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _conv(x_q: np.ndarray, node: QConv) -> np.ndarray:
+        n, ic, h, w = x_q.shape
+        k = node.kernel_size
+        out_h = conv_output_size(h, k, node.stride, node.padding)
+        out_w = conv_output_size(w, k, node.stride, node.padding)
+        cols = im2col(x_q.astype(np.int64), k, node.stride, node.padding)
+        w_mat = node.weight.astype(np.int64).reshape(node.out_channels, -1)
+        acc = np.einsum("or,nrp->nop", w_mat, cols, optimize=True)
+        acc = acc + node.bias.astype(np.int64)[None, :, None]
+        acc = acc.reshape(n, node.out_channels, out_h, out_w)
+        return requantize(acc, node.requant, channel_axis=1, relu=node.relu)
+
+    @staticmethod
+    def _linear(x_q: np.ndarray, node: QLinear) -> np.ndarray:
+        acc = x_q.astype(np.int64) @ node.weight.astype(np.int64).T
+        acc = acc + node.bias.astype(np.int64)[None, :]
+        if node.requant is None:
+            return acc
+        return requantize(acc, node.requant, channel_axis=1, relu=node.relu)
+
+    @staticmethod
+    def _add(a: np.ndarray, b: np.ndarray, node: QAdd) -> np.ndarray:
+        a_scaled = requantize(
+            np.asarray(a, dtype=np.int64), node.requant_a, channel_axis=1, saturate_to_int8=False
+        )
+        b_scaled = requantize(
+            np.asarray(b, dtype=np.int64), node.requant_b, channel_axis=1, saturate_to_int8=False
+        )
+        total = a_scaled + b_scaled
+        if node.relu:
+            total = np.maximum(total, 0)
+        return np.clip(total, INT8_MIN, INT8_MAX).astype(np.int8)
+
+    @staticmethod
+    def _global_avg(x: np.ndarray, node: QGlobalAvgPool) -> np.ndarray:
+        acc = np.asarray(x, dtype=np.int64).sum(axis=(2, 3))
+        return requantize(acc, node.requant, channel_axis=1, relu=False)
+
+    # ------------------------------------------------------------------
+    # Whole-model execution
+    # ------------------------------------------------------------------
+    def run(self, model: QuantizedModel, images: np.ndarray) -> np.ndarray:
+        """Run inference on float images; returns raw classifier logits."""
+        start = time.perf_counter()
+        activations: dict[str, np.ndarray] = {}
+        for node in model.nodes:
+            if isinstance(node, QInput):
+                activations[node.name] = node.quantize(images)
+                continue
+            inputs = [activations[src] for src in node.inputs]
+            if isinstance(node, QConv):
+                activations[node.name] = self._conv(inputs[0], node)
+            elif isinstance(node, QLinear):
+                activations[node.name] = self._linear(inputs[0], node)
+            elif isinstance(node, QAdd):
+                activations[node.name] = self._add(inputs[0], inputs[1], node)
+            elif isinstance(node, QMaxPool):
+                activations[node.name] = max_pool_int8(inputs[0], node.kernel, node.stride, node.padding)
+            elif isinstance(node, QGlobalAvgPool):
+                activations[node.name] = self._global_avg(inputs[0], node)
+            else:
+                raise TypeError(f"unsupported node type {type(node).__name__}")
+        self.last_run_seconds = time.perf_counter() - start
+        return activations[model.output_name]
+
+    def classify(self, model: QuantizedModel, images: np.ndarray) -> np.ndarray:
+        return np.asarray(self.run(model, images)).argmax(axis=-1)
+
+    def accuracy(self, model: QuantizedModel, images: np.ndarray, labels: np.ndarray) -> float:
+        predictions = self.classify(model, images)
+        return float((predictions == np.asarray(labels)).mean())

@@ -1,0 +1,147 @@
+"""The host-side runtime driving the emulated accelerator.
+
+The paper's platform runs a user-space runtime (derived from the Tengine
+NVDLA runtime) on the ARM cores: it loads the compiled network, quantises
+input images, programs the fault-injection registers over AXI4-Lite, submits
+inference jobs and reads back the classification results.  :class:`Runtime`
+is the emulator-side equivalent and is the object the fault-injection
+campaigns in :mod:`repro.core` talk to.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.accelerator.accelerator import NVDLAAccelerator
+from repro.accelerator.timing import TimingModel, TimingReport
+from repro.compiler.loadable import Loadable
+from repro.faults.injector import InjectionConfig
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+
+@dataclass
+class InferenceResult:
+    """Result of one (batched) inference job."""
+
+    logits: np.ndarray
+    predictions: np.ndarray
+    injection: InjectionConfig
+    wall_seconds: float
+    emulated_latency_s: float | None = None
+
+    @property
+    def batch_size(self) -> int:
+        return int(self.logits.shape[0])
+
+
+@dataclass
+class RuntimeStatistics:
+    """Counters accumulated over the runtime's lifetime."""
+
+    inferences: int = 0
+    images: int = 0
+    wall_seconds: float = 0.0
+    fi_reconfigurations: int = 0
+    per_config_images: dict[str, int] = field(default_factory=dict)
+
+    def record(self, result: InferenceResult) -> None:
+        self.inferences += 1
+        self.images += result.batch_size
+        self.wall_seconds += result.wall_seconds
+        key = result.injection.describe()
+        self.per_config_images[key] = self.per_config_images.get(key, 0) + result.batch_size
+
+    @property
+    def images_per_second(self) -> float:
+        if self.wall_seconds == 0:
+            return 0.0
+        return self.images / self.wall_seconds
+
+
+class Runtime:
+    """Loads a loadable onto an accelerator and runs inference jobs."""
+
+    def __init__(
+        self,
+        accelerator: NVDLAAccelerator | None = None,
+        timing_model: TimingModel | None = None,
+    ):
+        self.accelerator = accelerator or NVDLAAccelerator()
+        self.timing_model = timing_model or TimingModel(geometry=self.accelerator.geometry)
+        self.loadable: Loadable | None = None
+        self.stats = RuntimeStatistics()
+        self._timing_cache: TimingReport | None = None
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def load(self, loadable: Loadable) -> None:
+        """Load a compiled network (and plan its memory surfaces)."""
+        loadable.plan_memory()
+        self.loadable = loadable
+        self._timing_cache = None
+        logger.info("loaded %s: %d ops, %d MACs", loadable.name, len(loadable), loadable.total_macs())
+
+    def _require_loadable(self) -> Loadable:
+        if self.loadable is None:
+            raise RuntimeError("no loadable loaded; call Runtime.load() first")
+        return self.loadable
+
+    # ------------------------------------------------------------------
+    # Fault injection control
+    # ------------------------------------------------------------------
+    def configure_faults(self, config: InjectionConfig | None) -> None:
+        """Program a fault-injection configuration (None disarms)."""
+        self.accelerator.set_injection_config(config)
+        self.stats.fi_reconfigurations += 1
+
+    def clear_faults(self) -> None:
+        self.configure_faults(InjectionConfig.fault_free())
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def infer(self, images: np.ndarray) -> InferenceResult:
+        """Run one inference job on a batch of float images."""
+        loadable = self._require_loadable()
+        start = time.perf_counter()
+        logits = self.accelerator.execute(loadable, images)
+        wall = time.perf_counter() - start
+        result = InferenceResult(
+            logits=np.asarray(logits),
+            predictions=np.asarray(logits).argmax(axis=-1),
+            injection=self.accelerator.injection_config,
+            wall_seconds=wall,
+            emulated_latency_s=self.emulated_latency_seconds() * len(images),
+        )
+        self.stats.record(result)
+        return result
+
+    def accuracy(self, images: np.ndarray, labels: np.ndarray, batch_size: int = 64) -> float:
+        """Top-1 accuracy over a dataset under the current fault configuration."""
+        loadable = self._require_loadable()
+        correct = 0
+        total = len(labels)
+        for start in range(0, total, batch_size):
+            batch = images[start : start + batch_size]
+            result = self.infer(batch)
+            correct += int((result.predictions == labels[start : start + batch_size]).sum())
+        del loadable
+        return correct / max(total, 1)
+
+    # ------------------------------------------------------------------
+    # Timing
+    # ------------------------------------------------------------------
+    def emulated_latency_seconds(self) -> float:
+        """Per-image latency of the emulated accelerator (cycle model)."""
+        if self._timing_cache is None:
+            self._timing_cache = self.timing_model.time_model(self._require_loadable().model)
+        return self._timing_cache.latency_seconds
+
+    def emulated_inferences_per_second(self) -> float:
+        return 1.0 / self.emulated_latency_seconds()

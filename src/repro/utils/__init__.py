@@ -1,0 +1,28 @@
+"""Shared utilities: bit manipulation, RNG management, tabulation, logging."""
+
+from repro.utils.bitops import (
+    PRODUCT_WIDTH,
+    clamp,
+    product_bits,
+    saturate,
+    sign_extend,
+    to_signed,
+    to_unsigned,
+)
+from repro.utils.rng import SeededRNG, derive_seed
+from repro.utils.tabulate import format_table
+from repro.utils.logging import get_logger
+
+__all__ = [
+    "PRODUCT_WIDTH",
+    "clamp",
+    "product_bits",
+    "saturate",
+    "sign_extend",
+    "to_signed",
+    "to_unsigned",
+    "SeededRNG",
+    "derive_seed",
+    "format_table",
+    "get_logger",
+]

@@ -1,0 +1,134 @@
+"""Fixed-point and bit-level helpers used throughout the accelerator model.
+
+The NVDLA-style datapath modelled in :mod:`repro.accelerator` operates on
+signed 8-bit operands.  The product of two signed 8-bit values needs at most
+16 bits, but the paper's fault injector overrides an **18-bit** product bus
+(the CMAC exposes a couple of guard bits so that small sums of products can
+be carried on the same wires).  These helpers implement the two's-complement
+conversions needed to reason about that bus at bit level.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Width of the multiplier output bus that the fault injector overrides.
+PRODUCT_WIDTH = 18
+
+#: Width of the accumulator partial sums inside the CACC.
+ACCUMULATOR_WIDTH = 34
+
+#: Width of the input operands (activations and weights).
+OPERAND_WIDTH = 8
+
+
+def to_unsigned(value: int | np.ndarray, width: int) -> int | np.ndarray:
+    """Reinterpret a signed integer as an unsigned ``width``-bit pattern.
+
+    This is how a two's-complement value appears on a hardware bus.
+
+    >>> to_unsigned(-1, 8)
+    255
+    >>> to_unsigned(5, 8)
+    5
+    """
+    mask = (1 << width) - 1
+    if isinstance(value, np.ndarray):
+        return value.astype(np.int64) & mask
+    return int(value) & mask
+
+
+def to_signed(value: int | np.ndarray, width: int) -> int | np.ndarray:
+    """Reinterpret an unsigned ``width``-bit pattern as a signed integer.
+
+    >>> to_signed(255, 8)
+    -1
+    >>> to_signed(127, 8)
+    127
+    """
+    mask = (1 << width) - 1
+    sign_bit = 1 << (width - 1)
+    if isinstance(value, np.ndarray):
+        v = value.astype(np.int64) & mask
+        return np.where(v & sign_bit, v - (1 << width), v)
+    v = int(value) & mask
+    if v & sign_bit:
+        return v - (1 << width)
+    return v
+
+
+def sign_extend(value: int | np.ndarray, from_width: int, to_width: int) -> int | np.ndarray:
+    """Sign-extend a ``from_width``-bit value to ``to_width`` bits.
+
+    The result is returned as a signed integer (Python int or int64 array);
+    the extension itself is a no-op numerically but the function validates
+    that the value actually fits in ``from_width`` bits.
+    """
+    if to_width < from_width:
+        raise ValueError(f"cannot sign-extend from {from_width} to narrower {to_width} bits")
+    signed = to_signed(to_unsigned(value, from_width), from_width)
+    return signed
+
+
+def clamp(value: int | float | np.ndarray, lo: int | float, hi: int | float):
+    """Clamp ``value`` into the inclusive range ``[lo, hi]``."""
+    if isinstance(value, np.ndarray):
+        return np.clip(value, lo, hi)
+    return max(lo, min(hi, value))
+
+
+def saturate(value: int | np.ndarray, width: int) -> int | np.ndarray:
+    """Saturate a signed integer to the representable range of ``width`` bits.
+
+    >>> saturate(300, 8)
+    127
+    >>> saturate(-300, 8)
+    -128
+    """
+    lo = -(1 << (width - 1))
+    hi = (1 << (width - 1)) - 1
+    return clamp(value, lo, hi)
+
+
+def product_bits(a: int, b: int, width: int = PRODUCT_WIDTH) -> int:
+    """Return the bus pattern (unsigned) of the product ``a * b``.
+
+    ``a`` and ``b`` are signed 8-bit operands; the result is the unsigned
+    representation of the product on a ``width``-bit bus, exactly what the
+    fault injector sees on its ``data`` input.
+    """
+    if not -(1 << (OPERAND_WIDTH - 1)) <= a <= (1 << (OPERAND_WIDTH - 1)) - 1:
+        raise ValueError(f"operand a={a} does not fit in signed {OPERAND_WIDTH} bits")
+    if not -(1 << (OPERAND_WIDTH - 1)) <= b <= (1 << (OPERAND_WIDTH - 1)) - 1:
+        raise ValueError(f"operand b={b} does not fit in signed {OPERAND_WIDTH} bits")
+    return to_unsigned(a * b, width)
+
+
+def bit_get(value: int, bit: int) -> int:
+    """Return bit ``bit`` of ``value`` (0 or 1)."""
+    return (int(value) >> bit) & 1
+
+
+def bit_set(value: int, bit: int, bit_value: int) -> int:
+    """Return ``value`` with bit ``bit`` set to ``bit_value``."""
+    if bit_value not in (0, 1):
+        raise ValueError("bit_value must be 0 or 1")
+    mask = 1 << bit
+    if bit_value:
+        return int(value) | mask
+    return int(value) & ~mask
+
+
+def bit_flip(value: int, bit: int) -> int:
+    """Return ``value`` with bit ``bit`` inverted."""
+    return int(value) ^ (1 << bit)
+
+
+def popcount(value: int) -> int:
+    """Number of set bits in ``value``."""
+    return bin(int(value) & ((1 << 64) - 1)).count("1")
+
+
+def int8_info() -> tuple[int, int]:
+    """Return the (min, max) representable signed 8-bit values."""
+    return -128, 127

@@ -1,0 +1,42 @@
+"""Library-wide logging configuration.
+
+Every module obtains its logger through :func:`get_logger`, which namespaces
+the logger under ``repro.*`` and installs a single stream handler on the root
+library logger the first time it is called.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_ROOT_NAME = "repro"
+_configured = False
+
+
+def _ensure_configured() -> None:
+    global _configured
+    if _configured:
+        return
+    root = logging.getLogger(_ROOT_NAME)
+    if not root.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+        )
+        root.addHandler(handler)
+    root.setLevel(logging.WARNING)
+    _configured = True
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger namespaced under the library root."""
+    _ensure_configured()
+    if name.startswith(_ROOT_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def set_verbosity(level: int | str) -> None:
+    """Set the verbosity of all library loggers (e.g. ``logging.INFO``)."""
+    _ensure_configured()
+    logging.getLogger(_ROOT_NAME).setLevel(level)

@@ -1,0 +1,82 @@
+"""Minimal plain-text table formatting for benchmark and report output.
+
+The benchmark harness prints the same rows the paper's Table I reports; this
+module renders those rows without pulling in any third-party dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def _cell(value: object, fmt: str | None) -> str:
+    if value is None:
+        return "-"
+    if fmt is not None and isinstance(value, (int, float)) and not isinstance(value, bool):
+        return format(value, fmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    floatfmt: str = ".2f",
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` as an aligned plain-text table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Iterable of row sequences; cells may be strings, numbers or ``None``.
+    floatfmt:
+        Format spec applied to float cells.
+    title:
+        Optional title printed above the table.
+    """
+    rendered: list[list[str]] = []
+    for row in rows:
+        cells = []
+        for value in row:
+            fmt = floatfmt if isinstance(value, float) else None
+            cells.append(_cell(value, fmt))
+        rendered.append(cells)
+
+    ncols = len(headers)
+    for cells in rendered:
+        if len(cells) != ncols:
+            raise ValueError(
+                f"row has {len(cells)} cells but table has {ncols} columns: {cells}"
+            )
+
+    widths = [len(str(h)) for h in headers]
+    for cells in rendered:
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row([str(h) for h in headers]))
+    lines.append("-+-".join("-" * w for w in widths))
+    for cells in rendered:
+        lines.append(fmt_row(cells))
+    return "\n".join(lines)
+
+
+def format_heatmap(matrix, row_label: str, col_label: str, cellfmt: str = "+6.2f") -> str:
+    """Render a 2-D array as a labelled text heat map (values, not colours)."""
+    lines = [f"rows: {row_label}, cols: {col_label}"]
+    nrows = len(matrix)
+    ncols = len(matrix[0]) if nrows else 0
+    header = "      " + " ".join(f"{c + 1:>7d}" for c in range(ncols))
+    lines.append(header)
+    for r in range(nrows):
+        cells = " ".join(format(float(matrix[r][c]), cellfmt) for c in range(ncols))
+        lines.append(f"{r + 1:>4d}  {cells}")
+    return "\n".join(lines)

@@ -1,0 +1,130 @@
+"""Model zoo: the case-study model, trained on demand and cached on disk.
+
+The paper takes a pre-trained ResNet-18 from the Tengine Model Zoo.  This
+module is the offline equivalent: it trains a (width-reduced) ResNet-18 on
+the synthetic CIFAR-10-like dataset, caches the weights under
+``~/.cache/repro-nvdla-fi`` (or a caller-supplied directory) and assembles a
+ready-to-use :class:`~repro.core.platform.EmulationPlatform`.
+
+Examples and benchmarks call :func:`build_case_study_platform` so that the
+(pure-numpy) training cost is paid once per parameter combination.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.platform import EmulationPlatform, PlatformConfig
+from repro.data.synthetic_cifar import SyntheticCIFAR10
+from repro.nn.graph import Graph
+from repro.nn.resnet import build_resnet18
+from repro.nn.train import TrainConfig, Trainer, evaluate_accuracy
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+DEFAULT_CACHE_DIR = Path(os.environ.get("REPRO_CACHE_DIR", Path.home() / ".cache" / "repro-nvdla-fi"))
+
+
+@dataclass
+class CaseStudySpec:
+    """Parameters of the case-study model and dataset."""
+
+    width_multiplier: float = 0.25
+    num_train: int = 1500
+    num_test: int = 300
+    epochs: int = 6
+    batch_size: int = 50
+    seed: int = 7
+
+    def cache_key(self) -> str:
+        return (
+            f"resnet18_w{self.width_multiplier:g}_tr{self.num_train}_te{self.num_test}"
+            f"_e{self.epochs}_b{self.batch_size}_s{self.seed}"
+        )
+
+
+@dataclass
+class CaseStudyModel:
+    """A trained case-study model plus its dataset and float accuracy."""
+
+    graph: Graph
+    dataset: SyntheticCIFAR10
+    float_accuracy: float
+    spec: CaseStudySpec
+
+
+def _cache_path(spec: CaseStudySpec, cache_dir: Path) -> Path:
+    return cache_dir / f"{spec.cache_key()}.npz"
+
+
+def train_case_study_model(
+    spec: CaseStudySpec | None = None,
+    cache_dir: Path | str | None = None,
+    force_retrain: bool = False,
+) -> CaseStudyModel:
+    """Train (or load from cache) the case-study ResNet-18.
+
+    The returned graph has the full ResNet-18 topology at a reduced width so
+    that training and the fault-injection campaigns run at numpy speed; the
+    compiled network still exercises every accelerator feature the paper's
+    full-size model does (all layer types, residual joins, channel counts
+    that exceed and are not multiples of the 8-lane atomic size for the stem).
+    """
+    spec = spec or CaseStudySpec()
+    cache_dir = Path(cache_dir) if cache_dir is not None else DEFAULT_CACHE_DIR
+    dataset = SyntheticCIFAR10(num_train=spec.num_train, num_test=spec.num_test, seed=spec.seed)
+    graph = build_resnet18(
+        num_classes=dataset.num_classes,
+        input_shape=dataset.input_shape,
+        width_multiplier=spec.width_multiplier,
+        seed=spec.seed,
+    )
+
+    path = _cache_path(spec, cache_dir)
+    if path.exists() and not force_retrain:
+        state = dict(np.load(path))
+        graph.load_state_dict(state)
+        accuracy = evaluate_accuracy(graph, dataset.test_images, dataset.test_labels)
+        logger.info("loaded cached case-study model from %s (accuracy %.3f)", path, accuracy)
+        return CaseStudyModel(graph=graph, dataset=dataset, float_accuracy=accuracy, spec=spec)
+
+    logger.info("training case-study model (%s)", spec.cache_key())
+    trainer = Trainer(
+        graph,
+        TrainConfig(
+            epochs=spec.epochs,
+            batch_size=spec.batch_size,
+            lr=0.08,
+            momentum=0.9,
+            weight_decay=5e-4,
+            seed=spec.seed,
+        ),
+    )
+    trainer.fit(dataset.train_images, dataset.train_labels, dataset.test_images, dataset.test_labels)
+    accuracy = evaluate_accuracy(graph, dataset.test_images, dataset.test_labels)
+
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **graph.state_dict())
+    logger.info("trained case-study model: accuracy %.3f, cached at %s", accuracy, path)
+    return CaseStudyModel(graph=graph, dataset=dataset, float_accuracy=accuracy, spec=spec)
+
+
+def build_case_study_platform(
+    spec: CaseStudySpec | None = None,
+    platform_config: PlatformConfig | None = None,
+    cache_dir: Path | str | None = None,
+    calibration_images: int = 64,
+) -> tuple[EmulationPlatform, CaseStudyModel]:
+    """Train/load the case-study model and wrap it in an emulation platform."""
+    case = train_case_study_model(spec, cache_dir=cache_dir)
+    platform = EmulationPlatform(
+        case.graph,
+        case.dataset.calibration_batch(calibration_images),
+        config=platform_config,
+    )
+    return platform, case

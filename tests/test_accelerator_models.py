@@ -1,0 +1,202 @@
+"""Tests for the timing model, resource model, memory model and CSB."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator.csb import ConfigSpaceBus
+from repro.accelerator.geometry import ArrayGeometry, PAPER_GEOMETRY
+from repro.accelerator.memory import (
+    AllocationError,
+    MemoryModel,
+    feature_map_bytes,
+    weight_bytes,
+)
+from repro.accelerator.resources import (
+    PAPER_BASE_FFS,
+    PAPER_BASE_LUTS,
+    PAPER_CONST_FI_LUTS,
+    PAPER_VAR_FI_FFS,
+    PAPER_VAR_FI_LUTS,
+    XCZU7EV_FFS,
+    XCZU7EV_LUTS,
+    FIVariant,
+    ResourceModel,
+)
+from repro.accelerator.timing import PAPER_CLOCK_HZ, TimingModel
+
+from tests.conftest import make_qconv, make_qlinear
+
+
+class TestGeometry:
+    def test_paper_geometry_is_8x8(self):
+        assert PAPER_GEOMETRY.num_macs == 8
+        assert PAPER_GEOMETRY.muls_per_mac == 8
+        assert PAPER_GEOMETRY.total_multipliers == 64
+
+    def test_padding_helpers(self):
+        g = PAPER_GEOMETRY
+        assert g.pad_channels(3) == 8
+        assert g.pad_channels(8) == 8
+        assert g.pad_channels(9) == 16
+        assert g.channel_groups(17) == 3
+        assert g.kernel_groups(10) == 2
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayGeometry(0, 8)
+
+
+class TestTimingModel:
+    def test_conv_compute_cycles_formula(self):
+        model = TimingModel()
+        node = make_qconv(16, 24, 3)
+        timing = model.conv_timing(node, out_h=10, out_w=10)
+        # 10*10 positions * 2 channel groups * 9 kernel elems * 3 kernel groups
+        assert timing.compute_cycles == 10 * 10 * 2 * 9 * 3
+
+    def test_linear_cycles(self):
+        model = TimingModel()
+        node = make_qlinear(64, 10)
+        timing = model.linear_timing(node)
+        assert timing.compute_cycles == 8 * 2
+
+    def test_fi_adds_no_latency(self, tiny_platform):
+        base = TimingModel(fault_injection_enabled=False).time_model(tiny_platform.quantized_model)
+        with_fi = TimingModel(fault_injection_enabled=True).time_model(tiny_platform.quantized_model)
+        assert base.total_cycles == with_fi.total_cycles
+
+    def test_report_totals_consistent(self, tiny_platform):
+        report = TimingModel().time_model(tiny_platform.quantized_model)
+        assert report.total_cycles == sum(l.total_cycles for l in report.layers)
+        assert report.latency_seconds == pytest.approx(report.total_cycles / PAPER_CLOCK_HZ)
+        assert report.inferences_per_second == pytest.approx(1 / report.latency_seconds)
+        assert 0 < report.compute_utilisation() <= 1
+
+    def test_larger_array_is_faster(self, tiny_platform):
+        small = TimingModel(geometry=PAPER_GEOMETRY).time_model(tiny_platform.quantized_model)
+        big = TimingModel(geometry=ArrayGeometry(16, 16)).time_model(tiny_platform.quantized_model)
+        assert big.total_cycles < small.total_cycles
+
+    def test_memory_overlap_reduces_cycles(self, tiny_platform):
+        exposed = TimingModel(memory_overlap=0.0).time_model(tiny_platform.quantized_model)
+        hidden = TimingModel(memory_overlap=1.0).time_model(tiny_platform.quantized_model)
+        assert hidden.total_cycles < exposed.total_cycles
+
+    def test_case_study_latency_in_paper_ballpark(self):
+        """The full case-study network should land within ~2x of the paper's 4.59 ms."""
+        from repro.zoo import train_case_study_model
+        from repro.compiler.compile import compile_model
+
+        case = train_case_study_model()
+        result = compile_model(case.graph, case.dataset.calibration_batch(16))
+        report = TimingModel().time_model(result.quantized_model)
+        assert 2.0 < report.latency_ms < 10.0
+
+
+class TestResourceModel:
+    def test_base_configuration_matches_table1(self):
+        report = ResourceModel().estimate(FIVariant.NONE)
+        assert report.luts == PAPER_BASE_LUTS
+        assert report.ffs == PAPER_BASE_FFS
+
+    def test_constant_fi_overhead_is_18_luts(self):
+        model = ResourceModel()
+        base = model.estimate(FIVariant.NONE)
+        const = model.estimate(FIVariant.CONSTANT)
+        assert const.lut_overhead_vs(base) == PAPER_CONST_FI_LUTS - PAPER_BASE_LUTS == 18
+        assert const.ff_overhead_vs(base) == 0
+
+    def test_variable_fi_overhead_matches_table1(self):
+        model = ResourceModel()
+        base = model.estimate(FIVariant.NONE)
+        var = model.estimate(FIVariant.VARIABLE)
+        assert var.luts == PAPER_VAR_FI_LUTS
+        assert var.ffs == PAPER_VAR_FI_FFS
+        # and as a fraction of the device, the paper's 0.71% / 0.31%
+        assert var.lut_overhead_vs(base) / XCZU7EV_LUTS == pytest.approx(0.0071, abs=0.0003)
+        assert var.ff_overhead_vs(base) / XCZU7EV_FFS == pytest.approx(0.0031, abs=0.0003)
+
+    def test_breakdown_sums_to_total(self):
+        report = ResourceModel().estimate(FIVariant.VARIABLE)
+        lut_sum = sum(l for l, _ in report.breakdown.values())
+        ff_sum = sum(f for _, f in report.breakdown.values())
+        assert lut_sum == report.luts
+        assert ff_sum == report.ffs
+
+    def test_variable_fi_scales_with_array_size(self):
+        small = ResourceModel(geometry=ArrayGeometry(4, 4))
+        large = ResourceModel(geometry=ArrayGeometry(16, 16))
+        small_overhead = small.estimate(FIVariant.VARIABLE).luts - small.estimate(FIVariant.NONE).luts
+        large_overhead = large.estimate(FIVariant.VARIABLE).luts - large.estimate(FIVariant.NONE).luts
+        assert large_overhead > small_overhead
+
+    def test_table1_rows(self):
+        rows = ResourceModel().table1_rows()
+        assert len(rows) == 3
+        assert rows[0][0] == "NVDLA"
+        assert rows[2][1] > rows[0][1]
+
+    def test_device_fraction(self):
+        report = ResourceModel().estimate(FIVariant.NONE)
+        assert 0.3 < report.device_lut_fraction() < 0.6
+
+
+class TestMemoryModel:
+    def test_allocation_and_alignment(self):
+        memory = MemoryModel(capacity_bytes=1024, alignment=32)
+        surf = memory.allocate("a", 33)
+        assert surf.num_bytes == 64
+        assert surf.address == 0
+        surf2 = memory.allocate("b", 10)
+        assert surf2.address == 64
+
+    def test_capacity_enforced(self):
+        memory = MemoryModel(capacity_bytes=64)
+        memory.allocate("a", 64)
+        with pytest.raises(AllocationError):
+            memory.allocate("b", 1)
+
+    def test_duplicate_name_rejected(self):
+        memory = MemoryModel()
+        memory.allocate("x", 8)
+        with pytest.raises(ValueError):
+            memory.allocate("x", 8)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryModel().allocate("x", 0)
+
+    def test_release_all(self):
+        memory = MemoryModel()
+        memory.allocate("x", 128)
+        memory.release_all()
+        assert memory.used_bytes == 0
+        assert "x" not in memory
+
+    def test_helpers(self):
+        assert feature_map_bytes(3, 32, 32) == 3 * 32 * 32
+        assert weight_bytes(8, 3, 3) == 8 * 3 * 9
+
+
+class TestConfigSpaceBus:
+    def test_program_and_query(self):
+        csb = ConfigSpaceBus()
+        csb.program_operation("conv1", {"A": 1, "B": 2})
+        csb.ring_doorbell()
+        assert len(csb) == 2
+        assert csb.doorbells == 1
+        assert len(csb.writes_for("conv1")) == 2
+        assert csb.writes_for("other") == []
+
+    def test_reset(self):
+        csb = ConfigSpaceBus()
+        csb.write("op", "REG", 3)
+        csb.ring_doorbell()
+        csb.reset()
+        assert len(csb) == 0
+        assert csb.doorbells == 0
+
+    def test_accelerator_programs_every_op(self, tiny_platform, tiny_dataset):
+        accelerator = tiny_platform.accelerator
+        accelerator.execute(tiny_platform.loadable, tiny_dataset.test_images[:1])
+        assert accelerator.csb.doorbells == len(tiny_platform.loadable)

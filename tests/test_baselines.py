@@ -1,0 +1,143 @@
+"""Tests for the comparison baselines: graph-level software FI and the systolic simulator."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator.engine import VectorisedEngine
+from repro.baselines.saffira import SystolicArraySimulator
+from repro.baselines.software_fi import GraphFaultSpec, SoftwareFaultInjector
+from repro.faults.injector import InjectionConfig
+from repro.faults.models import BitFlip, ConstantValue, StuckAtZero
+from repro.faults.sites import FaultSite
+
+from tests.conftest import make_qconv, random_int8
+
+
+class TestGraphFaultSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GraphFaultSpec(value=300)
+        with pytest.raises(ValueError):
+            GraphFaultSpec(fraction=0.0)
+
+    def test_defaults(self):
+        spec = GraphFaultSpec()
+        assert spec.layer == "*"
+        assert spec.fraction == 1.0
+
+
+class TestSoftwareFaultInjector:
+    def test_no_faults_matches_cpu_backend(self, tiny_platform, tiny_dataset):
+        injector = SoftwareFaultInjector(tiny_platform.quantized_model, seed=0)
+        images = tiny_dataset.test_images[:4]
+        logits = injector.run(images, specs=[])
+        ref = tiny_platform.cpu_backend.run(tiny_platform.quantized_model, images)
+        np.testing.assert_array_equal(logits, ref)
+
+    def test_full_corruption_degrades_accuracy(self, tiny_platform, tiny_dataset):
+        injector = SoftwareFaultInjector(tiny_platform.quantized_model, seed=0)
+        clean = injector.accuracy(tiny_dataset.test_images, tiny_dataset.test_labels, specs=[])
+        corrupted = injector.accuracy(
+            tiny_dataset.test_images,
+            tiny_dataset.test_labels,
+            specs=[GraphFaultSpec(layer="*", value=0, fraction=1.0)],
+        )
+        assert corrupted <= clean
+
+    def test_single_layer_targeting(self, tiny_platform, tiny_dataset):
+        model = tiny_platform.quantized_model
+        conv_names = [n.name for n in model.conv_like_nodes() if n.requant is not None]
+        injector = SoftwareFaultInjector(model, seed=1)
+        images = tiny_dataset.test_images[:4]
+        clean = injector.run(images, specs=[])
+        faulty = injector.run(images, specs=[GraphFaultSpec(layer=conv_names[0], value=0)])
+        # changing only an early layer's outputs generally changes the logits
+        assert faulty.shape == clean.shape
+
+    def test_specs_for_hardware_site(self, tiny_platform):
+        injector = SoftwareFaultInjector(tiny_platform.quantized_model)
+        specs = injector.specs_for_hardware_site(FaultSite(2, 3), value=0)
+        assert len(specs) == 1
+        assert 0 < specs[0].fraction <= 1.0
+
+    def test_channel_selection_limits_effect(self, tiny_platform, tiny_dataset):
+        model = tiny_platform.quantized_model
+        injector = SoftwareFaultInjector(model, seed=2)
+        images = tiny_dataset.test_images[:2]
+        spec_all = GraphFaultSpec(layer="*", value=0, fraction=1.0)
+        spec_one_channel = GraphFaultSpec(layer="*", channels=(0,), value=0, fraction=1.0)
+        out_all = injector.run(images, [spec_all])
+        out_one = injector.run(images, [spec_one_channel])
+        clean = injector.run(images, [])
+        # corrupting one channel must perturb the logits no more than corrupting all
+        assert np.abs(out_one - clean).sum() <= np.abs(out_all - clean).sum()
+
+
+class TestSystolicArraySimulator:
+    def test_fault_free_matches_vectorised_engine(self):
+        node = make_qconv(8, 8, 3, padding=1, seed=2)
+        x = random_int8((1, 8, 4, 4), seed=3)
+        sim = SystolicArraySimulator(rows=8, cols=8)
+        acc_sim, report = sim.simulate_conv(x, node)
+        acc_ref = VectorisedEngine().conv_accumulate(x, node)
+        np.testing.assert_array_equal(acc_sim, acc_ref)
+        assert report.cycles > 0
+        assert report.wall_seconds > 0
+
+    def test_fault_changes_output(self):
+        node = make_qconv(8, 8, 1, seed=4)
+        x = random_int8((1, 8, 2, 2), seed=5)
+        sim = SystolicArraySimulator()
+        clean, _ = sim.simulate_conv(x, node)
+        config = InjectionConfig.single(FaultSite(0, 0), ConstantValue(1000))
+        faulty, _ = sim.simulate_conv(x, node, config)
+        assert not np.array_equal(clean, faulty)
+
+    def test_value_dependent_models_rejected(self):
+        node = make_qconv(8, 8, 1, seed=6)
+        x = random_int8((1, 8, 2, 2), seed=7)
+        sim = SystolicArraySimulator()
+        with pytest.raises(ValueError):
+            sim.simulate_conv(x, node, InjectionConfig.single(FaultSite(0, 0), BitFlip(1)))
+
+    def test_simulations_per_second_metric(self):
+        node = make_qconv(8, 8, 1, seed=8)
+        x = random_int8((1, 8, 2, 2), seed=9)
+        _, report = SystolicArraySimulator().simulate_conv(x, node)
+        assert report.simulations_per_second > 0
+
+    def test_simulate_layers_subset(self, tiny_platform, tiny_dataset):
+        """Simulate the first convolution layer only, SAFFIRA-style."""
+        model = tiny_platform.quantized_model
+        first_conv = model.conv_like_nodes()[0]
+        images = tiny_dataset.test_images[:1]
+        qinput = model.input_node
+        x_by_layer = {first_conv.name: qinput.quantize(images)}
+        report = SystolicArraySimulator().simulate_layers(
+            model, [first_conv.name], x_by_layer, max_output_positions=8
+        )
+        assert report.layers == [first_conv.name]
+        assert report.cycles > 0
+
+    def test_non_conv_layer_rejected(self, tiny_platform):
+        model = tiny_platform.quantized_model
+        sim = SystolicArraySimulator()
+        with pytest.raises(TypeError):
+            sim.simulate_layers(model, [model.output_name], {}, None)
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            SystolicArraySimulator(rows=0)
+
+    def test_slower_than_vectorised_engine(self):
+        """The whole point of the baseline: it is much slower per layer."""
+        import time
+
+        node = make_qconv(8, 8, 3, padding=1, seed=10)
+        x = random_int8((1, 8, 6, 6), seed=11)
+        engine = VectorisedEngine()
+        start = time.perf_counter()
+        engine.conv_accumulate(x, node)
+        vec_time = time.perf_counter() - start
+        _, report = SystolicArraySimulator().simulate_conv(x, node)
+        assert report.wall_seconds > vec_time

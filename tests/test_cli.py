@@ -1,0 +1,96 @@
+"""Tests for the command-line interface (argument parsing and small end-to-end runs)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+#: CLI arguments selecting a tiny, quickly trained model for end-to-end runs.
+TINY_MODEL_ARGS = [
+    "--width", "0.125",
+    "--epochs", "1",
+    "--train-images", "120",
+    "--test-images", "40",
+    "--seed", "21",
+]
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_describe_defaults(self):
+        args = build_parser().parse_args(["describe"])
+        assert args.command == "describe"
+        assert args.width == 0.25
+
+    def test_campaign_arguments(self):
+        args = build_parser().parse_args(
+            ["campaign", "--strategy", "per-mac", "--values", "0", "-1", "--trials", "3"]
+        )
+        assert args.strategy == "per-mac"
+        assert args.values == [0, -1]
+        assert args.trials == 3
+
+    def test_heatmap_arguments(self):
+        args = build_parser().parse_args(["heatmap", "--value", "-1", "--images", "32"])
+        assert args.value == -1
+        assert args.images == 32
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bogus"])
+
+
+class TestEndToEnd:
+    def test_describe_and_table1(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        # REPRO_CACHE_DIR is read at import time by repro.zoo; patch the module
+        # attribute directly so the tiny model is cached in tmp_path.
+        import repro.zoo as zoo
+
+        monkeypatch.setattr(zoo, "DEFAULT_CACHE_DIR", tmp_path)
+
+        assert main(["describe", *TINY_MODEL_ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "fault sites: 64" in out
+        assert "int8 accuracy" in out
+
+        assert main(["table1", *TINY_MODEL_ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "NVDLA + FI (variable error)" in out
+
+    def test_campaign_and_heatmap(self, tmp_path, capsys, monkeypatch):
+        import repro.zoo as zoo
+
+        monkeypatch.setattr(zoo, "DEFAULT_CACHE_DIR", tmp_path)
+        campaign_out = tmp_path / "campaign.json"
+        code = main([
+            "campaign", *TINY_MODEL_ARGS,
+            "--values", "0",
+            "--counts", "1", "8",
+            "--trials", "1",
+            "--images", "16",
+            "--output", str(campaign_out),
+        ])
+        assert code == 0
+        records = json.loads(campaign_out.read_text())
+        assert len(records["records"]) == 2
+        out = capsys.readouterr().out
+        assert "baseline accuracy" in out
+
+        heatmap_out = tmp_path / "heatmap.json"
+        code = main([
+            "heatmap", *TINY_MODEL_ARGS,
+            "--value", "0",
+            "--images", "8",
+            "--output", str(heatmap_out),
+        ])
+        assert code == 0
+        data = json.loads(heatmap_out.read_text())
+        assert len(data["heatmap"]) == 8
+        out = capsys.readouterr().out
+        assert "most sensitive site" in out

@@ -1,0 +1,200 @@
+"""Tests for the compiler: BN folding, mapping, lowering and the loadable."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.accelerator.geometry import ArrayGeometry, PAPER_GEOMETRY
+from repro.compiler.compile import compile_model
+from repro.compiler.loadable import Loadable
+from repro.compiler.mapper import ConvMapping, Mapper
+from repro.compiler.ops import ConvOp, EltwiseAddOp, FullyConnectedOp, GlobalAvgPoolOp, OpStatistics, PoolOp
+from repro.compiler.passes import count_batchnorm_nodes, fold_batchnorm
+from repro.faults.sites import FaultSite
+from repro.nn.graph import Graph
+from repro.nn.layers import BatchNorm2D, Conv2D, GlobalAvgPool2D, Linear, ReLU
+from repro.nn.resnet import build_resnet18
+
+from tests.conftest import make_qconv, make_qlinear
+from tests.test_nn_layers_graph import build_residual_graph, build_small_graph
+
+
+class TestFoldBatchnorm:
+    def test_removes_all_batchnorm_nodes(self):
+        graph = build_small_graph()
+        folded = fold_batchnorm(graph)
+        assert count_batchnorm_nodes(folded) == 0
+        assert count_batchnorm_nodes(graph) == 1  # original untouched
+
+    def test_outputs_bitwise_close_in_eval(self):
+        graph = build_small_graph(seed=2)
+        # give BN non-trivial statistics
+        graph.train()
+        x = np.random.default_rng(2).normal(size=(16, 3, 8, 8)).astype(np.float32)
+        graph.forward(x)
+        graph.eval()
+        folded = fold_batchnorm(graph)
+        folded.eval()
+        test = np.random.default_rng(3).normal(size=(4, 3, 8, 8)).astype(np.float32)
+        np.testing.assert_allclose(graph.forward(test), folded.forward(test), rtol=1e-4, atol=1e-4)
+
+    def test_resnet_folding_preserves_outputs(self, tiny_graph):
+        folded = fold_batchnorm(tiny_graph)
+        folded.eval()
+        tiny_graph.eval()
+        x = np.random.default_rng(5).normal(size=(2, *tiny_graph.input_shape)).astype(np.float32)
+        np.testing.assert_allclose(tiny_graph.forward(x), folded.forward(x), rtol=1e-3, atol=1e-3)
+
+    def test_folded_conv_gains_bias(self):
+        graph = build_small_graph()
+        folded = fold_batchnorm(graph)
+        conv = folded.nodes["conv1"].layer
+        assert isinstance(conv, Conv2D)
+        assert conv.bias is not None
+
+    def test_standalone_batchnorm_rejected(self):
+        g = Graph((2, 4, 4))
+        g.add("bn", BatchNorm2D(2), Graph.INPUT)
+        with pytest.raises(ValueError):
+            fold_batchnorm(g)
+
+    def test_conv_with_two_consumers_not_folded(self):
+        # If a conv output feeds both a BN and something else, folding must not occur.
+        rng = np.random.default_rng(0)
+        g = Graph((2, 4, 4))
+        g.add("conv", Conv2D(2, 4, 1, bias=False, rng=rng), Graph.INPUT)
+        g.add("relu_direct", ReLU(), "conv")
+        g.add("gap", GlobalAvgPool2D(), "relu_direct")
+        g.add("fc", Linear(4, 2, rng=rng), "gap")
+        folded = fold_batchnorm(g)
+        assert "conv" in folded.nodes
+        assert isinstance(folded.nodes["conv"].layer, Conv2D)
+
+
+class TestMapper:
+    def test_lane_assignment(self):
+        mapper = Mapper(PAPER_GEOMETRY)
+        assert mapper.lane_of_input_channel(0) == 0
+        assert mapper.lane_of_input_channel(9) == 1
+        assert mapper.mac_of_output_channel(17) == 1
+
+    def test_site_for_channels_roundtrip(self):
+        mapper = Mapper(PAPER_GEOMETRY)
+        site = mapper.site_for_channels(in_channel=11, out_channel=22)
+        assert site == FaultSite(mac_unit=6, multiplier=3)
+        ins, outs = mapper.channels_of_site(site, in_channels=16, out_channels=32)
+        assert 11 in ins and 22 in outs
+        assert all(c % 8 == 3 for c in ins)
+        assert all(c % 8 == 6 for c in outs)
+
+    def test_conv_mapping_counts(self):
+        mapper = Mapper(PAPER_GEOMETRY)
+        node = make_qconv(in_channels=16, out_channels=24, kernel=3)
+        mapping = mapper.map_conv(node, out_h=10, out_w=10)
+        assert mapping.channel_groups == 2
+        assert mapping.kernel_groups == 3
+        assert mapping.atomic_ops_per_output == 2 * 9
+        assert mapping.total_atomic_ops == 10 * 10 * 3 * 18
+
+    def test_conv_mapping_pads_partial_groups(self):
+        mapper = Mapper(PAPER_GEOMETRY)
+        node = make_qconv(in_channels=3, out_channels=10, kernel=3)
+        mapping = mapper.map_conv(node, out_h=4, out_w=4)
+        assert mapping.channel_groups == 1
+        assert mapping.kernel_groups == 2
+
+    def test_linear_mapping(self):
+        mapper = Mapper(PAPER_GEOMETRY)
+        node = make_qlinear(in_features=64, out_features=10)
+        mapping = mapper.map_linear(node)
+        assert mapping.kernel_size == 1
+        assert mapping.total_atomic_ops == 8 * 2
+
+    def test_custom_geometry(self):
+        mapper = Mapper(ArrayGeometry(num_macs=4, muls_per_mac=16))
+        node = make_qconv(in_channels=16, out_channels=4, kernel=1)
+        mapping = mapper.map_conv(node, out_h=2, out_w=2)
+        assert mapping.channel_groups == 1
+        assert mapping.kernel_groups == 1
+
+
+@pytest.fixture(scope="module")
+def compiled_small():
+    graph = build_residual_graph(seed=1)
+    graph.train()
+    x = np.random.default_rng(1).normal(size=(16, 2, 6, 6)).astype(np.float32)
+    graph.forward(x)
+    graph.eval()
+    return compile_model(graph, x, name="small-residual")
+
+
+class TestCompileModel:
+    def test_returns_all_artifacts(self, compiled_small):
+        assert compiled_small.loadable is not None
+        assert compiled_small.quantized_model is not None
+        assert count_batchnorm_nodes(compiled_small.folded_graph) == 0
+
+    def test_op_order_matches_quantised_nodes(self, compiled_small):
+        loadable = compiled_small.loadable
+        op_names = [op.name for op in loadable.ops]
+        qnode_names = [n.name for n in compiled_small.quantized_model.nodes if n.name != "input"]
+        assert op_names == qnode_names
+
+    def test_op_types(self, compiled_small):
+        loadable = compiled_small.loadable
+        types = {type(op) for op in loadable.ops}
+        assert ConvOp in types
+        assert EltwiseAddOp in types
+        assert FullyConnectedOp in types
+        assert GlobalAvgPoolOp in types
+
+    def test_conv_like_ops_subset(self, compiled_small):
+        loadable = compiled_small.loadable
+        conv_like = loadable.conv_like_ops()
+        assert all(isinstance(op, (ConvOp, FullyConnectedOp)) for op in conv_like)
+        assert len(conv_like) >= 3
+
+    def test_statistics(self, compiled_small):
+        stats = compiled_small.loadable.statistics()
+        assert stats.num_conv >= 2
+        assert stats.num_fc == 1
+        assert stats.total_atomic_ops > 0
+        assert stats.total_weight_bytes > 0
+
+    def test_total_macs_consistent_with_model(self, compiled_small):
+        loadable = compiled_small.loadable
+        assert loadable.total_macs() == compiled_small.quantized_model.total_macs()
+
+    def test_atomic_ops_at_least_macs_over_array(self, compiled_small):
+        # Atomic ops x 64 multipliers >= true MACs (padding only adds work).
+        loadable = compiled_small.loadable
+        assert loadable.total_atomic_ops() * 64 >= loadable.total_macs()
+
+    def test_op_lookup(self, compiled_small):
+        loadable = compiled_small.loadable
+        first = loadable.ops[0]
+        assert loadable.op_by_name(first.name) is first
+        with pytest.raises(KeyError):
+            loadable.op_by_name("nonexistent")
+
+    def test_memory_planning_fits(self, compiled_small):
+        memory = compiled_small.loadable.plan_memory()
+        assert memory.used_bytes > 0
+        assert memory.used_bytes < memory.capacity_bytes
+
+    def test_to_dict_and_json(self, compiled_small):
+        loadable = compiled_small.loadable
+        data = loadable.to_dict()
+        assert data["num_ops"] == len(loadable)
+        parsed = json.loads(loadable.to_json())
+        assert parsed["name"] == "small-residual"
+        assert len(parsed["ops"]) == len(loadable)
+
+    def test_resnet18_loadable_op_count(self, tiny_platform):
+        # ResNet-18: 20 convs + 1 fc + 8 adds + 1 gap = 30 ops (CIFAR stem, no maxpool).
+        assert len(tiny_platform.loadable) == 30
+
+    def test_op_statistics_from_ops_roundtrip(self, compiled_small):
+        stats = OpStatistics.from_ops(compiled_small.loadable.ops)
+        assert len(stats.per_op) == len(compiled_small.loadable.ops)

@@ -1,0 +1,132 @@
+"""Tests for the synthetic CIFAR-10-like dataset and the data loaders."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataloader import DataLoader, train_test_split
+from repro.data.synthetic_cifar import CLASS_NAMES, SyntheticCIFAR10, generate_image
+
+
+class TestGenerateImage:
+    def test_shape_and_dtype(self):
+        rng = np.random.default_rng(0)
+        image = generate_image(0, rng)
+        assert image.shape == (3, 32, 32)
+        assert image.dtype == np.float32
+
+    def test_all_classes_generate(self):
+        rng = np.random.default_rng(1)
+        for class_id in range(len(CLASS_NAMES)):
+            image = generate_image(class_id, rng)
+            assert np.isfinite(image).all()
+
+    def test_invalid_class_rejected(self):
+        with pytest.raises(ValueError):
+            generate_image(10, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            generate_image(-1, np.random.default_rng(0))
+
+    def test_values_standardised(self):
+        rng = np.random.default_rng(2)
+        batch = np.stack([generate_image(i % 10, rng) for i in range(100)])
+        # Standardisation keeps per-channel means near zero and stds near one.
+        assert abs(batch.mean()) < 0.5
+        assert 0.5 < batch.std() < 2.0
+
+    def test_custom_size(self):
+        image = generate_image(3, np.random.default_rng(0), size=16)
+        assert image.shape == (3, 16, 16)
+
+    def test_instances_differ(self):
+        rng = np.random.default_rng(3)
+        a = generate_image(2, rng)
+        b = generate_image(2, rng)
+        assert not np.allclose(a, b)
+
+    def test_classes_distinguishable_by_simple_statistic(self):
+        # Mean colour of class 0 (red blob) should differ from class 2.
+        rng = np.random.default_rng(4)
+        a = np.stack([generate_image(0, rng) for _ in range(20)]).mean(axis=(0, 2, 3))
+        b = np.stack([generate_image(2, rng) for _ in range(20)]).mean(axis=(0, 2, 3))
+        assert np.abs(a - b).max() > 0.05
+
+
+class TestSyntheticCIFAR10:
+    def test_shapes_and_balance(self):
+        ds = SyntheticCIFAR10(num_train=100, num_test=40, seed=0)
+        assert ds.train_images.shape == (100, 3, 32, 32)
+        assert ds.test_labels.shape == (40,)
+        counts = np.bincount(ds.train_labels, minlength=10)
+        assert counts.max() - counts.min() <= 1  # balanced classes
+
+    def test_deterministic_given_seed(self):
+        a = SyntheticCIFAR10(num_train=30, num_test=10, seed=5)
+        b = SyntheticCIFAR10(num_train=30, num_test=10, seed=5)
+        np.testing.assert_allclose(a.train_images, b.train_images)
+        np.testing.assert_array_equal(a.test_labels, b.test_labels)
+
+    def test_different_seed_changes_data(self):
+        a = SyntheticCIFAR10(num_train=30, num_test=10, seed=5)
+        b = SyntheticCIFAR10(num_train=30, num_test=10, seed=6)
+        assert not np.allclose(a.train_images, b.train_images)
+
+    def test_calibration_batch_bounded(self):
+        ds = SyntheticCIFAR10(num_train=20, num_test=5, seed=1)
+        assert len(ds.calibration_batch(64)) == 20
+        assert len(ds.calibration_batch(8)) == 8
+
+    def test_metadata(self):
+        ds = SyntheticCIFAR10(num_train=10, num_test=5, seed=0, image_size=16)
+        assert ds.num_classes == 10
+        assert ds.input_shape == (3, 16, 16)
+
+
+class TestDataLoader:
+    def test_batching_covers_all_samples(self):
+        images = np.arange(10).reshape(10, 1).astype(np.float32)
+        labels = np.arange(10)
+        loader = DataLoader(images, labels, batch_size=3)
+        seen = np.concatenate([y for _, y in loader])
+        assert sorted(seen.tolist()) == list(range(10))
+        assert len(loader) == 4
+
+    def test_drop_last(self):
+        loader = DataLoader(np.zeros((10, 1)), np.zeros(10), batch_size=3, drop_last=True)
+        assert len(loader) == 3
+        assert sum(1 for _ in loader) == 3
+
+    def test_shuffle_changes_order_but_not_content(self):
+        images = np.arange(20).reshape(20, 1).astype(np.float32)
+        labels = np.arange(20)
+        loader = DataLoader(images, labels, batch_size=20, shuffle=True, seed=1)
+        (x1, y1) = next(iter(loader))
+        assert not np.array_equal(y1, labels)
+        assert sorted(y1.tolist()) == labels.tolist()
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            DataLoader(np.zeros((3, 1)), np.zeros(4))
+
+    def test_invalid_batch_size_rejected(self):
+        with pytest.raises(ValueError):
+            DataLoader(np.zeros((3, 1)), np.zeros(3), batch_size=0)
+
+
+class TestTrainTestSplit:
+    def test_split_sizes(self):
+        images = np.zeros((50, 1))
+        labels = np.arange(50)
+        tr_x, tr_y, te_x, te_y = train_test_split(images, labels, test_fraction=0.2, seed=0)
+        assert len(te_y) == 10
+        assert len(tr_y) == 40
+
+    def test_split_is_partition(self):
+        images = np.arange(30).reshape(30, 1)
+        labels = np.arange(30)
+        tr_x, tr_y, te_x, te_y = train_test_split(images, labels, test_fraction=0.3, seed=1)
+        combined = sorted(np.concatenate([tr_y, te_y]).tolist())
+        assert combined == list(range(30))
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((3, 1)), np.zeros(3), test_fraction=1.5)

@@ -1,0 +1,237 @@
+"""Equivalence tests between the vectorised engine, the scalar reference engine
+and the independent CPU backend.
+
+These are the load-bearing correctness tests of the whole reproduction: the
+fault-injection results (Fig. 2 / Fig. 3) are only meaningful if the
+vectorised engine computes exactly what the per-multiplier hardware model
+computes, for clean runs and for every fault model.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.accelerator.engine import VectorisedEngine
+from repro.accelerator.geometry import ArrayGeometry, PAPER_GEOMETRY
+from repro.accelerator.reference import ScalarReferenceEngine
+from repro.faults.injector import InjectionConfig
+from repro.faults.models import BitFlip, ConstantValue, StuckAtOne, StuckAtZero
+from repro.faults.sites import FaultSite, FaultUniverse
+
+from tests.conftest import make_qconv, make_qlinear, random_int8
+
+
+def conv_case(in_channels, out_channels, kernel, stride, padding, spatial, batch=1, seed=0):
+    node = make_qconv(in_channels, out_channels, kernel, stride, padding, seed=seed)
+    x = random_int8((batch, in_channels, spatial, spatial), seed=seed + 100)
+    return node, x
+
+
+SMALL_CASES = [
+    # (in_c, out_c, k, stride, padding, spatial) — chosen to cover aligned,
+    # padded-channel, padded-kernel and strided configurations.
+    (8, 8, 1, 1, 0, 4),
+    (8, 8, 3, 1, 1, 4),
+    (3, 8, 3, 1, 1, 4),     # stem-like: input channels < atomic_c (padding lanes)
+    (8, 12, 3, 1, 1, 4),    # output channels not a multiple of atomic_k
+    (16, 8, 3, 2, 1, 6),    # strided
+    (5, 9, 2, 1, 0, 5),     # both dimensions unaligned
+]
+
+
+class TestCleanEquivalence:
+    @pytest.mark.parametrize("case", SMALL_CASES)
+    def test_vectorised_matches_scalar_fault_free(self, case):
+        node, x = conv_case(*case)
+        vec = VectorisedEngine(PAPER_GEOMETRY).conv_accumulate(x, node, InjectionConfig.fault_free())
+        ref = ScalarReferenceEngine(PAPER_GEOMETRY).conv_accumulate(x, node, InjectionConfig.fault_free())
+        np.testing.assert_array_equal(vec, ref)
+
+    def test_vectorised_matches_numpy_matmul(self):
+        node, x = conv_case(8, 16, 3, 1, 1, 6, batch=2)
+        acc = VectorisedEngine().conv_accumulate(x, node)
+        # independent check: float convolution of the int8 tensors
+        from repro.nn.functional import conv2d_forward
+
+        ref, _ = conv2d_forward(
+            x.astype(np.float32), node.weight.astype(np.float32), None, node.stride, node.padding
+        )
+        np.testing.assert_array_equal(acc, ref.astype(np.int64))
+
+    def test_linear_matches_scalar(self):
+        node = make_qlinear(16, 10, final=True, seed=3)
+        x = random_int8((3, 16), seed=4)
+        vec = VectorisedEngine().linear_accumulate(x, node)
+        ref = ScalarReferenceEngine().linear_accumulate(x, node)
+        np.testing.assert_array_equal(vec, ref)
+
+    def test_rejects_non_int8_input(self):
+        node, x = conv_case(8, 8, 1, 1, 0, 2)
+        with pytest.raises(TypeError):
+            VectorisedEngine().conv_accumulate(x.astype(np.int32), node)
+
+    def test_rejects_channel_mismatch(self):
+        node, _ = conv_case(8, 8, 1, 1, 0, 2)
+        bad = random_int8((1, 4, 2, 2))
+        with pytest.raises(ValueError):
+            VectorisedEngine().conv_accumulate(bad, node)
+
+
+class TestFaultEquivalence:
+    @pytest.mark.parametrize("case", SMALL_CASES)
+    @pytest.mark.parametrize(
+        "model", [StuckAtZero(), ConstantValue(1), ConstantValue(-1), StuckAtOne()]
+    )
+    def test_single_site_constant_models(self, case, model):
+        node, x = conv_case(*case)
+        site = FaultSite(1, 2)
+        config = InjectionConfig.single(site, model)
+        vec = VectorisedEngine(PAPER_GEOMETRY).conv_accumulate(x, node, config)
+        ref = ScalarReferenceEngine(PAPER_GEOMETRY).conv_accumulate(x, node, config)
+        np.testing.assert_array_equal(vec, ref)
+
+    @pytest.mark.parametrize("case", SMALL_CASES[:4])
+    def test_multi_site_constant_models(self, case):
+        node, x = conv_case(*case)
+        config = InjectionConfig.uniform(
+            [FaultSite(0, 0), FaultSite(0, 3), FaultSite(5, 1), FaultSite(7, 7)],
+            ConstantValue(-2),
+        )
+        vec = VectorisedEngine(PAPER_GEOMETRY).conv_accumulate(x, node, config)
+        ref = ScalarReferenceEngine(PAPER_GEOMETRY).conv_accumulate(x, node, config)
+        np.testing.assert_array_equal(vec, ref)
+
+    @pytest.mark.parametrize("bit", [0, 7, 17])
+    def test_bitflip_model(self, bit):
+        node, x = conv_case(8, 8, 3, 1, 1, 4, seed=bit)
+        config = InjectionConfig.single(FaultSite(2, 5), BitFlip(bit))
+        vec = VectorisedEngine(PAPER_GEOMETRY).conv_accumulate(x, node, config)
+        ref = ScalarReferenceEngine(PAPER_GEOMETRY).conv_accumulate(x, node, config)
+        np.testing.assert_array_equal(vec, ref)
+
+    def test_bitflip_on_padded_channel_lanes(self):
+        # input channels = 3 so lanes 3..7 are padding; a bit flip on a padding
+        # lane turns 0 products into +/-2^bit and must match the scalar model.
+        node, x = conv_case(3, 8, 3, 1, 1, 4, seed=9)
+        config = InjectionConfig.single(FaultSite(0, 5), BitFlip(4))
+        vec = VectorisedEngine(PAPER_GEOMETRY).conv_accumulate(x, node, config)
+        ref = ScalarReferenceEngine(PAPER_GEOMETRY).conv_accumulate(x, node, config)
+        np.testing.assert_array_equal(vec, ref)
+
+    def test_linear_with_fault(self):
+        node = make_qlinear(24, 10, final=True, seed=5)
+        x = random_int8((2, 24), seed=6)
+        config = InjectionConfig.single(FaultSite(1, 3), ConstantValue(100))
+        vec = VectorisedEngine().linear_accumulate(x, node, config)
+        ref = ScalarReferenceEngine().linear_accumulate(x, node, config)
+        np.testing.assert_array_equal(vec, ref)
+
+    def test_mixed_models_across_sites(self):
+        node, x = conv_case(8, 8, 3, 1, 1, 4, seed=11)
+        config = InjectionConfig(
+            faults={
+                FaultSite(0, 0): StuckAtZero(),
+                FaultSite(3, 3): ConstantValue(5),
+                FaultSite(6, 1): BitFlip(2),
+            }
+        )
+        vec = VectorisedEngine(PAPER_GEOMETRY).conv_accumulate(x, node, config)
+        ref = ScalarReferenceEngine(PAPER_GEOMETRY).conv_accumulate(x, node, config)
+        np.testing.assert_array_equal(vec, ref)
+
+    def test_non_paper_geometry(self):
+        geometry = ArrayGeometry(num_macs=4, muls_per_mac=4)
+        node, x = conv_case(6, 6, 3, 1, 1, 4, seed=13)
+        config = InjectionConfig.single(FaultSite(3, 2), ConstantValue(-7))
+        vec = VectorisedEngine(geometry).conv_accumulate(x, node, config)
+        ref = ScalarReferenceEngine(geometry).conv_accumulate(x, node, config)
+        np.testing.assert_array_equal(vec, ref)
+
+    @given(
+        mac=st.integers(min_value=0, max_value=7),
+        mul=st.integers(min_value=0, max_value=7),
+        value=st.sampled_from([0, 1, -1, 37, -100]),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_single_site_property(self, mac, mul, value, seed):
+        node, x = conv_case(8, 8, 3, 1, 1, 3, seed=seed)
+        config = InjectionConfig.single(FaultSite(mac, mul), ConstantValue(value))
+        vec = VectorisedEngine(PAPER_GEOMETRY).conv_accumulate(x, node, config)
+        ref = ScalarReferenceEngine(PAPER_GEOMETRY).conv_accumulate(x, node, config)
+        np.testing.assert_array_equal(vec, ref)
+
+
+class TestFaultEffectProperties:
+    def test_fault_free_config_is_noop(self):
+        node, x = conv_case(8, 16, 3, 1, 1, 5)
+        engine = VectorisedEngine()
+        a = engine.conv_accumulate(x, node)
+        b = engine.conv_accumulate(x, node, InjectionConfig.fault_free())
+        np.testing.assert_array_equal(a, b)
+
+    def test_fault_only_affects_mapped_output_channels(self):
+        node, x = conv_case(16, 16, 3, 1, 1, 5)
+        engine = VectorisedEngine()
+        clean = engine.conv_accumulate(x, node)
+        site = FaultSite(mac_unit=3, multiplier=0)
+        faulty = engine.conv_accumulate(x, node, InjectionConfig.single(site, StuckAtZero()))
+        diff = np.abs(clean.astype(np.int64) - faulty.astype(np.int64)).sum(axis=(0, 2, 3))
+        affected = {oc for oc in range(16) if oc % 8 == 3}
+        for oc in range(16):
+            if oc in affected:
+                continue
+            assert diff[oc] == 0, f"unexpected corruption on output channel {oc}"
+
+    def test_stuck_at_zero_on_all_lanes_zeroes_mac_outputs(self):
+        node, x = conv_case(8, 8, 3, 1, 1, 4)
+        node.bias[:] = 0
+        universe = FaultUniverse()
+        config = InjectionConfig.uniform(universe.sites_in_mac(2), StuckAtZero())
+        acc = VectorisedEngine().conv_accumulate(x, node, config)
+        np.testing.assert_array_equal(acc[:, 2], np.zeros_like(acc[:, 2]))
+
+    def test_affected_fraction(self):
+        engine = VectorisedEngine()
+        node = make_qconv(16, 16, 3)
+        config = InjectionConfig.single(FaultSite(0, 0), StuckAtZero())
+        frac = engine.affected_fraction(node, config)
+        assert frac == pytest.approx(1 / 64)
+        assert engine.affected_fraction(node, InjectionConfig.fault_free()) == 0.0
+
+    def test_corrections_additive_across_sites(self):
+        node, x = conv_case(8, 8, 3, 1, 1, 4, seed=21)
+        engine = VectorisedEngine()
+        clean = engine.conv_accumulate(x, node)
+        site_a = FaultSite(1, 1)
+        site_b = FaultSite(4, 6)
+        only_a = engine.conv_accumulate(x, node, InjectionConfig.single(site_a, ConstantValue(3)))
+        only_b = engine.conv_accumulate(x, node, InjectionConfig.single(site_b, ConstantValue(3)))
+        both = engine.conv_accumulate(
+            x, node, InjectionConfig.uniform([site_a, site_b], ConstantValue(3))
+        )
+        np.testing.assert_array_equal(both - clean, (only_a - clean) + (only_b - clean))
+
+
+class TestAcceleratorVsCPUBackend:
+    def test_fault_free_inference_bit_exact(self, tiny_platform, tiny_dataset):
+        """The emulator and the independent CPU backend must agree exactly."""
+        images = tiny_dataset.test_images[:8]
+        emu_logits = tiny_platform.accelerator.execute(tiny_platform.loadable, images)
+        cpu_logits = tiny_platform.cpu_backend.run(tiny_platform.quantized_model, images)
+        np.testing.assert_array_equal(np.asarray(emu_logits), np.asarray(cpu_logits))
+
+    def test_fault_free_accuracy_identical(self, tiny_platform, tiny_dataset):
+        emu = tiny_platform.baseline_accuracy(tiny_dataset.test_images, tiny_dataset.test_labels)
+        cpu = tiny_platform.cpu_reference_accuracy(tiny_dataset.test_images, tiny_dataset.test_labels)
+        assert emu == pytest.approx(cpu)
+
+    def test_scalar_engine_full_model_matches_on_tiny_input(self, tiny_platform, tiny_dataset):
+        """Run the whole model once through the scalar engine (slow, tiny batch)."""
+        from repro.accelerator.accelerator import NVDLAAccelerator
+
+        scalar_acc = NVDLAAccelerator(engine="scalar")
+        images = tiny_dataset.test_images[:1]
+        scalar_logits = scalar_acc.execute(tiny_platform.loadable, images)
+        vec_logits = tiny_platform.accelerator.execute(tiny_platform.loadable, images)
+        np.testing.assert_array_equal(np.asarray(scalar_logits), np.asarray(vec_logits))

@@ -1,0 +1,270 @@
+"""Tests for the functional building blocks (conv, pooling, losses).
+
+Forward passes are checked against small hand-computed / naive reference
+implementations; backward passes are checked with numerical gradients.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+
+
+def naive_conv2d(x, weight, bias, stride, padding):
+    """Direct 6-loop convolution used as a reference."""
+    n, c_in, h, w = x.shape
+    c_out, _, k, _ = weight.shape
+    out_h = (h + 2 * padding - k) // stride + 1
+    out_w = (w + 2 * padding - k) // stride + 1
+    xp = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    out = np.zeros((n, c_out, out_h, out_w), dtype=np.float64)
+    for ni in range(n):
+        for oc in range(c_out):
+            for oy in range(out_h):
+                for ox in range(out_w):
+                    patch = xp[ni, :, oy * stride : oy * stride + k, ox * stride : ox * stride + k]
+                    out[ni, oc, oy, ox] = (patch * weight[oc]).sum()
+            if bias is not None:
+                out[ni, oc] += bias[oc]
+    return out
+
+
+def numerical_gradient(fn, x, eps=1e-3):
+    """Central-difference gradient of a scalar function of an array."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        plus = fn()
+        flat[i] = orig - eps
+        minus = fn()
+        flat[i] = orig
+        gflat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+class TestConvOutputSize:
+    def test_basic(self):
+        assert F.conv_output_size(32, 3, 1, 1) == 32
+        assert F.conv_output_size(32, 3, 2, 1) == 16
+        assert F.conv_output_size(8, 1, 1, 0) == 8
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            F.conv_output_size(2, 5, 1, 0)
+
+
+class TestIm2Col:
+    def test_shape(self):
+        x = np.arange(2 * 3 * 5 * 5, dtype=np.float32).reshape(2, 3, 5, 5)
+        cols = F.im2col(x, 3, 1, 1)
+        assert cols.shape == (2, 3 * 9, 25)
+
+    def test_preserves_integer_dtype(self):
+        x = np.ones((1, 2, 4, 4), dtype=np.int64)
+        cols = F.im2col(x, 2, 2, 0)
+        assert cols.dtype == np.int64
+
+    def test_col2im_inverts_sum(self):
+        # col2im(im2col(x)) counts each input pixel once per window covering it;
+        # for kernel=1/stride=1 this is exactly x.
+        x = np.random.default_rng(0).normal(size=(2, 3, 4, 4)).astype(np.float32)
+        cols = F.im2col(x, 1, 1, 0)
+        back = F.col2im(cols, x.shape, 1, 1, 0)
+        np.testing.assert_allclose(back, x, rtol=1e-6)
+
+
+class TestConv2D:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1)])
+    def test_matches_naive(self, stride, padding):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(2, 3, 6, 6)).astype(np.float32)
+        w = rng.normal(size=(4, 3, 3, 3)).astype(np.float32)
+        b = rng.normal(size=4).astype(np.float32)
+        out, _ = F.conv2d_forward(x, w, b, stride, padding)
+        ref = naive_conv2d(x, w, b, stride, padding)
+        np.testing.assert_allclose(out, ref, rtol=1e-4, atol=1e-4)
+
+    def test_no_bias(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(1, 2, 4, 4)).astype(np.float32)
+        w = rng.normal(size=(3, 2, 1, 1)).astype(np.float32)
+        out, _ = F.conv2d_forward(x, w, None, 1, 0)
+        ref = naive_conv2d(x, w, None, 1, 0)
+        np.testing.assert_allclose(out, ref, rtol=1e-5)
+
+    def test_channel_mismatch_raises(self):
+        x = np.zeros((1, 2, 4, 4), dtype=np.float32)
+        w = np.zeros((3, 5, 1, 1), dtype=np.float32)
+        with pytest.raises(ValueError):
+            F.conv2d_forward(x, w, None, 1, 0)
+
+    def test_backward_weight_gradient_numerically(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(1, 2, 4, 4)).astype(np.float64)
+        w = rng.normal(size=(2, 2, 3, 3)).astype(np.float64)
+        grad_out = rng.normal(size=(1, 2, 2, 2)).astype(np.float64)
+
+        def loss():
+            out, _ = F.conv2d_forward(
+                x.astype(np.float32), w.astype(np.float32), None, 1, 0
+            )
+            return float((out * grad_out).sum())
+
+        out, cols = F.conv2d_forward(x.astype(np.float32), w.astype(np.float32), None, 1, 0)
+        _, grad_w, _ = F.conv2d_backward(grad_out.astype(np.float32), x.shape, cols, w.astype(np.float32), 1, 0)
+        num = numerical_gradient(loss, w)
+        np.testing.assert_allclose(grad_w, num, rtol=1e-2, atol=1e-2)
+
+    def test_backward_input_gradient_numerically(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(1, 2, 4, 4)).astype(np.float64)
+        w = rng.normal(size=(2, 2, 3, 3)).astype(np.float64)
+        grad_out = rng.normal(size=(1, 2, 4, 4)).astype(np.float64)
+
+        def loss():
+            out, _ = F.conv2d_forward(x.astype(np.float32), w.astype(np.float32), None, 1, 1)
+            return float((out * grad_out).sum())
+
+        out, cols = F.conv2d_forward(x.astype(np.float32), w.astype(np.float32), None, 1, 1)
+        grad_x, _, _ = F.conv2d_backward(grad_out.astype(np.float32), x.shape, cols, w.astype(np.float32), 1, 1)
+        num = numerical_gradient(loss, x)
+        np.testing.assert_allclose(grad_x, num, rtol=1e-2, atol=1e-2)
+
+
+class TestPooling:
+    def test_maxpool_forward_simple(self):
+        x = np.array([[[[1, 2], [3, 4]]]], dtype=np.float32)
+        out, _ = F.maxpool2d_forward(x, 2, 2)
+        assert out.shape == (1, 1, 1, 1)
+        assert out[0, 0, 0, 0] == 4
+
+    def test_maxpool_backward_routes_to_argmax(self):
+        x = np.array([[[[1, 2], [3, 4]]]], dtype=np.float32)
+        out, argmax = F.maxpool2d_forward(x, 2, 2)
+        grad = F.maxpool2d_backward(np.ones_like(out), argmax, x.shape, 2, 2)
+        expected = np.array([[[[0, 0], [0, 1]]]], dtype=np.float32)
+        np.testing.assert_array_equal(grad, expected)
+
+    def test_avgpool_forward(self):
+        x = np.array([[[[1, 3], [5, 7]]]], dtype=np.float32)
+        out = F.avgpool2d_forward(x, 2, 2)
+        assert out[0, 0, 0, 0] == 4.0
+
+    def test_avgpool_backward_spreads_uniformly(self):
+        x = np.ones((1, 1, 2, 2), dtype=np.float32)
+        grad = F.avgpool2d_backward(np.ones((1, 1, 1, 1), dtype=np.float32), x.shape, 2, 2)
+        np.testing.assert_allclose(grad, 0.25 * np.ones_like(x))
+
+    def test_global_avgpool_roundtrip(self):
+        x = np.random.default_rng(0).normal(size=(2, 3, 4, 4)).astype(np.float32)
+        out = F.global_avgpool_forward(x)
+        np.testing.assert_allclose(out, x.mean(axis=(2, 3)), rtol=1e-6)
+        grad = F.global_avgpool_backward(np.ones_like(out), x.shape)
+        np.testing.assert_allclose(grad, np.full_like(x, 1 / 16))
+
+
+class TestLinearAndLosses:
+    def test_linear_forward(self):
+        x = np.array([[1.0, 2.0]], dtype=np.float32)
+        w = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]], dtype=np.float32)
+        b = np.array([0.0, 1.0, -1.0], dtype=np.float32)
+        out = F.linear_forward(x, w, b)
+        np.testing.assert_allclose(out, [[1.0, 3.0, 2.0]])
+
+    def test_linear_backward_shapes(self):
+        x = np.random.default_rng(0).normal(size=(4, 5)).astype(np.float32)
+        w = np.random.default_rng(1).normal(size=(3, 5)).astype(np.float32)
+        grad_out = np.ones((4, 3), dtype=np.float32)
+        gi, gw, gb = F.linear_backward(grad_out, x, w)
+        assert gi.shape == x.shape
+        assert gw.shape == w.shape
+        assert gb.shape == (3,)
+
+    def test_relu(self):
+        x = np.array([-1.0, 0.0, 2.0], dtype=np.float32)
+        np.testing.assert_array_equal(F.relu_forward(x), [0.0, 0.0, 2.0])
+        np.testing.assert_array_equal(F.relu_backward(np.ones(3, dtype=np.float32), x), [0.0, 0.0, 1.0])
+
+    def test_softmax_rows_sum_to_one(self):
+        logits = np.random.default_rng(0).normal(size=(5, 10))
+        probs = F.softmax(logits)
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(5), rtol=1e-6)
+
+    def test_softmax_invariant_to_shift(self):
+        logits = np.array([[1.0, 2.0, 3.0]])
+        np.testing.assert_allclose(F.softmax(logits), F.softmax(logits + 100.0), rtol=1e-6)
+
+    def test_cross_entropy_perfect_prediction_low_loss(self):
+        logits = np.array([[10.0, -10.0], [-10.0, 10.0]], dtype=np.float32)
+        labels = np.array([0, 1])
+        loss, grad = F.cross_entropy_loss(logits, labels)
+        assert loss < 1e-4
+        assert np.abs(grad).max() < 1e-4
+
+    def test_cross_entropy_gradient_sums_to_zero_per_sample(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(6, 4)).astype(np.float32)
+        labels = rng.integers(0, 4, size=6)
+        _, grad = F.cross_entropy_loss(logits, labels)
+        np.testing.assert_allclose(grad.sum(axis=1), np.zeros(6), atol=1e-6)
+
+    def test_accuracy(self):
+        logits = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 0.0]])
+        labels = np.array([0, 1, 1])
+        assert F.accuracy(logits, labels) == pytest.approx(2 / 3)
+
+
+class TestBatchNorm:
+    def test_training_normalises_batch(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(loc=3.0, scale=2.0, size=(8, 4, 5, 5)).astype(np.float32)
+        gamma = np.ones(4, dtype=np.float32)
+        beta = np.zeros(4, dtype=np.float32)
+        rm = np.zeros(4, dtype=np.float32)
+        rv = np.ones(4, dtype=np.float32)
+        out, _ = F.batchnorm_forward(x, gamma, beta, rm, rv, 0.1, 1e-5, training=True)
+        assert abs(out.mean()) < 1e-5
+        assert abs(out.std() - 1.0) < 1e-2
+
+    def test_running_stats_updated(self):
+        x = np.random.default_rng(1).normal(loc=5.0, size=(4, 2, 3, 3)).astype(np.float32)
+        rm = np.zeros(2, dtype=np.float32)
+        rv = np.ones(2, dtype=np.float32)
+        F.batchnorm_forward(x, np.ones(2, np.float32), np.zeros(2, np.float32), rm, rv, 0.5, 1e-5, True)
+        assert rm.mean() > 1.0  # moved towards the batch mean of ~5
+
+    def test_eval_uses_running_stats(self):
+        x = np.random.default_rng(2).normal(size=(2, 2, 3, 3)).astype(np.float32)
+        rm = np.array([10.0, 10.0], dtype=np.float32)
+        rv = np.array([4.0, 4.0], dtype=np.float32)
+        out, _ = F.batchnorm_forward(x, np.ones(2, np.float32), np.zeros(2, np.float32), rm, rv, 0.1, 0.0, False)
+        np.testing.assert_allclose(out, (x - 10.0) / 2.0, rtol=1e-5)
+
+    def test_backward_gradients_numerically(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(3, 2, 2, 2)).astype(np.float64)
+        gamma = rng.normal(size=2).astype(np.float64)
+        beta = rng.normal(size=2).astype(np.float64)
+        grad_out = rng.normal(size=x.shape).astype(np.float64)
+
+        def loss():
+            rm = np.zeros(2, dtype=np.float32)
+            rv = np.ones(2, dtype=np.float32)
+            out, _ = F.batchnorm_forward(
+                x.astype(np.float32), gamma.astype(np.float32), beta.astype(np.float32),
+                rm, rv, 0.1, 1e-5, True,
+            )
+            return float((out * grad_out).sum())
+
+        rm = np.zeros(2, dtype=np.float32)
+        rv = np.ones(2, dtype=np.float32)
+        _, cache = F.batchnorm_forward(
+            x.astype(np.float32), gamma.astype(np.float32), beta.astype(np.float32), rm, rv, 0.1, 1e-5, True
+        )
+        grad_x, grad_gamma, grad_beta = F.batchnorm_backward(grad_out.astype(np.float32), cache)
+        np.testing.assert_allclose(grad_gamma, numerical_gradient(loss, gamma), rtol=5e-2, atol=5e-2)
+        np.testing.assert_allclose(grad_beta, numerical_gradient(loss, beta), rtol=5e-2, atol=5e-2)
+        np.testing.assert_allclose(grad_x, numerical_gradient(loss, x), rtol=5e-2, atol=5e-2)

@@ -1,0 +1,230 @@
+"""Tests for layer objects and the DAG graph container."""
+
+import numpy as np
+import pytest
+
+from repro.nn.graph import Graph
+from repro.nn.layers import (
+    Add,
+    AvgPool2D,
+    BatchNorm2D,
+    Conv2D,
+    Flatten,
+    GlobalAvgPool2D,
+    Identity,
+    Linear,
+    MaxPool2D,
+    ReLU,
+)
+from repro.nn import functional as F
+
+
+class TestLayerBasics:
+    def test_conv_parameters_listed(self):
+        conv = Conv2D(3, 4, 3, bias=True, name="c")
+        assert len(conv.parameters()) == 2
+        assert len(conv.trainable_parameters()) == 2
+
+    def test_conv_no_bias(self):
+        conv = Conv2D(3, 4, 3, bias=False, name="c")
+        assert len(conv.parameters()) == 1
+
+    def test_batchnorm_running_stats_not_trainable(self):
+        bn = BatchNorm2D(4, name="bn")
+        assert len(bn.parameters()) == 4
+        assert len(bn.trainable_parameters()) == 2
+
+    def test_zero_grad(self):
+        conv = Conv2D(1, 1, 1, name="c")
+        conv.weight.grad += 1.0
+        conv.zero_grad()
+        assert np.all(conv.weight.grad == 0)
+
+    def test_output_shapes(self):
+        assert Conv2D(3, 8, 3, stride=2, padding=1).output_shape((3, 32, 32)) == (8, 16, 16)
+        assert MaxPool2D(2).output_shape((4, 8, 8)) == (4, 4, 4)
+        assert AvgPool2D(2).output_shape((4, 8, 8)) == (4, 4, 4)
+        assert GlobalAvgPool2D().output_shape((7, 5, 5)) == (7,)
+        assert Flatten().output_shape((3, 4, 4)) == (48,)
+        assert Linear(10, 3).output_shape((10,)) == (3,)
+        assert Add().output_shape((2, 3, 3), (2, 3, 3)) == (2, 3, 3)
+        assert Identity().output_shape((9,)) == (9,)
+
+    def test_add_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Add().forward(np.zeros((1, 2)), np.zeros((1, 3)))
+
+    def test_relu_forward_backward(self):
+        relu = ReLU()
+        x = np.array([[-1.0, 2.0]], dtype=np.float32)
+        out = relu.forward(x)
+        np.testing.assert_array_equal(out, [[0.0, 2.0]])
+        grad = relu.backward(np.ones_like(x))
+        np.testing.assert_array_equal(grad, [[0.0, 1.0]])
+
+    def test_flatten_roundtrip(self):
+        flatten = Flatten()
+        x = np.random.default_rng(0).normal(size=(2, 3, 4, 4)).astype(np.float32)
+        out = flatten.forward(x)
+        assert out.shape == (2, 48)
+        back = flatten.backward(out)
+        assert back.shape == x.shape
+
+
+def build_small_graph(seed: int = 0) -> Graph:
+    """A small conv -> bn -> relu -> pool -> flatten/gap -> fc graph."""
+    rng = np.random.default_rng(seed)
+    g = Graph((3, 8, 8))
+    g.add("conv1", Conv2D(3, 4, 3, padding=1, bias=False, rng=rng), Graph.INPUT)
+    g.add("bn1", BatchNorm2D(4), "conv1")
+    g.add("relu1", ReLU(), "bn1")
+    g.add("pool1", MaxPool2D(2), "relu1")
+    g.add("gap", GlobalAvgPool2D(), "pool1")
+    g.add("fc", Linear(4, 5, rng=rng), "gap")
+    return g
+
+
+def build_residual_graph(seed: int = 0) -> Graph:
+    """A graph with a residual join to exercise gradient fan-in."""
+    rng = np.random.default_rng(seed)
+    g = Graph((2, 6, 6))
+    g.add("conv1", Conv2D(2, 4, 3, padding=1, bias=False, rng=rng), Graph.INPUT)
+    g.add("relu1", ReLU(), "conv1")
+    g.add("conv2", Conv2D(4, 4, 3, padding=1, bias=False, rng=rng), "relu1")
+    g.add("add", Add(), ["conv2", "relu1"])
+    g.add("relu2", ReLU(), "add")
+    g.add("gap", GlobalAvgPool2D(), "relu2")
+    g.add("fc", Linear(4, 3, rng=rng), "gap")
+    return g
+
+
+class TestGraphConstruction:
+    def test_duplicate_name_rejected(self):
+        g = Graph((1, 4, 4))
+        g.add("a", Identity(), Graph.INPUT)
+        with pytest.raises(ValueError):
+            g.add("a", Identity(), Graph.INPUT)
+
+    def test_unknown_input_rejected(self):
+        g = Graph((1, 4, 4))
+        with pytest.raises(ValueError):
+            g.add("a", Identity(), "missing")
+
+    def test_topological_order_respects_dependencies(self):
+        g = build_residual_graph()
+        order = g.topological_order()
+        assert order.index("conv1") < order.index("add")
+        assert order.index("conv2") < order.index("add")
+        assert order.index("add") < order.index("fc")
+
+    def test_consumers(self):
+        g = build_residual_graph()
+        assert set(g.consumers("relu1")) == {"conv2", "add"}
+
+    def test_parameter_names_unique(self):
+        g = build_small_graph()
+        names = [p.name for p in g.parameters()]
+        assert len(names) == len(set(names))
+        assert all(name for name in names)
+
+    def test_num_parameters_positive(self):
+        assert build_small_graph().num_parameters() > 0
+
+    def test_summary_mentions_all_nodes(self):
+        g = build_small_graph()
+        summary = g.summary()
+        for name in g.nodes:
+            assert name in summary
+
+
+class TestGraphExecution:
+    def test_forward_shape(self):
+        g = build_small_graph()
+        out = g.forward(np.zeros((2, 3, 8, 8), dtype=np.float32))
+        assert out.shape == (2, 5)
+
+    def test_forward_with_activations(self):
+        g = build_small_graph()
+        out, acts = g.forward(np.zeros((1, 3, 8, 8), dtype=np.float32), return_activations=True)
+        assert Graph.INPUT in acts
+        assert "fc" in acts
+        np.testing.assert_array_equal(out, acts["fc"])
+
+    def test_infer_shapes_matches_execution(self):
+        g = build_residual_graph()
+        shapes = g.infer_shapes()
+        _, acts = g.forward(np.zeros((3, 2, 6, 6), dtype=np.float32), return_activations=True)
+        for name, shape in shapes.items():
+            if name == Graph.INPUT:
+                continue
+            assert acts[name].shape[1:] == shape
+
+    def test_backward_produces_input_gradient(self):
+        g = build_residual_graph()
+        g.train()
+        x = np.random.default_rng(0).normal(size=(2, 2, 6, 6)).astype(np.float32)
+        out = g.forward(x)
+        grad_in = g.backward(np.ones_like(out))
+        assert grad_in.shape == x.shape
+
+    def test_backward_accumulates_parameter_grads(self):
+        g = build_small_graph()
+        g.train()
+        x = np.random.default_rng(1).normal(size=(4, 3, 8, 8)).astype(np.float32)
+        out = g.forward(x)
+        g.zero_grad()
+        g.backward(np.ones_like(out))
+        fc = g.nodes["fc"].layer
+        assert np.abs(fc.weight.grad).sum() > 0
+
+    def test_training_reduces_loss_on_small_problem(self):
+        # A single overfitting sanity check: loss should drop over steps.
+        g = build_small_graph(seed=3)
+        g.train()
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(8, 3, 8, 8)).astype(np.float32)
+        y = rng.integers(0, 5, size=8)
+        from repro.nn.optim import SGD
+
+        opt = SGD(g.trainable_parameters(), lr=0.1, momentum=0.9)
+        losses = []
+        for _ in range(15):
+            opt.zero_grad()
+            logits = g.forward(x)
+            loss, grad = F.cross_entropy_loss(logits, y)
+            g.backward(grad)
+            opt.step()
+            losses.append(loss)
+        assert losses[-1] < losses[0]
+
+    def test_state_dict_roundtrip(self):
+        g = build_small_graph(seed=5)
+        state = g.state_dict()
+        g2 = build_small_graph(seed=9)
+        g2.load_state_dict(state)
+        x = np.random.default_rng(0).normal(size=(2, 3, 8, 8)).astype(np.float32)
+        g.eval()
+        g2.eval()
+        np.testing.assert_allclose(g.forward(x), g2.forward(x), rtol=1e-6)
+
+    def test_load_state_dict_missing_key_raises(self):
+        g = build_small_graph()
+        state = g.state_dict()
+        state.pop(next(iter(state)))
+        with pytest.raises(KeyError):
+            build_small_graph().load_state_dict(state)
+
+    def test_load_state_dict_shape_mismatch_raises(self):
+        g = build_small_graph()
+        state = g.state_dict()
+        key = next(iter(state))
+        state[key] = np.zeros((1, 1), dtype=np.float32)
+        with pytest.raises(ValueError):
+            build_small_graph().load_state_dict(state)
+
+    def test_eval_train_mode_propagates(self):
+        g = build_small_graph()
+        g.eval()
+        assert all(not node.layer.training for node in g.nodes.values())
+        g.train()
+        assert all(node.layer.training for node in g.nodes.values())

@@ -1,0 +1,133 @@
+"""Cross-module property-based tests (hypothesis).
+
+These properties tie several subsystems together: the lane mapping contract
+between the mapper and the engines, conservation properties of the fault
+arithmetic, and round-trip properties of the control-plane encodings.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.accelerator.engine import VectorisedEngine
+from repro.accelerator.geometry import PAPER_GEOMETRY
+from repro.compiler.mapper import Mapper
+from repro.faults.injector import FaultInjector, InjectionConfig
+from repro.faults.models import ConstantValue, StuckAtZero
+from repro.faults.registers import FaultInjectionRegisterFile
+from repro.faults.sites import FaultSite, FaultUniverse
+from repro.quant.qscheme import compute_requant_params, requantize
+from repro.utils.bitops import PRODUCT_WIDTH, to_signed, to_unsigned
+
+from tests.conftest import make_qconv, random_int8
+
+sites = st.builds(
+    FaultSite,
+    mac_unit=st.integers(min_value=0, max_value=7),
+    multiplier=st.integers(min_value=0, max_value=7),
+)
+
+
+class TestLaneMappingContract:
+    """The mapper's lane assignment is exactly what the engine perturbs."""
+
+    @given(site=sites, seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=20, deadline=None)
+    def test_engine_corruption_confined_to_mapped_channels(self, site, seed):
+        node = make_qconv(16, 16, 1, seed=seed)
+        x = random_int8((1, 16, 3, 3), seed=seed + 1)
+        engine = VectorisedEngine(PAPER_GEOMETRY)
+        clean = engine.conv_accumulate(x, node)
+        faulty = engine.conv_accumulate(
+            x, node, InjectionConfig.single(site, ConstantValue(9999))
+        )
+        diff_channels = np.where(np.abs(clean - faulty).sum(axis=(0, 2, 3)) > 0)[0]
+        mapper = Mapper(PAPER_GEOMETRY)
+        _, allowed = mapper.channels_of_site(site, in_channels=16, out_channels=16)
+        assert set(diff_channels.tolist()).issubset(set(allowed))
+
+    @given(
+        in_channel=st.integers(min_value=0, max_value=63),
+        out_channel=st.integers(min_value=0, max_value=63),
+    )
+    def test_site_for_channels_consistency(self, in_channel, out_channel):
+        mapper = Mapper(PAPER_GEOMETRY)
+        site = mapper.site_for_channels(in_channel, out_channel)
+        ins, outs = mapper.channels_of_site(site, in_channels=64, out_channels=64)
+        assert in_channel in ins
+        assert out_channel in outs
+
+
+class TestFaultArithmeticProperties:
+    @given(value=st.sampled_from([0, 1, -1, 127, -128]), seed=st.integers(0, 200))
+    @settings(max_examples=15, deadline=None)
+    def test_stuck_at_zero_never_increases_magnitude_of_fully_zero_input(self, value, seed):
+        """With an all-zero input image, a constant fault of value v at one
+        multiplier shifts every affected accumulator by exactly
+        v * channel_groups * K*K (all true products are zero)."""
+        node = make_qconv(8, 8, 3, padding=1, seed=seed)
+        x = np.zeros((1, 8, 4, 4), dtype=np.int8)
+        engine = VectorisedEngine(PAPER_GEOMETRY)
+        site = FaultSite(2, 3)
+        clean = engine.conv_accumulate(x, node)
+        faulty = engine.conv_accumulate(x, node, InjectionConfig.single(site, ConstantValue(value)))
+        delta = faulty - clean
+        expected = value * 1 * 9  # one channel group, 3x3 kernel
+        affected = [oc for oc in range(8) if oc % 8 == site.mac_unit]
+        for oc in range(8):
+            if oc in affected:
+                assert np.all(delta[:, oc] == expected)
+            else:
+                assert np.all(delta[:, oc] == 0)
+
+    @given(seed=st.integers(0, 100))
+    @settings(max_examples=10, deadline=None)
+    def test_all_sites_stuck_at_zero_zeroes_everything(self, seed):
+        node = make_qconv(8, 8, 3, padding=1, seed=seed)
+        node.bias[:] = 0
+        x = random_int8((1, 8, 4, 4), seed=seed)
+        config = InjectionConfig.uniform(FaultUniverse().all_sites(), StuckAtZero())
+        acc = VectorisedEngine().conv_accumulate(x, node, config)
+        assert np.all(acc == 0)
+
+
+class TestControlPlaneRoundTrips:
+    @given(st.lists(sites, min_size=1, max_size=8, unique=True),
+           st.integers(min_value=-(2**17), max_value=2**17 - 1))
+    @settings(max_examples=100)
+    def test_register_file_roundtrip(self, site_list, value):
+        regs = FaultInjectionRegisterFile()
+        config = InjectionConfig.uniform(site_list, ConstantValue(value))
+        regs.program_config(config)
+        decoded = regs.decode_config()
+        assert decoded.sites == config.sites
+        decoded_values = {m.constant_override() for m in decoded.faults.values()}
+        assert decoded_values == {value}
+
+    @given(st.integers(min_value=-(2**17), max_value=2**17 - 1))
+    def test_injector_full_override_encodes_bus_pattern(self, value):
+        injector = FaultInjector.full_override(value)
+        assert injector.fdata == to_unsigned(value, PRODUCT_WIDTH)
+        assert to_signed(injector.fdata, PRODUCT_WIDTH) == value
+
+
+class TestRequantisationProperties:
+    @given(
+        st.floats(min_value=1e-3, max_value=0.5),
+        st.floats(min_value=1e-3, max_value=0.5),
+        st.integers(min_value=-(2**20), max_value=2**20),
+    )
+    @settings(max_examples=200)
+    def test_requantisation_monotone(self, in_scale, out_scale, acc):
+        """Requantisation is a monotone function of the accumulator."""
+        params = compute_requant_params(in_scale, 1.0, out_scale)
+        a = int(requantize(np.array([acc]), params, channel_axis=0, saturate_to_int8=False)[0])
+        b = int(requantize(np.array([acc + 17]), params, channel_axis=0, saturate_to_int8=False)[0])
+        assert b >= a
+
+    @given(st.integers(min_value=-(2**20), max_value=2**20))
+    @settings(max_examples=200)
+    def test_requantised_output_always_int8_when_saturating(self, acc):
+        params = compute_requant_params(0.1, 0.1, 0.05)
+        out = requantize(np.array([acc]), params, channel_axis=0)
+        assert -128 <= int(out[0]) <= 127

@@ -1,0 +1,283 @@
+"""Tests for the int8 quantisation stack (schemes, calibration, graph quantisation)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn.graph import Graph
+from repro.quant.calibrate import ActivationRanges, collect_activation_ranges
+from repro.quant.qlayers import QAdd, QConv, QGlobalAvgPool, QInput, QLinear, QuantizedModel
+from repro.quant.qscheme import (
+    INT8_MAX,
+    INT8_MIN,
+    QuantParams,
+    RequantParams,
+    compute_requant_params,
+    dequantize,
+    quantize_tensor,
+    requantize,
+    rounding_right_shift,
+    symmetric_scale,
+)
+from repro.quant.quantize import quantize_graph
+from repro.quant.shape_infer import infer_quantized_shapes
+from repro.compiler.passes import fold_batchnorm
+
+from tests.test_nn_layers_graph import build_residual_graph, build_small_graph
+
+
+class TestSymmetricScale:
+    def test_scale_maps_max_to_127(self):
+        scale = symmetric_scale(1.27)
+        assert np.isclose(scale, 0.01)
+
+    def test_zero_range_protected(self):
+        assert symmetric_scale(0.0) > 0
+
+    def test_per_channel_array(self):
+        scales = symmetric_scale(np.array([1.27, 2.54]))
+        np.testing.assert_allclose(scales, [0.01, 0.02])
+
+
+class TestQuantizeDequantize:
+    def test_roundtrip_within_half_scale(self):
+        values = np.linspace(-1.0, 1.0, 41).astype(np.float32)
+        params = QuantParams(scale=symmetric_scale(1.0))
+        q = quantize_tensor(values, params)
+        back = dequantize(q, params)
+        assert np.abs(back - values).max() <= float(params.scale) / 2 + 1e-9
+
+    def test_clipping_to_int8(self):
+        params = QuantParams(scale=np.array(0.01))
+        q = quantize_tensor(np.array([10.0, -10.0]), params)
+        assert q[0] == INT8_MAX
+        assert q[1] == INT8_MIN
+
+    def test_per_channel_broadcast(self):
+        weights = np.stack([np.full((2, 2), 1.0), np.full((2, 2), 10.0)])
+        params = QuantParams(scale=symmetric_scale(np.array([1.0, 10.0])), per_channel=True)
+        q = quantize_tensor(weights, params, channel_axis=0)
+        assert q[0].max() == 127 and q[1].max() == 127
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            QuantParams(scale=np.array(-1.0))
+
+
+class TestRoundingRightShift:
+    def test_round_half_away_from_zero(self):
+        assert rounding_right_shift(np.array([3]), 1)[0] == 2  # 1.5 -> 2
+        assert rounding_right_shift(np.array([-3]), 1)[0] == -2  # -1.5 -> -2
+        assert rounding_right_shift(np.array([5]), 2)[0] == 1  # 1.25 -> 1
+
+    def test_zero_shift_identity(self):
+        np.testing.assert_array_equal(rounding_right_shift(np.array([7, -7]), 0), [7, -7])
+
+    @given(st.integers(min_value=-(2**30), max_value=2**30), st.integers(min_value=0, max_value=20))
+    @settings(max_examples=200)
+    def test_matches_float_rounding(self, value, shift):
+        result = int(rounding_right_shift(np.array([value]), shift)[0])
+        expected = value / (2**shift)
+        # round-half-away-from-zero
+        import math
+        expected_rounded = math.floor(expected + 0.5) if expected >= 0 else math.ceil(expected - 0.5)
+        assert result == expected_rounded
+
+
+class TestRequantParams:
+    def test_encoding_accuracy(self):
+        params = compute_requant_params(0.02, 0.005, 0.03)
+        ratio = 0.02 * 0.005 / 0.03
+        encoded = float(params.multiplier) / (1 << params.shift)
+        assert abs(encoded - ratio) / ratio < 1e-3
+
+    def test_per_channel_shared_shift(self):
+        params = compute_requant_params(0.02, np.array([0.005, 0.01, 0.02]), 0.03)
+        assert params.multiplier.shape == (3,)
+        assert np.all(params.multiplier >= 1)
+
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            compute_requant_params(0.0, 1.0, 1.0)
+
+    def test_shift_bounds_validated(self):
+        with pytest.raises(ValueError):
+            RequantParams(multiplier=np.array(1), shift=-1)
+
+    @given(
+        st.floats(min_value=1e-4, max_value=1.0),
+        st.floats(min_value=1e-4, max_value=1.0),
+        st.floats(min_value=1e-4, max_value=1.0),
+    )
+    @settings(max_examples=100)
+    def test_requantisation_close_to_float(self, in_scale, w_scale, out_scale):
+        params = compute_requant_params(in_scale, w_scale, out_scale)
+        acc = np.arange(-1000, 1000, 37, dtype=np.int64)
+        q = requantize(acc, params, channel_axis=0, saturate_to_int8=False)
+        expected = acc * (in_scale * w_scale / out_scale)
+        # Fixed-point encoding error is bounded by ~2^-15 relative plus 0.5 rounding.
+        assert np.abs(q - np.round(expected)).max() <= np.maximum(1.0, np.abs(expected) * 2e-3).max()
+
+
+class TestRequantize:
+    def test_relu_clamps_negative(self):
+        params = compute_requant_params(1.0, 1.0, 1.0)
+        out = requantize(np.array([[-100, 50]]), params, channel_axis=1, relu=True)
+        assert out[0, 0] == 0
+        assert out[0, 1] > 0
+
+    def test_saturation(self):
+        params = compute_requant_params(1.0, 1.0, 1.0)
+        out = requantize(np.array([[100000, -100000]]), params, channel_axis=1)
+        assert out[0, 0] == INT8_MAX
+        assert out[0, 1] == INT8_MIN
+
+    def test_per_channel_multiplier_broadcast(self):
+        params = compute_requant_params(1.0, np.array([1.0, 2.0]), 1.0)
+        acc = np.ones((1, 2, 2, 2), dtype=np.int64) * 10
+        out = requantize(acc, params, channel_axis=1, saturate_to_int8=False)
+        assert out[0, 1, 0, 0] == pytest.approx(2 * out[0, 0, 0, 0], abs=1)
+
+
+class TestCalibration:
+    def test_ranges_cover_all_nodes(self):
+        graph = build_small_graph()
+        graph.eval()
+        images = np.random.default_rng(0).normal(size=(8, 3, 8, 8)).astype(np.float32)
+        ranges = collect_activation_ranges(graph, images, batch_size=4)
+        for name in graph.nodes:
+            assert name in ranges
+        assert Graph.INPUT in ranges
+
+    def test_percentile_leq_max(self):
+        graph = build_small_graph()
+        graph.eval()
+        images = np.random.default_rng(1).normal(size=(8, 3, 8, 8)).astype(np.float32)
+        pct = collect_activation_ranges(graph, images, percentile=90.0)
+        mx = collect_activation_ranges(graph, images, percentile=None)
+        for name in graph.nodes:
+            assert pct.get(name) <= mx.get(name) + 1e-9
+
+    def test_missing_range_raises(self):
+        with pytest.raises(KeyError):
+            ActivationRanges().get("nope")
+
+    def test_invalid_input_shape_rejected(self):
+        graph = build_small_graph()
+        with pytest.raises(ValueError):
+            collect_activation_ranges(graph, np.zeros((3, 8, 8), dtype=np.float32))
+
+
+def quantize_small_graph(graph_builder=build_small_graph, seed=0, per_channel=True):
+    graph = graph_builder(seed)
+    graph.eval()
+    images = np.random.default_rng(seed).normal(size=(16, *graph.input_shape)).astype(np.float32)
+    folded = fold_batchnorm(graph)
+    ranges = collect_activation_ranges(folded, images)
+    return quantize_graph(folded, ranges, per_channel=per_channel), folded, images
+
+
+class TestQuantizeGraph:
+    def test_node_types_emitted(self):
+        qmodel, _, _ = quantize_small_graph()
+        types = {type(node) for node in qmodel.nodes}
+        assert QInput in types and QConv in types and QLinear in types
+
+    def test_relu_fused_into_conv(self):
+        qmodel, _, _ = quantize_small_graph()
+        conv = qmodel.node("conv1")
+        assert isinstance(conv, QConv)
+        assert conv.relu is True
+        assert "relu1" not in qmodel
+
+    def test_residual_graph_emits_qadd(self):
+        qmodel, _, _ = quantize_small_graph(build_residual_graph)
+        adds = [n for n in qmodel.nodes if isinstance(n, QAdd)]
+        assert len(adds) == 1
+        assert adds[0].relu is True
+
+    def test_final_linear_keeps_raw_logits(self):
+        qmodel, _, _ = quantize_small_graph()
+        fc = qmodel.node("fc")
+        assert isinstance(fc, QLinear)
+        assert fc.requant is None
+
+    def test_weights_are_int8(self):
+        qmodel, _, _ = quantize_small_graph()
+        conv = qmodel.node("conv1")
+        assert conv.weight.dtype == np.int8
+        assert conv.bias.dtype == np.int64
+
+    def test_per_tensor_option(self):
+        qmodel, _, _ = quantize_small_graph(per_channel=False)
+        conv = qmodel.node("conv1")
+        assert not conv.weight_params.per_channel
+
+    def test_quantised_accuracy_close_to_float(self, tiny_platform, tiny_dataset, tiny_graph):
+        from repro.nn.train import evaluate_accuracy
+
+        float_acc = evaluate_accuracy(tiny_graph, tiny_dataset.test_images, tiny_dataset.test_labels)
+        quant_acc = tiny_platform.cpu_reference_accuracy(
+            tiny_dataset.test_images, tiny_dataset.test_labels
+        )
+        assert abs(float_acc - quant_acc) < 0.15
+
+    def test_name_map_covers_fused_nodes(self):
+        qmodel, folded, _ = quantize_small_graph()
+        for name in folded.nodes:
+            assert name in qmodel.name_map
+
+    def test_total_macs_positive(self):
+        qmodel, _, _ = quantize_small_graph()
+        assert qmodel.total_macs() > 0
+
+    def test_summary_lists_nodes(self):
+        qmodel, _, _ = quantize_small_graph()
+        summary = qmodel.summary()
+        assert "conv1" in summary and "fc" in summary
+
+
+class TestShapeInference:
+    def test_shapes_match_cpu_execution(self, tiny_platform, tiny_dataset):
+        from repro.runtime.cpu_backend import CPUBackend
+
+        qmodel = tiny_platform.quantized_model
+        shapes = infer_quantized_shapes(qmodel)
+        backend = CPUBackend()
+        images = tiny_dataset.test_images[:2]
+        activations = {}
+        # re-run manually to capture activation shapes
+        for node in qmodel.nodes:
+            if isinstance(node, QInput):
+                activations[node.name] = node.quantize(images)
+                continue
+            inputs = [activations[src] for src in node.inputs]
+            if isinstance(node, QConv):
+                activations[node.name] = backend._conv(inputs[0], node)
+            elif isinstance(node, QLinear):
+                activations[node.name] = backend._linear(inputs[0], node)
+            elif isinstance(node, QAdd):
+                activations[node.name] = backend._add(inputs[0], inputs[1], node)
+            elif isinstance(node, QGlobalAvgPool):
+                activations[node.name] = backend._global_avg(inputs[0], node)
+            else:
+                from repro.accelerator.pdp import max_pool_int8
+
+                activations[node.name] = max_pool_int8(inputs[0], node.kernel, node.stride, node.padding)
+            assert activations[node.name].shape[1:] == shapes[node.name]
+
+    def test_channel_mismatch_detected(self):
+        conv = QConv(
+            name="c",
+            inputs=["input"],
+            weight=np.zeros((8, 4, 3, 3), dtype=np.int8),
+            bias=np.zeros(8, dtype=np.int64),
+            requant=compute_requant_params(1.0, 1.0, 1.0),
+        )
+        model = QuantizedModel(
+            nodes=[QInput(name="input", inputs=[], scale=1.0, shape=(3, 8, 8)), conv],
+            output_name="c",
+            input_shape=(3, 8, 8),
+        )
+        with pytest.raises(ValueError):
+            infer_quantized_shapes(model)

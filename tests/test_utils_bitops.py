@@ -1,0 +1,124 @@
+"""Tests for the bit-level helpers underpinning the 18-bit product bus model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils import bitops
+
+
+class TestSignedUnsignedConversion:
+    def test_to_unsigned_negative_one_is_all_ones(self):
+        assert bitops.to_unsigned(-1, 8) == 0xFF
+        assert bitops.to_unsigned(-1, 18) == 0x3FFFF
+
+    def test_to_unsigned_positive_passthrough(self):
+        assert bitops.to_unsigned(42, 8) == 42
+
+    def test_to_signed_wraps_high_bit(self):
+        assert bitops.to_signed(255, 8) == -1
+        assert bitops.to_signed(128, 8) == -128
+
+    def test_to_signed_low_values_unchanged(self):
+        assert bitops.to_signed(127, 8) == 127
+
+    def test_array_roundtrip(self):
+        values = np.array([-131072, -1, 0, 1, 131071], dtype=np.int64)
+        bus = bitops.to_unsigned(values, 18)
+        back = bitops.to_signed(bus, 18)
+        np.testing.assert_array_equal(back, values)
+
+    @given(st.integers(min_value=-(2**17), max_value=2**17 - 1))
+    def test_roundtrip_property_18bit(self, value):
+        assert bitops.to_signed(bitops.to_unsigned(value, 18), 18) == value
+
+    @given(st.integers(min_value=0, max_value=2**18 - 1))
+    def test_unsigned_signed_unsigned_roundtrip(self, pattern):
+        assert bitops.to_unsigned(bitops.to_signed(pattern, 18), 18) == pattern
+
+
+class TestSaturate:
+    def test_saturates_above(self):
+        assert bitops.saturate(300, 8) == 127
+
+    def test_saturates_below(self):
+        assert bitops.saturate(-300, 8) == -128
+
+    def test_in_range_unchanged(self):
+        assert bitops.saturate(-5, 8) == -5
+
+    def test_array_saturation(self):
+        values = np.array([-(2**40), 0, 2**40])
+        out = bitops.saturate(values, 34)
+        assert out[0] == -(2**33)
+        assert out[2] == 2**33 - 1
+
+    @given(st.integers(min_value=-(2**40), max_value=2**40))
+    def test_saturated_value_always_in_range(self, value):
+        out = bitops.saturate(value, 18)
+        assert -(2**17) <= out <= 2**17 - 1
+
+
+class TestProductBits:
+    def test_zero_product(self):
+        assert bitops.product_bits(0, 77) == 0
+
+    def test_negative_product_pattern(self):
+        # -1 * 1 = -1 -> all 18 bits set
+        assert bitops.product_bits(-1, 1) == 0x3FFFF
+
+    def test_max_magnitude_product_fits(self):
+        # -128 * -128 = 16384 fits comfortably on 18 bits
+        assert bitops.product_bits(-128, -128) == 16384
+
+    def test_rejects_out_of_range_operands(self):
+        with pytest.raises(ValueError):
+            bitops.product_bits(200, 1)
+        with pytest.raises(ValueError):
+            bitops.product_bits(1, -200)
+
+    @given(
+        st.integers(min_value=-128, max_value=127),
+        st.integers(min_value=-128, max_value=127),
+    )
+    def test_product_bus_decodes_to_true_product(self, a, b):
+        bus = bitops.product_bits(a, b)
+        assert bitops.to_signed(bus, 18) == a * b
+
+
+class TestBitManipulation:
+    def test_bit_get(self):
+        assert bitops.bit_get(0b1010, 1) == 1
+        assert bitops.bit_get(0b1010, 0) == 0
+
+    def test_bit_set_and_clear(self):
+        assert bitops.bit_set(0, 3, 1) == 8
+        assert bitops.bit_set(0b1111, 0, 0) == 0b1110
+
+    def test_bit_set_rejects_invalid_value(self):
+        with pytest.raises(ValueError):
+            bitops.bit_set(0, 0, 2)
+
+    def test_bit_flip(self):
+        assert bitops.bit_flip(0, 17) == 1 << 17
+        assert bitops.bit_flip(1 << 17, 17) == 0
+
+    def test_popcount(self):
+        assert bitops.popcount(0) == 0
+        assert bitops.popcount(0x3FFFF) == 18
+
+    def test_sign_extend_validates_width(self):
+        with pytest.raises(ValueError):
+            bitops.sign_extend(5, 18, 8)
+
+    def test_sign_extend_preserves_value(self):
+        assert bitops.sign_extend(-5, 8, 18) == -5
+
+    def test_clamp_scalar_and_array(self):
+        assert bitops.clamp(5, 0, 3) == 3
+        np.testing.assert_array_equal(
+            bitops.clamp(np.array([-2, 1, 9]), 0, 4), np.array([0, 1, 4])
+        )
+
+    def test_int8_info(self):
+        assert bitops.int8_info() == (-128, 127)

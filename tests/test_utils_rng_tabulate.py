@@ -1,0 +1,110 @@
+"""Tests for RNG management, table formatting and logging helpers."""
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.utils.logging import get_logger, set_verbosity
+from repro.utils.rng import SeededRNG, derive_seed
+from repro.utils.tabulate import format_heatmap, format_table
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a", 1) == derive_seed(42, "a", 1)
+
+    def test_differs_by_tag(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_differs_by_base(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_non_negative_31_bit(self):
+        for seed in range(10):
+            value = derive_seed(seed, "x")
+            assert 0 <= value < 2**31
+
+
+class TestSeededRNG:
+    def test_named_streams_are_reproducible(self):
+        a = SeededRNG(7).stream("w").normal(size=4)
+        b = SeededRNG(7).stream("w").normal(size=4)
+        np.testing.assert_allclose(a, b)
+
+    def test_streams_are_independent(self):
+        rng = SeededRNG(7)
+        a = rng.stream("a").normal(size=4)
+        b = rng.stream("b").normal(size=4)
+        assert not np.allclose(a, b)
+
+    def test_same_stream_object_returned(self):
+        rng = SeededRNG(7)
+        assert rng.stream("x") is rng.stream("x")
+
+    def test_child_rng_reproducible(self):
+        a = SeededRNG(3).child("camp", 1).generator().integers(0, 100, 5)
+        b = SeededRNG(3).child("camp", 1).generator().integers(0, 100, 5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_child_differs_from_parent(self):
+        parent = SeededRNG(3)
+        child = parent.child("x")
+        assert parent.seed != child.seed
+
+
+class TestFormatTable:
+    def test_contains_headers_and_values(self):
+        text = format_table(["a", "b"], [[1, 2.5], ["x", None]])
+        assert "a" in text and "b" in text
+        assert "2.50" in text
+        assert "-" in text  # None rendered as dash
+
+    def test_title_rendered(self):
+        text = format_table(["c"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_mismatched_row_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_floatfmt_applied(self):
+        text = format_table(["v"], [[3.14159]], floatfmt=".4f")
+        assert "3.1416" in text
+
+    def test_alignment_consistent_width(self):
+        text = format_table(["col"], [[1], [100000]])
+        lines = text.splitlines()
+        assert len(lines[0]) == len(lines[2]) == len(lines[3])
+
+
+class TestFormatHeatmap:
+    def test_shape_and_labels(self):
+        matrix = np.arange(6, dtype=float).reshape(2, 3)
+        text = format_heatmap(matrix, "MAC", "MUL")
+        assert "MAC" in text and "MUL" in text
+        # header + label line + 2 data rows
+        assert len(text.splitlines()) == 4
+
+    def test_values_present(self):
+        matrix = [[1.5, -2.25]]
+        text = format_heatmap(matrix, "r", "c")
+        assert "+1.50" in text and "-2.25" in text
+
+
+class TestLogging:
+    def test_get_logger_namespaced(self):
+        logger = get_logger("somewhere")
+        assert logger.name.startswith("repro")
+
+    def test_get_logger_idempotent_handlers(self):
+        before = len(logging.getLogger("repro").handlers)
+        get_logger("a")
+        get_logger("b")
+        after = len(logging.getLogger("repro").handlers)
+        assert before == after
+
+    def test_set_verbosity(self):
+        set_verbosity(logging.DEBUG)
+        assert logging.getLogger("repro").level == logging.DEBUG
+        set_verbosity(logging.WARNING)

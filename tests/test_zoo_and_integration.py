@@ -1,0 +1,106 @@
+"""Zoo caching tests plus whole-stack integration tests.
+
+The integration tests walk the complete paper workflow on the tiny model:
+train -> compile -> emulate -> inject faults -> analyse, and check the
+qualitative properties the paper reports (monotone degradation with more
+faulty multipliers, architecture-level fault containment, FI latency
+neutrality).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import accuracy_drop_boxplots, heatmap_matrix, monotonicity_score
+from repro.core.campaign import CampaignConfig, FaultInjectionCampaign
+from repro.core.strategies import ExhaustiveSingleSite, RandomMultipliers
+from repro.faults.injector import InjectionConfig
+from repro.faults.models import ConstantValue
+from repro.faults.sites import FaultUniverse
+from repro.zoo import CaseStudySpec, train_case_study_model
+
+
+class TestZoo:
+    def test_cache_roundtrip(self, tmp_path):
+        spec = CaseStudySpec(width_multiplier=0.125, num_train=100, num_test=30, epochs=1, seed=9)
+        first = train_case_study_model(spec, cache_dir=tmp_path)
+        assert (tmp_path / f"{spec.cache_key()}.npz").exists()
+        second = train_case_study_model(spec, cache_dir=tmp_path)
+        # loading from cache must reproduce the same weights
+        a = first.graph.state_dict()
+        b = second.graph.state_dict()
+        for key in a:
+            np.testing.assert_allclose(a[key], b[key])
+        assert second.float_accuracy == pytest.approx(first.float_accuracy)
+
+    def test_force_retrain(self, tmp_path):
+        spec = CaseStudySpec(width_multiplier=0.125, num_train=80, num_test=20, epochs=1, seed=10)
+        train_case_study_model(spec, cache_dir=tmp_path)
+        retrained = train_case_study_model(spec, cache_dir=tmp_path, force_retrain=True)
+        assert retrained.float_accuracy >= 0.0
+
+    def test_cache_key_distinguishes_specs(self):
+        a = CaseStudySpec(width_multiplier=0.25)
+        b = CaseStudySpec(width_multiplier=0.5)
+        assert a.cache_key() != b.cache_key()
+
+
+class TestIntegrationCaseStudy:
+    """Small-scale versions of the paper's two experiments on the tiny model."""
+
+    @pytest.fixture(scope="class")
+    def fig2_result(self, tiny_platform, tiny_dataset):
+        strategy = RandomMultipliers(values=(0, -1), fault_counts=(1, 8, 32), trials_per_point=3)
+        campaign = FaultInjectionCampaign(
+            tiny_platform, strategy, CampaignConfig(seed=11, max_images=40, batch_size=40)
+        )
+        return campaign.run(tiny_dataset.test_images, tiny_dataset.test_labels)
+
+    def test_fig2_accuracy_drop_grows_with_fault_count(self, fig2_result):
+        series = accuracy_drop_boxplots(fig2_result)
+        for value, s in series.items():
+            assert monotonicity_score(s) >= 0.5
+            # many faulty multipliers must hurt much more than a single one
+            assert s.boxes[32].mean >= s.boxes[1].mean
+
+    def test_fig2_massive_injection_devastates_accuracy(self, fig2_result):
+        worst = max(r.accuracy_drop for r in fig2_result if r.num_faults == 32)
+        # With half of all multipliers stuck, a large part of the margin above
+        # chance level (0.1 for ten classes) should be destroyed.
+        margin_above_chance = max(fig2_result.baseline_accuracy - 0.1, 0.05)
+        assert worst > 0.4 * margin_above_chance
+
+    def test_fig2_single_fault_effect_is_bounded(self, fig2_result):
+        drops = [r.accuracy_drop for r in fig2_result if r.num_faults == 1]
+        assert all(d <= 0.6 for d in drops)
+
+    @pytest.fixture(scope="class")
+    def fig3_result(self, tiny_platform, tiny_dataset):
+        strategy = ExhaustiveSingleSite(values=(0,))
+        campaign = FaultInjectionCampaign(
+            tiny_platform, strategy, CampaignConfig(seed=12, max_images=24, batch_size=24)
+        )
+        return campaign.run(tiny_dataset.test_images, tiny_dataset.test_labels)
+
+    def test_fig3_heatmap_complete(self, fig3_result):
+        matrix = heatmap_matrix(fig3_result, injected_value=0)
+        assert not np.isnan(matrix).any()
+        assert matrix.shape == (8, 8)
+
+    def test_fig3_drops_nonnegative_within_noise(self, fig3_result):
+        matrix = heatmap_matrix(fig3_result, injected_value=0)
+        # A single stuck multiplier cannot make accuracy much better than baseline.
+        assert matrix.min() >= -0.15
+
+    def test_latency_unaffected_by_fault_configuration(self, tiny_platform):
+        before = tiny_platform.timing_report().total_cycles
+        config = InjectionConfig.uniform(
+            FaultUniverse().sites_in_mac(0), ConstantValue(-1)
+        )
+        tiny_platform.runtime.configure_faults(config)
+        after = tiny_platform.timing_report().total_cycles
+        tiny_platform.runtime.clear_faults()
+        assert before == after
+
+    def test_emulated_throughput_reported(self, tiny_platform):
+        ips = tiny_platform.inferences_per_second()
+        assert ips > 10  # the tiny model is much faster than the paper's 217/s
