@@ -1,0 +1,85 @@
+"""Scaling benchmark: campaign wall-clock time vs worker count.
+
+The paper's headline claim is fault-injection *throughput*; on the emulator
+side the corresponding lever is sharding a campaign's trials across worker
+processes.  This benchmark runs the same seeded 40-trial campaign (Fig. 2
+style: one injected value, four fault counts, ten random subsets each) with
+1, 2 and 4 workers, verifies that every run produces identical records (the
+determinism invariant of the parallel runner), and reports the speedup.
+
+On a machine with >= 4 usable cores the 4-worker run must finish at least
+2x faster than the serial one; with fewer cores the speedup is reported but
+not asserted (a 1-core container cannot parallelise compute-bound trials).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.core.campaign import CampaignConfig
+from repro.core.parallel import ParallelCampaignRunner
+from repro.core.strategies import RandomMultipliers
+from repro.utils.tabulate import format_table
+from repro.zoo import case_study_platform_spec
+
+from benchmarks.conftest import FULL_SCALE, write_report
+
+WORKER_COUNTS = (1, 2, 4)
+
+#: 1 value x 4 fault counts x 10 subsets = 40 trials (acceptance floor).
+STRATEGY = RandomMultipliers(values=(0,), fault_counts=(1, 2, 3, 4), trials_per_point=10)
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def test_parallel_scaling(dataset, eval_images):
+    spec, _ = case_study_platform_spec()
+    images, labels = eval_images
+    if not FULL_SCALE:
+        images, labels = images[:48], labels[:48]
+
+    walls: dict[int, float] = {}
+    records_by_workers = {}
+    for workers in WORKER_COUNTS:
+        runner = ParallelCampaignRunner(
+            spec, STRATEGY, CampaignConfig(batch_size=64, seed=0), workers=workers
+        )
+        start = time.perf_counter()
+        result = runner.run(images, labels)
+        walls[workers] = time.perf_counter() - start
+        records_by_workers[workers] = result.records
+
+    cores = _usable_cores()
+    rows = [
+        [workers, f"{walls[workers]:.1f}", f"{walls[1] / walls[workers]:.2f}x",
+         f"{walls[1] / walls[workers] / workers * 100:.0f}%"]
+        for workers in WORKER_COUNTS
+    ]
+    text = format_table(
+        ["workers", "wall (s)", "speedup", "efficiency"],
+        rows,
+        title=f"Parallel campaign scaling: {len(records_by_workers[1])} trials x "
+              f"{len(labels)} images ({cores} usable core(s))",
+    )
+    write_report("parallel_scaling.txt", text)
+
+    # Correctness before speed: any worker count yields identical records.
+    assert records_by_workers[1] == records_by_workers[2] == records_by_workers[4]
+    assert len(records_by_workers[1]) >= 40
+
+    if cores >= 4:
+        assert walls[1] / walls[4] >= 2.0, (
+            f"expected >= 2x speedup with 4 workers on {cores} cores, got "
+            f"{walls[1] / walls[4]:.2f}x"
+        )
+    else:
+        pytest.skip(f"only {cores} usable core(s): speedup {walls[1] / walls[4]:.2f}x reported, "
+                    "2x assertion needs >= 4 cores")

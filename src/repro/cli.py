@@ -8,6 +8,8 @@ be scripted without writing Python:
 
     python -m repro describe
     python -m repro campaign --strategy random --values 0 1 -1 --trials 2 --images 64
+    python -m repro campaign --workers 4 --checkpoint fig2.jsonl   # parallel
+    python -m repro campaign --workers 4 --checkpoint fig2.jsonl --resume
     python -m repro heatmap  --value 0 --images 64 --output fig3.json
     python -m repro table1
 
@@ -24,10 +26,11 @@ from pathlib import Path
 
 from repro.core.analysis import accuracy_drop_boxplots, heatmap_matrix, most_sensitive_site
 from repro.core.campaign import CampaignConfig, FaultInjectionCampaign
+from repro.core.parallel import ParallelCampaignRunner
 from repro.core.strategies import ExhaustiveSingleSite, PerMACUnitSweep, RandomMultipliers
 from repro.runtime.perf_model import table1_performance_rows
 from repro.utils.tabulate import format_heatmap, format_table
-from repro.zoo import CaseStudySpec, build_case_study_platform
+from repro.zoo import CaseStudySpec, build_case_study_platform, case_study_platform_spec
 
 
 def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
@@ -39,15 +42,18 @@ def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=7, help="model/dataset seed")
 
 
-def _build_platform(args: argparse.Namespace):
-    spec = CaseStudySpec(
+def _case_spec(args: argparse.Namespace) -> CaseStudySpec:
+    return CaseStudySpec(
         width_multiplier=args.width,
         num_train=args.train_images,
         num_test=args.test_images,
         epochs=args.epochs,
         seed=args.seed,
     )
-    return build_case_study_platform(spec)
+
+
+def _build_platform(args: argparse.Namespace):
+    return build_case_study_platform(_case_spec(args))
 
 
 def _cmd_describe(args: argparse.Namespace) -> int:
@@ -76,7 +82,7 @@ def _cmd_table1(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
-    platform, case = _build_platform(args)
+    platform_spec, case = case_study_platform_spec(_case_spec(args))
     if args.strategy == "random":
         strategy = RandomMultipliers(
             values=tuple(args.values),
@@ -90,11 +96,19 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
     images = case.dataset.test_images[: args.images]
     labels = case.dataset.test_labels[: args.images]
-    campaign = FaultInjectionCampaign(platform, strategy, CampaignConfig(seed=args.campaign_seed))
-    result = campaign.run(images, labels)
+    runner = ParallelCampaignRunner(
+        platform_spec,
+        strategy,
+        CampaignConfig(seed=args.campaign_seed),
+        workers=args.workers,
+        checkpoint=args.checkpoint or None,
+        resume=args.resume,
+    )
+    result = runner.run(images, labels)
 
     print(f"baseline accuracy: {result.baseline_accuracy:.3f}; "
-          f"{len(result)} injections in {result.wall_seconds:.1f}s")
+          f"{len(result)} injections in {result.wall_seconds:.1f}s "
+          f"({args.workers} worker{'s' if args.workers != 1 else ''})")
     series = accuracy_drop_boxplots(result)
     for value, s in sorted(series.items(), key=lambda kv: str(kv[0])):
         rows = [[count, s.boxes[count].mean, s.boxes[count].maximum] for count in s.positions()]
@@ -150,6 +164,13 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--images", type=int, default=64)
     campaign.add_argument("--campaign-seed", type=int, default=0)
     campaign.add_argument("--output", type=str, default="")
+    campaign.add_argument("--workers", type=int, default=1,
+                          help="worker processes; trials are sharded deterministically, "
+                               "records are identical for any worker count")
+    campaign.add_argument("--checkpoint", type=str, default="",
+                          help="JSONL file streaming one record per finished trial")
+    campaign.add_argument("--resume", action="store_true",
+                          help="skip trials already present in --checkpoint")
     campaign.set_defaults(func=_cmd_campaign)
 
     heatmap = subparsers.add_parser("heatmap", help="run the single-site sweep (Fig. 3 style)")

@@ -11,6 +11,9 @@ analyse the classification-accuracy drop.
   (random multipliers for Fig. 2, exhaustive single-site sweep for Fig. 3).
 * :class:`~repro.core.campaign.FaultInjectionCampaign` — runs the trials and
   collects records.
+* :class:`~repro.core.parallel.ParallelCampaignRunner` — shards the trials
+  of a campaign across worker processes with JSONL checkpointing and
+  resume; the serial campaign is its ``workers=1`` special case.
 * :mod:`repro.core.analysis` — box-plot series, heat maps and summary
   statistics over campaign results.
 * :mod:`repro.core.results` — result records and serialisation.
@@ -18,6 +21,7 @@ analyse the classification-accuracy drop.
 
 from repro.core.platform import EmulationPlatform, PlatformConfig
 from repro.core.campaign import CampaignConfig, FaultInjectionCampaign
+from repro.core.parallel import ParallelCampaignRunner, PlatformSpec, load_checkpoint, shard_indices
 from repro.core.strategies import (
     ExhaustiveSingleSite,
     InjectionStrategy,
@@ -39,6 +43,10 @@ __all__ = [
     "PlatformConfig",
     "FaultInjectionCampaign",
     "CampaignConfig",
+    "ParallelCampaignRunner",
+    "PlatformSpec",
+    "load_checkpoint",
+    "shard_indices",
     "InjectionStrategy",
     "StrategyTrial",
     "RandomMultipliers",

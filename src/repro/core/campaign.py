@@ -1,17 +1,22 @@
-"""Fault-injection campaigns: run a strategy's trials and collect records."""
+"""Fault-injection campaigns: run a strategy's trials and collect records.
+
+:class:`FaultInjectionCampaign` is the serial front door; it delegates to
+:class:`~repro.core.parallel.ParallelCampaignRunner` with ``workers=1``, so
+serial execution is simply the single-worker special case of the sharded
+runner (and inherits its checkpoint/resume machinery).
+"""
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
 from repro.core.platform import EmulationPlatform
-from repro.core.results import CampaignResult, TrialRecord
+from repro.core.results import CampaignResult
 from repro.core.strategies import InjectionStrategy
 from repro.utils.logging import get_logger
-from repro.utils.rng import SeededRNG
 
 logger = get_logger(__name__)
 
@@ -46,59 +51,26 @@ class FaultInjectionCampaign:
         platform: EmulationPlatform,
         strategy: InjectionStrategy,
         config: CampaignConfig | None = None,
+        *,
+        checkpoint: Path | str | None = None,
+        resume: bool = False,
     ):
         self.platform = platform
         self.strategy = strategy
         self.config = config or CampaignConfig()
+        self.checkpoint = checkpoint
+        self.resume = resume
 
     def run(self, images: np.ndarray, labels: np.ndarray) -> CampaignResult:
         """Execute all trials of the strategy and return the campaign result."""
-        cfg = self.config
-        if cfg.max_images is not None:
-            images = images[: cfg.max_images]
-            labels = labels[: cfg.max_images]
-        if len(images) != len(labels):
-            raise ValueError("images and labels must have the same length")
-        if len(images) == 0:
-            raise ValueError("campaign needs at least one evaluation image")
+        from repro.core.parallel import ParallelCampaignRunner
 
-        rng = SeededRNG(cfg.seed)
-        start = time.perf_counter()
-        baseline = self.platform.baseline_accuracy(images, labels, batch_size=cfg.batch_size)
-        result = CampaignResult(
-            baseline_accuracy=baseline,
-            strategy=self.strategy.name,
-            num_images=len(labels),
-            seed=cfg.seed,
-            emulated_inferences_per_second=self.platform.inferences_per_second(),
+        runner = ParallelCampaignRunner(
+            self.platform,
+            self.strategy,
+            self.config,
+            workers=1,
+            checkpoint=self.checkpoint,
+            resume=self.resume,
         )
-
-        expected = self.strategy.expected_trials(self.platform.universe)
-        for index, trial in enumerate(self.strategy.trials(self.platform.universe, rng)):
-            accuracy = self.platform.accuracy_with_faults(
-                trial.config, images, labels, batch_size=cfg.batch_size
-            )
-            record = TrialRecord(
-                trial_index=index,
-                description=trial.config.describe(),
-                num_faults=trial.num_faults,
-                injected_value=trial.injected_value,
-                mac_unit=trial.mac_unit,
-                multiplier=trial.multiplier,
-                accuracy=accuracy,
-                accuracy_drop=baseline - accuracy,
-                metadata=dict(trial.metadata),
-            )
-            result.add(record)
-            if cfg.log_every and (index + 1) % cfg.log_every == 0:
-                logger.info(
-                    "trial %d/%d: %s -> accuracy %.3f (drop %.3f)",
-                    index + 1,
-                    expected,
-                    record.description,
-                    record.accuracy,
-                    record.accuracy_drop,
-                )
-
-        result.wall_seconds = time.perf_counter() - start
-        return result
+        return runner.run(images, labels)

@@ -1,0 +1,593 @@
+"""Parallel, resumable fault-injection campaign execution.
+
+Campaign trials are embarrassingly parallel: each one evaluates an
+independent :class:`~repro.faults.injector.InjectionConfig` on the same
+frozen platform.  This module shards the trial index space of an indexable
+:class:`~repro.core.strategies.InjectionStrategy` across a pool of worker
+processes and guarantees that the resulting
+:class:`~repro.core.results.CampaignResult` records are **identical to the
+serial run** for any worker count and across interrupt/resume:
+
+* Trial *i* is a pure function of ``(seed, i)`` — strategies derive all
+  randomness from :meth:`SeededRNG.child <repro.utils.rng.SeededRNG.child>`
+  streams keyed by the trial's own coordinates, never from iteration order.
+* Sharding is deterministic: worker ``w`` of ``N`` evaluates the pending
+  indices ``pending[w::N]`` (round-robin, so structured strategies spread
+  evenly).  Because records are keyed by trial index, the assignment cannot
+  influence the result, only the wall-clock balance.
+* Each worker constructs its platform exactly once from a picklable
+  :class:`PlatformSpec` and streams one record per finished trial back to
+  the parent, which appends it to a JSONL checkpoint file.
+
+Checkpoint format (one JSON object per line)::
+
+    {"kind": "header", "version": 1, "strategy": ..., "seed": ...,
+     "num_images": ..., "total_trials": ..., "baseline_accuracy": ...,
+     "emulated_inferences_per_second": ...}
+    {"kind": "record", "trial_index": 0, "description": ..., ...}
+    {"kind": "record", "trial_index": 3, ...}
+
+Records may appear in any order (workers finish out of order) and the file
+tolerates a torn final line (a run killed mid-write).  ``resume=True`` loads
+the completed trial indices, validates the header against the requested
+campaign, and evaluates only the remainder.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing as mp
+import queue as queue_module
+import sys
+import time
+import traceback
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, Callable, Sequence
+
+import numpy as np
+
+from repro.core.campaign import CampaignConfig
+from repro.core.platform import EmulationPlatform, PlatformConfig
+from repro.core.results import CampaignResult, TrialRecord
+from repro.core.strategies import InjectionStrategy, StrategyTrial
+from repro.faults.sites import FaultUniverse
+from repro.utils.logging import get_logger
+from repro.utils.rng import SeededRNG
+
+logger = get_logger(__name__)
+
+#: Version tag written into checkpoint headers.
+CHECKPOINT_VERSION = 1
+
+#: Header fields that must match between a checkpoint and the campaign
+#: attempting to resume from it.
+_HEADER_IDENTITY = ("strategy", "seed", "num_images", "total_trials")
+
+
+# ----------------------------------------------------------------------
+# Platform specification (picklable platform recipe for workers)
+# ----------------------------------------------------------------------
+@dataclass
+class PlatformSpec:
+    """A picklable recipe from which a worker process builds its platform.
+
+    :class:`~repro.core.platform.EmulationPlatform` itself holds compiled
+    loadables, open runtimes and other state that should not cross process
+    boundaries; a spec instead carries the trained weights plus everything
+    needed to rebuild the platform deterministically.
+
+    Attributes
+    ----------
+    graph_builder:
+        Module-level callable returning the (untrained) model graph; must be
+        picklable, i.e. importable by name in the worker process.
+    builder_kwargs:
+        Keyword arguments for ``graph_builder``.
+    state:
+        Trained weights, as produced by ``Graph.state_dict()``.
+    calibration_images:
+        Calibration batch used to quantise the model at build time.
+    platform_config:
+        Optional :class:`~repro.core.platform.PlatformConfig`; workers and
+        the parent must share it for results to be identical.
+    """
+
+    graph_builder: Callable
+    builder_kwargs: dict
+    state: dict[str, np.ndarray]
+    calibration_images: np.ndarray
+    platform_config: PlatformConfig | None = None
+
+    def geometry(self):
+        return (self.platform_config or PlatformConfig()).geometry
+
+    def universe(self) -> FaultUniverse:
+        """The fault universe of the platform this spec builds."""
+        geometry = self.geometry()
+        return FaultUniverse(geometry.num_macs, geometry.muls_per_mac)
+
+    def build(self) -> EmulationPlatform:
+        """Construct the platform (expensive: compiles and calibrates)."""
+        graph = self.graph_builder(**self.builder_kwargs)
+        graph.load_state_dict(self.state)
+        graph.eval()
+        return EmulationPlatform(graph, self.calibration_images, config=self.platform_config)
+
+
+# ----------------------------------------------------------------------
+# Checkpoint I/O
+# ----------------------------------------------------------------------
+def load_checkpoint(path: Path | str) -> tuple[dict | None, dict[int, TrialRecord]]:
+    """Read a JSONL checkpoint, returning ``(header, records_by_index)``.
+
+    Tolerates a torn final line and skips undecodable lines with a warning,
+    so a checkpoint from a run killed mid-write is still resumable.
+    """
+    header: dict | None = None
+    records: dict[int, TrialRecord] = {}
+    text = Path(path).read_text()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError:
+            logger.warning("checkpoint %s: skipping corrupt line %d", path, lineno)
+            continue
+        kind = data.pop("kind", None)
+        if kind == "header":
+            if header is None:
+                header = data
+        elif kind == "record":
+            record = TrialRecord.from_dict(data)
+            records[record.trial_index] = record
+        else:
+            logger.warning("checkpoint %s: skipping unknown line kind %r", path, kind)
+    return header, records
+
+
+def shard_indices(indices: Sequence[int], workers: int) -> list[list[int]]:
+    """Deterministic round-robin partition of ``indices`` across ``workers``.
+
+    Every index appears in exactly one shard; empty shards are dropped.
+    Round-robin interleaving spreads structured strategies (e.g. the
+    exhaustive sweep's per-value blocks) evenly across workers.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    shards = [list(indices[w::workers]) for w in range(workers)]
+    return [shard for shard in shards if shard]
+
+
+def _record_for_trial(
+    platform: EmulationPlatform,
+    trial: StrategyTrial,
+    index: int,
+    baseline: float,
+    images: np.ndarray,
+    labels: np.ndarray,
+    batch_size: int,
+) -> TrialRecord:
+    """Evaluate one trial and build its record (shared by serial + workers)."""
+    accuracy = platform.accuracy_with_faults(trial.config, images, labels, batch_size=batch_size)
+    return TrialRecord(
+        trial_index=index,
+        description=trial.config.describe(),
+        num_faults=trial.num_faults,
+        injected_value=trial.injected_value,
+        mac_unit=trial.mac_unit,
+        multiplier=trial.multiplier,
+        accuracy=accuracy,
+        accuracy_drop=baseline - accuracy,
+        metadata=dict(trial.metadata),
+    )
+
+
+def _shard_worker(
+    worker_id: int,
+    spec: PlatformSpec,
+    strategy: InjectionStrategy,
+    config: CampaignConfig,
+    images: np.ndarray,
+    labels: np.ndarray,
+    indices: list[int],
+    results: mp.Queue,
+) -> None:
+    """Worker entry point: build the platform once, evaluate one shard."""
+    try:
+        platform = spec.build()
+        baseline = platform.baseline_accuracy(images, labels, batch_size=config.batch_size)
+        results.put(("meta", worker_id, (baseline, platform.inferences_per_second())))
+        rng = SeededRNG(config.seed)
+        for index in indices:
+            trial = strategy.trial_at(platform.universe, rng, index)
+            record = _record_for_trial(
+                platform, trial, index, baseline, images, labels, config.batch_size
+            )
+            results.put(("record", worker_id, record))
+        results.put(("done", worker_id, None))
+    except Exception:  # pragma: no cover - exercised via the parent's error path
+        results.put(("error", worker_id, traceback.format_exc()))
+
+
+# ----------------------------------------------------------------------
+# The runner
+# ----------------------------------------------------------------------
+class ParallelCampaignRunner:
+    """Executes a campaign's trials across a pool of worker processes.
+
+    Serial execution (``workers=1``) is the special case used by
+    :class:`~repro.core.campaign.FaultInjectionCampaign`; it accepts either
+    an already-built :class:`~repro.core.platform.EmulationPlatform` or a
+    :class:`PlatformSpec`.  Parallel execution requires a spec (platforms do
+    not cross process boundaries) and a strategy that supports random trial
+    access (:meth:`~repro.core.strategies.InjectionStrategy.trial_at`).
+
+    Example
+    -------
+    ::
+
+        spec, case = case_study_platform_spec()
+        runner = ParallelCampaignRunner(
+            spec, RandomMultipliers(), CampaignConfig(seed=0),
+            workers=4, checkpoint="campaign.jsonl",
+        )
+        result = runner.run(images, labels)          # kill it mid-run, then:
+        runner = ParallelCampaignRunner(..., resume=True)
+        result = runner.run(images, labels)          # identical records
+    """
+
+    def __init__(
+        self,
+        platform_or_spec: EmulationPlatform | PlatformSpec,
+        strategy: InjectionStrategy,
+        config: CampaignConfig | None = None,
+        *,
+        workers: int = 1,
+        checkpoint: Path | str | None = None,
+        resume: bool = False,
+        start_method: str | None = None,
+    ):
+        if isinstance(platform_or_spec, PlatformSpec):
+            self.spec: PlatformSpec | None = platform_or_spec
+            self.platform: EmulationPlatform | None = None
+        elif isinstance(platform_or_spec, EmulationPlatform):
+            self.spec = None
+            self.platform = platform_or_spec
+        else:
+            raise TypeError(
+                f"expected EmulationPlatform or PlatformSpec, got {type(platform_or_spec).__name__}"
+            )
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if workers > 1 and self.spec is None:
+            raise ValueError(
+                "parallel execution needs a picklable PlatformSpec; an "
+                "EmulationPlatform cannot be shipped to worker processes"
+            )
+        if workers > 1 and not strategy.supports_random_access:
+            raise TypeError(
+                f"strategy {strategy.name!r} overrides only trials() and cannot be "
+                "sharded; implement trial_at()/expected_trials() for parallel runs"
+            )
+        if resume and checkpoint is None:
+            raise ValueError("resume=True requires a checkpoint path")
+        self.strategy = strategy
+        self.config = config or CampaignConfig()
+        self.workers = workers
+        self.checkpoint = Path(checkpoint) if checkpoint is not None else None
+        self.resume = resume
+        self.start_method = start_method
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self, images: np.ndarray, labels: np.ndarray) -> CampaignResult:
+        """Execute all (remaining) trials and return the merged result."""
+        cfg = self.config
+        if cfg.max_images is not None:
+            images = images[: cfg.max_images]
+            labels = labels[: cfg.max_images]
+        if len(images) != len(labels):
+            raise ValueError("images and labels must have the same length")
+        if len(images) == 0:
+            raise ValueError("campaign needs at least one evaluation image")
+
+        header, completed = self._load_resume_state(len(labels))
+        start = time.perf_counter()
+        if self.workers == 1:
+            result = self._run_serial(images, labels, header, completed)
+        else:
+            result = self._run_parallel(images, labels, header, completed)
+        result.wall_seconds = time.perf_counter() - start
+        result.sort_records()
+        return result
+
+    # ------------------------------------------------------------------
+    # Resume / checkpoint plumbing
+    # ------------------------------------------------------------------
+    def _universe(self) -> FaultUniverse:
+        if self.platform is not None:
+            return self.platform.universe
+        return self.spec.universe()
+
+    def _total_trials(self) -> int | None:
+        try:
+            return self.strategy.expected_trials(self._universe())
+        except NotImplementedError:
+            return None
+
+    def _load_resume_state(self, num_images: int) -> tuple[dict | None, dict[int, TrialRecord]]:
+        """Load and validate the checkpoint; returns (header, completed records)."""
+        if self.checkpoint is None or not self.checkpoint.exists():
+            if self.resume and self.checkpoint is not None:
+                logger.info("checkpoint %s does not exist yet; starting fresh", self.checkpoint)
+            return None, {}
+        if not self.resume:
+            raise FileExistsError(
+                f"checkpoint {self.checkpoint} already exists; pass resume=True "
+                "(--resume) to continue it or delete it to start over"
+            )
+        header, completed = load_checkpoint(self.checkpoint)
+        if header is None:
+            if completed:
+                # Never silently truncate completed work: a missing/corrupt
+                # header with intact records needs a human decision.
+                raise ValueError(
+                    f"checkpoint {self.checkpoint} has {len(completed)} records but no "
+                    "readable header; repair the header line or delete the file to start over"
+                )
+            logger.warning("checkpoint %s has no readable header; starting fresh", self.checkpoint)
+            return None, {}
+        expected = {
+            "strategy": self.strategy.name,
+            "seed": self.config.seed,
+            "num_images": num_images,
+            "total_trials": self._total_trials(),
+        }
+        for key in _HEADER_IDENTITY:
+            if header.get(key) != expected[key]:
+                raise ValueError(
+                    f"checkpoint {self.checkpoint} belongs to a different campaign: "
+                    f"{key}={header.get(key)!r} but this run has {key}={expected[key]!r}"
+                )
+        logger.info(
+            "resuming from %s: %d/%s trials already complete",
+            self.checkpoint,
+            len(completed),
+            header.get("total_trials", "?"),
+        )
+        return header, completed
+
+    def _open_checkpoint(self, fresh: bool) -> IO[str] | None:
+        if self.checkpoint is None:
+            return None
+        self.checkpoint.parent.mkdir(parents=True, exist_ok=True)
+        if fresh:
+            return self.checkpoint.open("w")
+        writer = self.checkpoint.open("a")
+        # A run killed mid-write can leave a torn final line with no trailing
+        # newline; terminate it so appended records start on their own line
+        # (the torn fragment itself is skipped by load_checkpoint).
+        size = self.checkpoint.stat().st_size
+        if size > 0:
+            with self.checkpoint.open("rb") as handle:
+                handle.seek(size - 1)
+                if handle.read(1) != b"\n":
+                    writer.write("\n")
+        return writer
+
+    def _write_header(
+        self, writer: IO[str] | None, baseline: float, ips: float | None, num_images: int
+    ) -> None:
+        if writer is None:
+            return
+        writer.write(
+            json.dumps(
+                {
+                    "kind": "header",
+                    "version": CHECKPOINT_VERSION,
+                    "strategy": self.strategy.name,
+                    "seed": self.config.seed,
+                    "num_images": num_images,
+                    "total_trials": self._total_trials(),
+                    "baseline_accuracy": baseline,
+                    "emulated_inferences_per_second": ips,
+                }
+            )
+            + "\n"
+        )
+        writer.flush()
+
+    @staticmethod
+    def _write_record(writer: IO[str] | None, record: TrialRecord) -> None:
+        if writer is None:
+            return
+        writer.write(json.dumps({"kind": "record", **record.to_dict()}) + "\n")
+        writer.flush()
+
+    @staticmethod
+    def _check_baseline(observed: float, reference: float, source: str) -> None:
+        if observed != reference:
+            raise RuntimeError(
+                f"baseline accuracy {observed!r} disagrees with {source} "
+                f"({reference!r}); the platform or dataset is not deterministic, "
+                "so campaign records would not be reproducible"
+            )
+
+    # ------------------------------------------------------------------
+    # Serial path (workers == 1)
+    # ------------------------------------------------------------------
+    def _run_serial(
+        self,
+        images: np.ndarray,
+        labels: np.ndarray,
+        header: dict | None,
+        completed: dict[int, TrialRecord],
+    ) -> CampaignResult:
+        cfg = self.config
+        platform = self.platform if self.platform is not None else self.spec.build()
+        baseline = platform.baseline_accuracy(images, labels, batch_size=cfg.batch_size)
+        if header is not None:
+            self._check_baseline(baseline, header["baseline_accuracy"], "the checkpoint header")
+        ips = platform.inferences_per_second()
+        result = CampaignResult(
+            baseline_accuracy=baseline,
+            strategy=self.strategy.name,
+            num_images=len(labels),
+            seed=cfg.seed,
+            emulated_inferences_per_second=ips,
+        )
+        writer = self._open_checkpoint(fresh=header is None)
+        try:
+            if header is None:
+                self._write_header(writer, baseline, ips, len(labels))
+            # The expected trial count is only needed for progress logging;
+            # compute it lazily so custom strategies that implement trials()
+            # but not expected_trials() still run (with indexless progress).
+            expected: int | str | None = None
+            rng = SeededRNG(cfg.seed)
+            for index, trial in enumerate(self.strategy.trials(platform.universe, rng)):
+                if index in completed:
+                    result.add(completed[index])
+                    continue
+                record = _record_for_trial(
+                    platform, trial, index, baseline, images, labels, cfg.batch_size
+                )
+                result.add(record)
+                self._write_record(writer, record)
+                if cfg.log_every and (index + 1) % cfg.log_every == 0:
+                    if expected is None:
+                        total = self._total_trials()
+                        expected = "?" if total is None else total
+                    logger.info(
+                        "trial %d/%s: %s -> accuracy %.3f (drop %.3f)",
+                        index + 1,
+                        expected,
+                        record.description,
+                        record.accuracy,
+                        record.accuracy_drop,
+                    )
+        finally:
+            if writer is not None:
+                writer.close()
+        return result
+
+    # ------------------------------------------------------------------
+    # Parallel path (workers > 1)
+    # ------------------------------------------------------------------
+    def _run_parallel(
+        self,
+        images: np.ndarray,
+        labels: np.ndarray,
+        header: dict | None,
+        completed: dict[int, TrialRecord],
+    ) -> CampaignResult:
+        cfg = self.config
+        total = self.strategy.expected_trials(self._universe())
+        pending = [i for i in range(total) if i not in completed]
+        if not pending and header is None:
+            # Nothing to shard and no header to take the baseline from
+            # (e.g. a zero-trial strategy): the serial path establishes the
+            # baseline and returns the same (empty) result workers=1 would.
+            return self._run_serial(images, labels, header, completed)
+        shards = shard_indices(pending, self.workers)
+
+        baseline: float | None = None
+        ips: float | None = None
+        if header is not None:
+            baseline = header["baseline_accuracy"]
+            ips = header.get("emulated_inferences_per_second")
+        records: dict[int, TrialRecord] = dict(completed)
+
+        # fork is cheap (the spec crosses the process boundary by page
+        # sharing, not pickling) but only reliably safe on Linux; macOS
+        # frameworks (Accelerate, libdispatch) are not fork-safe.
+        method = self.start_method or (
+            "fork"
+            if sys.platform == "linux" and "fork" in mp.get_all_start_methods()
+            else "spawn"
+        )
+        ctx = mp.get_context(method)
+        results: mp.Queue = ctx.Queue()
+        procs = [
+            ctx.Process(
+                target=_shard_worker,
+                args=(w, self.spec, self.strategy, cfg, images, labels, shard, results),
+                daemon=True,
+            )
+            for w, shard in enumerate(shards)
+        ]
+        writer = self._open_checkpoint(fresh=header is None)
+        try:
+            for proc in procs:
+                proc.start()
+            remaining = len(procs)
+            header_written = header is not None
+            while remaining:
+                try:
+                    kind, worker_id, payload = results.get(timeout=1.0)
+                except queue_module.Empty:
+                    self._check_workers_alive(procs)
+                    continue
+                if kind == "error":
+                    raise RuntimeError(
+                        f"campaign worker {worker_id} failed:\n{payload}"
+                    )
+                if kind == "meta":
+                    worker_baseline, worker_ips = payload
+                    if baseline is None:
+                        baseline, ips = worker_baseline, worker_ips
+                    else:
+                        # Every worker must reproduce the exact same baseline —
+                        # this is the determinism invariant the records rely on.
+                        self._check_baseline(
+                            worker_baseline, baseline, f"worker {worker_id}"
+                        )
+                    if not header_written:
+                        self._write_header(writer, baseline, ips, len(labels))
+                        header_written = True
+                elif kind == "record":
+                    records[payload.trial_index] = payload
+                    self._write_record(writer, payload)
+                    if cfg.log_every and len(records) % cfg.log_every == 0:
+                        logger.info("completed %d/%d trials", len(records), total)
+                elif kind == "done":
+                    remaining -= 1
+            for proc in procs:
+                proc.join()
+        finally:
+            for proc in procs:
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join()
+            if writer is not None:
+                writer.close()
+
+        if baseline is None:
+            # No workers ran (everything was already in the checkpoint) and
+            # the header carried no baseline — cannot happen with our writer,
+            # but guard against hand-crafted checkpoints.
+            raise RuntimeError("campaign finished without establishing a baseline accuracy")
+        result = CampaignResult(
+            baseline_accuracy=baseline,
+            strategy=self.strategy.name,
+            num_images=len(labels),
+            seed=cfg.seed,
+            emulated_inferences_per_second=ips,
+        )
+        result.records = [records[i] for i in sorted(records)]
+        return result
+
+    @staticmethod
+    def _check_workers_alive(procs: list) -> None:
+        dead = [p for p in procs if not p.is_alive() and p.exitcode not in (0, None)]
+        if dead:
+            codes = ", ".join(str(p.exitcode) for p in dead)
+            raise RuntimeError(
+                f"{len(dead)} campaign worker(s) died with exit code(s) {codes}; "
+                "completed trials are preserved in the checkpoint (resume with "
+                "resume=True)"
+            )

@@ -1,9 +1,19 @@
-"""Result records of fault-injection campaigns and their serialisation."""
+"""Result records of fault-injection campaigns and their serialisation.
+
+Records are plain dataclasses with a stable JSON representation so that
+campaigns can be checkpointed to JSONL files, resumed, and merged: the
+parallel campaign runner writes one :class:`TrialRecord` line per completed
+trial, and :meth:`CampaignResult.merge` lets callers reassemble partial
+results of the same campaign (e.g. shards run on separate machines, or
+loaded from separate result files) by trial index, rejecting shards that
+conflict or belong to different campaigns.
+"""
 
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field, asdict
+from dataclasses import dataclass, field, fields, asdict
+from typing import Sequence
 
 
 @dataclass(frozen=True)
@@ -39,6 +49,20 @@ class TrialRecord:
     mac_unit: int | None = None
     multiplier: int | None = None
     metadata: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-compatible dict representation (inverse of :meth:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TrialRecord":
+        """Rebuild a record from :meth:`to_dict` output.
+
+        Unknown keys are ignored so that checkpoints written by newer
+        versions (with extra fields) remain loadable.
+        """
+        known = {f.name for f in fields(cls)}
+        return cls(**{key: value for key, value in data.items() if key in known})
 
 
 @dataclass
@@ -84,6 +108,69 @@ class CampaignResult:
             return 0.0
         return sum(r.accuracy_drop for r in self.records) / len(self.records)
 
+    def summary(self) -> dict:
+        """Campaign-level summary statistics as a JSON-compatible dict."""
+        drops = [r.accuracy_drop for r in self.records]
+        return {
+            "strategy": self.strategy,
+            "seed": self.seed,
+            "num_trials": len(self.records),
+            "num_images": self.num_images,
+            "baseline_accuracy": self.baseline_accuracy,
+            "mean_accuracy_drop": self.mean_accuracy_drop(),
+            "max_accuracy_drop": max(drops) if drops else 0.0,
+            "min_accuracy_drop": min(drops) if drops else 0.0,
+            "worst_trial_index": self.worst_record().trial_index if drops else None,
+            "wall_seconds": self.wall_seconds,
+            "emulated_inferences_per_second": self.emulated_inferences_per_second,
+        }
+
+    # ------------------------------------------------------------------
+    # Merging (partial shards from parallel / resumed runs)
+    # ------------------------------------------------------------------
+    def sort_records(self) -> None:
+        """Order the records by trial index (in place)."""
+        self.records.sort(key=lambda r: r.trial_index)
+
+    @classmethod
+    def merge(cls, parts: Sequence["CampaignResult"]) -> "CampaignResult":
+        """Merge partial results of the *same* campaign by trial index.
+
+        All parts must agree on the campaign identity (strategy, seed,
+        number of images, baseline accuracy); two parts containing the same
+        trial index must hold identical records.  Wall-clock times add up;
+        records come back sorted by trial index.
+        """
+        if not parts:
+            raise ValueError("cannot merge zero campaign results")
+        first = parts[0]
+        by_index: dict[int, TrialRecord] = {}
+        merged = cls(
+            baseline_accuracy=first.baseline_accuracy,
+            strategy=first.strategy,
+            num_images=first.num_images,
+            seed=first.seed,
+            emulated_inferences_per_second=first.emulated_inferences_per_second,
+        )
+        for part in parts:
+            identity = (part.baseline_accuracy, part.strategy, part.num_images, part.seed)
+            if identity != (first.baseline_accuracy, first.strategy, first.num_images, first.seed):
+                raise ValueError(
+                    f"cannot merge results of different campaigns: {identity} != "
+                    f"{(first.baseline_accuracy, first.strategy, first.num_images, first.seed)}"
+                )
+            merged.wall_seconds += part.wall_seconds
+            for record in part.records:
+                existing = by_index.get(record.trial_index)
+                if existing is not None and existing != record:
+                    raise ValueError(
+                        f"conflicting records for trial {record.trial_index}: "
+                        f"{existing} != {record}"
+                    )
+                by_index[record.trial_index] = record
+        merged.records = [by_index[i] for i in sorted(by_index)]
+        return merged
+
     # ------------------------------------------------------------------
     # Serialisation
     # ------------------------------------------------------------------
@@ -95,7 +182,7 @@ class CampaignResult:
             "seed": self.seed,
             "wall_seconds": self.wall_seconds,
             "emulated_inferences_per_second": self.emulated_inferences_per_second,
-            "records": [asdict(record) for record in self.records],
+            "records": [record.to_dict() for record in self.records],
         }
 
     def to_json(self, indent: int = 2) -> str:
@@ -112,7 +199,7 @@ class CampaignResult:
             emulated_inferences_per_second=data.get("emulated_inferences_per_second"),
         )
         for record in data.get("records", []):
-            result.add(TrialRecord(**record))
+            result.add(TrialRecord.from_dict(record))
         return result
 
     @classmethod

@@ -38,16 +38,59 @@ class StrategyTrial:
 
 
 class InjectionStrategy:
-    """Base class: iterates over the trials of a campaign."""
+    """Base class: iterates over the trials of a campaign.
+
+    Strategies come in two flavours:
+
+    * **Indexable** strategies implement :meth:`expected_trials` and
+      :meth:`trial_at`; trial *i* is derivable without generating trials
+      ``0..i-1``, because any randomness is keyed off
+      :meth:`SeededRNG.child <repro.utils.rng.SeededRNG.child>` streams
+      derived from the trial's own coordinates.  These strategies inherit a
+      :meth:`trials` iterator for free and can be sharded across processes
+      by the parallel campaign runner without changing a single drawn site.
+    * **Sequential** strategies override only :meth:`trials` (a plain
+      generator).  They still run serially in
+      :class:`~repro.core.campaign.FaultInjectionCampaign` but cannot be
+      executed with ``workers > 1``.
+    """
 
     name = "strategy"
 
     def trials(self, universe: FaultUniverse, rng: SeededRNG) -> Iterator[StrategyTrial]:
-        raise NotImplementedError
+        """All trials in order.  The default replays :meth:`trial_at`."""
+        for index in range(self.expected_trials(universe)):
+            yield self.trial_at(universe, rng, index)
+
+    def trial_at(self, universe: FaultUniverse, rng: SeededRNG, index: int) -> StrategyTrial:
+        """Trial ``index``, derivable without generating the preceding trials.
+
+        Implementations must be pure functions of ``(universe, rng.seed,
+        index)`` so that any shard of the index space can be evaluated in any
+        order — and in any process — with identical results.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support random trial access"
+        )
 
     def expected_trials(self, universe: FaultUniverse) -> int:
         """Number of trials the strategy will generate (for progress reporting)."""
         raise NotImplementedError
+
+    @property
+    def supports_random_access(self) -> bool:
+        """True when :meth:`trial_at` *and* :meth:`expected_trials` are
+        implemented (parallel execution needs both: one to evaluate a shard,
+        one to enumerate the index space being sharded)."""
+        cls = type(self)
+        return (
+            cls.trial_at is not InjectionStrategy.trial_at
+            and cls.expected_trials is not InjectionStrategy.expected_trials
+        )
+
+    def _check_index(self, index: int, total: int) -> None:
+        if not 0 <= index < total:
+            raise IndexError(f"trial index {index} out of range [0, {total})")
 
 
 def _value_of(model: FaultModel) -> int | None:
@@ -73,20 +116,24 @@ class RandomMultipliers(InjectionStrategy):
     def expected_trials(self, universe: FaultUniverse) -> int:
         return len(self.values) * len(self.fault_counts) * self.trials_per_point
 
-    def trials(self, universe: FaultUniverse, rng: SeededRNG) -> Iterator[StrategyTrial]:
-        for value in self.values:
-            model = ConstantValue(value)
-            for count in self.fault_counts:
-                stream = rng.child("random-multipliers", value, count).generator()
-                for trial in range(self.trials_per_point):
-                    sites = universe.random_sites(count, stream)
-                    config = InjectionConfig.uniform(sites, model)
-                    yield StrategyTrial(
-                        config=config,
-                        num_faults=count,
-                        injected_value=value,
-                        metadata={"trial": trial},
-                    )
+    def trial_at(self, universe: FaultUniverse, rng: SeededRNG, index: int) -> StrategyTrial:
+        per_count = self.trials_per_point
+        per_value = len(self.fault_counts) * per_count
+        self._check_index(index, len(self.values) * per_value)
+        value = self.values[index // per_value]
+        count = self.fault_counts[(index % per_value) // per_count]
+        trial = index % per_count
+        # One independent child stream per trial: the sites of trial i depend
+        # only on (seed, value, count, i), never on how many trials were drawn
+        # before it, so sharding the index space cannot change the randomness.
+        stream = rng.child("random-multipliers", value, count, trial).generator()
+        sites = universe.random_sites(count, stream)
+        return StrategyTrial(
+            config=InjectionConfig.uniform(sites, ConstantValue(value)),
+            num_faults=count,
+            injected_value=value,
+            metadata={"trial": trial},
+        )
 
 
 @dataclass
@@ -105,17 +152,17 @@ class ExhaustiveSingleSite(InjectionStrategy):
     def expected_trials(self, universe: FaultUniverse) -> int:
         return len(self.values) * universe.size
 
-    def trials(self, universe: FaultUniverse, rng: SeededRNG) -> Iterator[StrategyTrial]:
-        for value in self.values:
-            model = ConstantValue(value)
-            for site in universe.all_sites():
-                yield StrategyTrial(
-                    config=InjectionConfig.single(site, model),
-                    num_faults=1,
-                    injected_value=value,
-                    mac_unit=site.mac_unit,
-                    multiplier=site.multiplier,
-                )
+    def trial_at(self, universe: FaultUniverse, rng: SeededRNG, index: int) -> StrategyTrial:
+        self._check_index(index, len(self.values) * universe.size)
+        value = self.values[index // universe.size]
+        site = FaultSite.from_flat_index(index % universe.size, universe.muls_per_mac)
+        return StrategyTrial(
+            config=InjectionConfig.single(site, ConstantValue(value)),
+            num_faults=1,
+            injected_value=value,
+            mac_unit=site.mac_unit,
+            multiplier=site.multiplier,
+        )
 
 
 @dataclass
@@ -128,17 +175,17 @@ class PerMACUnitSweep(InjectionStrategy):
     def expected_trials(self, universe: FaultUniverse) -> int:
         return len(self.values) * universe.num_macs
 
-    def trials(self, universe: FaultUniverse, rng: SeededRNG) -> Iterator[StrategyTrial]:
-        for value in self.values:
-            model = ConstantValue(value)
-            for mac in range(universe.num_macs):
-                sites = universe.sites_in_mac(mac)
-                yield StrategyTrial(
-                    config=InjectionConfig.uniform(sites, model),
-                    num_faults=len(sites),
-                    injected_value=value,
-                    mac_unit=mac,
-                )
+    def trial_at(self, universe: FaultUniverse, rng: SeededRNG, index: int) -> StrategyTrial:
+        self._check_index(index, len(self.values) * universe.num_macs)
+        value = self.values[index // universe.num_macs]
+        mac = index % universe.num_macs
+        sites = universe.sites_in_mac(mac)
+        return StrategyTrial(
+            config=InjectionConfig.uniform(sites, ConstantValue(value)),
+            num_faults=len(sites),
+            injected_value=value,
+            mac_unit=mac,
+        )
 
 
 @dataclass
@@ -151,17 +198,17 @@ class PerMultiplierPositionSweep(InjectionStrategy):
     def expected_trials(self, universe: FaultUniverse) -> int:
         return len(self.values) * universe.muls_per_mac
 
-    def trials(self, universe: FaultUniverse, rng: SeededRNG) -> Iterator[StrategyTrial]:
-        for value in self.values:
-            model = ConstantValue(value)
-            for position in range(universe.muls_per_mac):
-                sites = universe.sites_at_position(position)
-                yield StrategyTrial(
-                    config=InjectionConfig.uniform(sites, model),
-                    num_faults=len(sites),
-                    injected_value=value,
-                    multiplier=position,
-                )
+    def trial_at(self, universe: FaultUniverse, rng: SeededRNG, index: int) -> StrategyTrial:
+        self._check_index(index, len(self.values) * universe.muls_per_mac)
+        value = self.values[index // universe.muls_per_mac]
+        position = index % universe.muls_per_mac
+        sites = universe.sites_at_position(position)
+        return StrategyTrial(
+            config=InjectionConfig.uniform(sites, ConstantValue(value)),
+            num_faults=len(sites),
+            injected_value=value,
+            multiplier=position,
+        )
 
 
 @dataclass
@@ -174,15 +221,16 @@ class FixedConfigurations(InjectionStrategy):
     def expected_trials(self, universe: FaultUniverse) -> int:
         return len(self.configurations)
 
-    def trials(self, universe: FaultUniverse, rng: SeededRNG) -> Iterator[StrategyTrial]:
-        for config in self.configurations:
-            values = {m.constant_override() for m in config.faults.values()}
-            value = values.pop() if len(values) == 1 else None
-            sites = config.sites
-            yield StrategyTrial(
-                config=config,
-                num_faults=len(config),
-                injected_value=value,
-                mac_unit=sites[0].mac_unit if len(sites) == 1 else None,
-                multiplier=sites[0].multiplier if len(sites) == 1 else None,
-            )
+    def trial_at(self, universe: FaultUniverse, rng: SeededRNG, index: int) -> StrategyTrial:
+        self._check_index(index, len(self.configurations))
+        config = self.configurations[index]
+        values = {m.constant_override() for m in config.faults.values()}
+        value = values.pop() if len(values) == 1 else None
+        sites = config.sites
+        return StrategyTrial(
+            config=config,
+            num_faults=len(config),
+            injected_value=value,
+            mac_unit=sites[0].mac_unit if len(sites) == 1 else None,
+            multiplier=sites[0].multiplier if len(sites) == 1 else None,
+        )

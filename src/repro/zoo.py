@@ -120,11 +120,47 @@ def build_case_study_platform(
     cache_dir: Path | str | None = None,
     calibration_images: int = 64,
 ) -> tuple[EmulationPlatform, CaseStudyModel]:
-    """Train/load the case-study model and wrap it in an emulation platform."""
-    case = train_case_study_model(spec, cache_dir=cache_dir)
-    platform = EmulationPlatform(
-        case.graph,
-        case.dataset.calibration_batch(calibration_images),
-        config=platform_config,
+    """Train/load the case-study model and wrap it in an emulation platform.
+
+    Delegates to :func:`case_study_platform_spec` so that an in-process
+    platform and the platforms that campaign workers rebuild from the spec
+    can never drift apart.
+    """
+    platform_spec, case = case_study_platform_spec(
+        spec,
+        platform_config=platform_config,
+        cache_dir=cache_dir,
+        calibration_images=calibration_images,
     )
-    return platform, case
+    return platform_spec.build(), case
+
+
+def case_study_platform_spec(
+    spec: CaseStudySpec | None = None,
+    platform_config: PlatformConfig | None = None,
+    cache_dir: Path | str | None = None,
+    calibration_images: int = 64,
+) -> tuple["PlatformSpec", CaseStudyModel]:
+    """Train/load the case-study model and return a picklable platform recipe.
+
+    The returned :class:`~repro.core.parallel.PlatformSpec` is what the
+    parallel campaign runner ships to worker processes: each worker rebuilds
+    the (already trained) model and compiles its own platform exactly once.
+    """
+    from repro.core.parallel import PlatformSpec
+
+    spec = spec or CaseStudySpec()
+    case = train_case_study_model(spec, cache_dir=cache_dir)
+    platform_spec = PlatformSpec(
+        graph_builder=build_resnet18,
+        builder_kwargs=dict(
+            num_classes=case.dataset.num_classes,
+            input_shape=case.dataset.input_shape,
+            width_multiplier=spec.width_multiplier,
+            seed=spec.seed,
+        ),
+        state=case.graph.state_dict(),
+        calibration_images=case.dataset.calibration_batch(calibration_images),
+        platform_config=platform_config,
+    )
+    return platform_spec, case

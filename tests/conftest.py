@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.core.parallel import PlatformSpec
 from repro.core.platform import EmulationPlatform, PlatformConfig
 from repro.data.synthetic_cifar import SyntheticCIFAR10
 from repro.nn.resnet import build_resnet18
@@ -57,6 +58,23 @@ def tiny_platform(tiny_graph, tiny_dataset: SyntheticCIFAR10) -> EmulationPlatfo
         tiny_graph,
         tiny_dataset.calibration_batch(32),
         config=PlatformConfig(name="tiny-resnet18", seed=3),
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_platform_spec(tiny_graph, tiny_dataset: SyntheticCIFAR10) -> PlatformSpec:
+    """Picklable recipe rebuilding exactly the ``tiny_platform`` in a worker."""
+    return PlatformSpec(
+        graph_builder=build_resnet18,
+        builder_kwargs=dict(
+            num_classes=tiny_dataset.num_classes,
+            input_shape=tiny_dataset.input_shape,
+            width_multiplier=0.125,
+            seed=3,
+        ),
+        state=tiny_graph.state_dict(),
+        calibration_images=tiny_dataset.calibration_batch(32),
+        platform_config=PlatformConfig(name="tiny-resnet18", seed=3),
     )
 
 

@@ -16,9 +16,11 @@ from repro.core.results import CampaignResult, TrialRecord
 from repro.core.strategies import (
     ExhaustiveSingleSite,
     FixedConfigurations,
+    InjectionStrategy,
     PerMACUnitSweep,
     PerMultiplierPositionSweep,
     RandomMultipliers,
+    StrategyTrial,
 )
 from repro.faults.injector import InjectionConfig
 from repro.faults.models import ConstantValue
@@ -241,6 +243,28 @@ class TestCampaign:
         )
         with pytest.raises(ValueError):
             campaign.run(np.zeros((0, 3, 16, 16), dtype=np.float32), np.zeros(0, dtype=np.int64))
+
+    def test_custom_strategy_without_expected_trials_runs(self, tiny_platform, tiny_dataset):
+        """expected_trials() is only needed for progress logging; a custom
+        strategy that implements just trials() must run without crashing."""
+
+        class MinimalStrategy(InjectionStrategy):
+            name = "minimal"
+
+            def trials(self, universe, rng):
+                yield StrategyTrial(
+                    config=InjectionConfig.single(FaultSite(0, 0), ConstantValue(0)),
+                    num_faults=1,
+                    injected_value=0,
+                )
+
+        for log_every in (0, 1):  # logging enabled must also tolerate the gap
+            campaign = FaultInjectionCampaign(
+                tiny_platform, MinimalStrategy(), CampaignConfig(max_images=8, log_every=log_every)
+            )
+            result = campaign.run(tiny_dataset.test_images, tiny_dataset.test_labels)
+            assert len(result) == 1
+            assert result.records[0].num_faults == 1
 
     def test_campaign_reproducible(self, tiny_platform, tiny_dataset):
         strategy = RandomMultipliers(values=(-1,), fault_counts=(2,), trials_per_point=2)

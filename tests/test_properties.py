@@ -10,16 +10,17 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.accelerator.engine import VectorisedEngine
-from repro.accelerator.geometry import PAPER_GEOMETRY
+from repro.accelerator.geometry import ArrayGeometry, PAPER_GEOMETRY
+from repro.accelerator.reference import ScalarReferenceEngine
 from repro.compiler.mapper import Mapper
 from repro.faults.injector import FaultInjector, InjectionConfig
-from repro.faults.models import ConstantValue, StuckAtZero
+from repro.faults.models import BitFlip, ConstantValue, StuckAtOne, StuckAtZero
 from repro.faults.registers import FaultInjectionRegisterFile
 from repro.faults.sites import FaultSite, FaultUniverse
 from repro.quant.qscheme import compute_requant_params, requantize
 from repro.utils.bitops import PRODUCT_WIDTH, to_signed, to_unsigned
 
-from tests.conftest import make_qconv, random_int8
+from tests.conftest import make_qconv, make_qlinear, random_int8
 
 sites = st.builds(
     FaultSite,
@@ -109,6 +110,139 @@ class TestControlPlaneRoundTrips:
         injector = FaultInjector.full_override(value)
         assert injector.fdata == to_unsigned(value, PRODUCT_WIDTH)
         assert to_signed(injector.fdata, PRODUCT_WIDTH) == value
+
+
+#: Deterministic (rng-free) fault models the two engines must agree on.
+deterministic_fault_models = st.one_of(
+    st.builds(StuckAtZero),
+    st.builds(StuckAtOne),
+    st.integers(min_value=-2000, max_value=2000).map(ConstantValue),
+    st.integers(min_value=0, max_value=17).map(BitFlip),
+)
+
+
+def _draw_geometry(data) -> ArrayGeometry:
+    return ArrayGeometry(
+        num_macs=data.draw(st.integers(1, 5), label="num_macs"),
+        muls_per_mac=data.draw(st.integers(1, 5), label="muls_per_mac"),
+    )
+
+
+def _draw_config(data, geometry: ArrayGeometry, max_sites: int = 3) -> InjectionConfig:
+    total = geometry.num_macs * geometry.muls_per_mac
+    flat = data.draw(
+        st.lists(st.integers(0, total - 1), min_size=1, max_size=min(max_sites, total),
+                 unique=True),
+        label="sites",
+    )
+    return InjectionConfig(
+        faults={
+            FaultSite.from_flat_index(i, geometry.muls_per_mac): data.draw(
+                deterministic_fault_models, label=f"model@{i}"
+            )
+            for i in flat
+        }
+    )
+
+
+class TestEngineEquivalenceProperties:
+    """Seeded properties: for randomized geometries, fault models and layer
+    shapes, the vectorised engine's accumulators stay bit-equal to the scalar
+    per-multiplier reference engine."""
+
+    @given(data=st.data())
+    @settings(max_examples=12, deadline=None, derandomize=True)
+    def test_conv_accumulators_match_scalar_reference(self, data):
+        geometry = _draw_geometry(data)
+        in_c = data.draw(st.integers(1, 7), label="in_channels")
+        out_c = data.draw(st.integers(1, 7), label="out_channels")
+        kernel = data.draw(st.integers(1, 3), label="kernel")
+        spatial = data.draw(st.integers(kernel, 4), label="spatial")
+        stride = data.draw(st.integers(1, 2), label="stride")
+        padding = data.draw(st.integers(0, 1), label="padding")
+        seed = data.draw(st.integers(0, 10_000), label="seed")
+        config = _draw_config(data, geometry)
+
+        node = make_qconv(in_c, out_c, kernel, stride=stride, padding=padding, seed=seed)
+        x = random_int8((1, in_c, spatial, spatial), seed=seed + 1)
+        vec = VectorisedEngine(geometry).conv_accumulate(x, node, config)
+        ref = ScalarReferenceEngine(geometry).conv_accumulate(x, node, config)
+        np.testing.assert_array_equal(vec, ref)
+
+    @given(data=st.data())
+    @settings(max_examples=12, deadline=None, derandomize=True)
+    def test_linear_accumulators_match_scalar_reference(self, data):
+        geometry = _draw_geometry(data)
+        in_f = data.draw(st.integers(1, 12), label="in_features")
+        out_f = data.draw(st.integers(1, 12), label="out_features")
+        seed = data.draw(st.integers(0, 10_000), label="seed")
+        config = _draw_config(data, geometry)
+
+        node = make_qlinear(in_f, out_f, final=True, seed=seed)
+        x = random_int8((2, in_f), seed=seed + 1)
+        vec = VectorisedEngine(geometry).linear_accumulate(x, node, config)
+        ref = ScalarReferenceEngine(geometry).linear_accumulate(x, node, config)
+        np.testing.assert_array_equal(vec, ref)
+
+
+class TestAffectedFractionProperties:
+    """``affected_fraction`` must equal an exhaustive count over all
+    (output channel, padded input lane) product pairs."""
+
+    @staticmethod
+    def _exhaustive_fraction(geometry, config, in_channels, out_channels):
+        padded = geometry.pad_channels(in_channels)
+        if padded * out_channels == 0:
+            return 0.0
+        affected = sum(
+            1
+            for oc in range(out_channels)
+            for lane in range(padded)
+            if any(
+                oc % geometry.atomic_k == site.mac_unit
+                and lane % geometry.atomic_c == site.multiplier
+                for site in config.faults
+            )
+        )
+        return affected / (padded * out_channels)
+
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None, derandomize=True)
+    def test_conv_affected_fraction_matches_exhaustive_count(self, data):
+        geometry = ArrayGeometry(
+            num_macs=data.draw(st.integers(1, 8), label="num_macs"),
+            muls_per_mac=data.draw(st.integers(1, 8), label="muls_per_mac"),
+        )
+        in_c = data.draw(st.integers(1, 24), label="in_channels")
+        out_c = data.draw(st.integers(1, 24), label="out_channels")
+        config = _draw_config(data, geometry, max_sites=5)
+
+        node = make_qconv(in_c, out_c, 3, padding=1)
+        frac = VectorisedEngine(geometry).affected_fraction(node, config)
+        assert frac == pytest.approx(
+            self._exhaustive_fraction(geometry, config, in_c, out_c)
+        )
+
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None, derandomize=True)
+    def test_linear_affected_fraction_matches_exhaustive_count(self, data):
+        geometry = ArrayGeometry(
+            num_macs=data.draw(st.integers(1, 8), label="num_macs"),
+            muls_per_mac=data.draw(st.integers(1, 8), label="muls_per_mac"),
+        )
+        in_f = data.draw(st.integers(1, 24), label="in_features")
+        out_f = data.draw(st.integers(1, 24), label="out_features")
+        config = _draw_config(data, geometry, max_sites=5)
+
+        node = make_qlinear(in_f, out_f)
+        frac = VectorisedEngine(geometry).affected_fraction(node, config)
+        assert frac == pytest.approx(
+            self._exhaustive_fraction(geometry, config, in_f, out_f)
+        )
+
+    def test_fault_free_fraction_is_zero(self):
+        engine = VectorisedEngine()
+        assert engine.affected_fraction(make_qconv(8, 8, 1), InjectionConfig.fault_free()) == 0.0
 
 
 class TestRequantisationProperties:
