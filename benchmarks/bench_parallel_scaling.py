@@ -25,7 +25,7 @@ from repro.core.strategies import RandomMultipliers
 from repro.utils.tabulate import format_table
 from repro.zoo import case_study_platform_spec
 
-from benchmarks.conftest import FULL_SCALE, write_report
+from benchmarks.conftest import FULL_SCALE, write_json, write_report
 
 WORKER_COUNTS = (1, 2, 4)
 
@@ -70,6 +70,25 @@ def test_parallel_scaling(dataset, eval_images):
               f"{len(labels)} images ({cores} usable core(s))",
     )
     write_report("parallel_scaling.txt", text)
+    write_json(
+        "parallel_scaling.json",
+        {
+            "benchmark": "parallel_scaling",
+            "full_scale": FULL_SCALE,
+            "trials": len(records_by_workers[1]),
+            "images": len(labels),
+            "usable_cores": cores,
+            "results": {
+                str(workers): {
+                    "workers": workers,
+                    "wall_s": walls[workers],
+                    "speedup": walls[1] / walls[workers],
+                    "efficiency": walls[1] / walls[workers] / workers,
+                }
+                for workers in WORKER_COUNTS
+            },
+        },
+    )
 
     # Correctness before speed: any worker count yields identical records.
     assert records_by_workers[1] == records_by_workers[2] == records_by_workers[4]

@@ -19,7 +19,7 @@ from __future__ import annotations
 from repro.runtime.perf_model import ARM_CORTEX_A53, AMD_RYZEN_7700, table1_performance_rows
 from repro.utils.tabulate import format_table
 
-from benchmarks.conftest import write_report
+from benchmarks.conftest import write_json, write_report
 
 PAPER_ROWS = {
     ("ARM Cortex-A53 (Zynq)", 1): 22.68,
@@ -60,6 +60,24 @@ def test_table1_rows(benchmark, platform):
         title="Table I: performance and synthesis results (model vs paper)",
     )
     write_report("table1_performance.txt", text)
+    write_json(
+        "table1_performance.json",
+        {
+            "benchmark": "table1_performance",
+            "rows": [
+                {
+                    "device": est.device,
+                    "threads": est.threads,
+                    "frequency_hz": est.frequency_hz,
+                    "inference_ms": est.inference_ms,
+                    "paper_inference_ms": PAPER_ROWS.get((est.device, est.threads)),
+                    "luts": est.luts,
+                    "ffs": est.ffs,
+                }
+                for est in estimates
+            ],
+        },
+    )
 
     by_key = {(e.device, e.threads): e for e in estimates}
     nvdla = by_key[("NVDLA", None)]

@@ -10,6 +10,7 @@ Fig. 3, the full test set per trial).
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -31,6 +32,19 @@ def write_report(name: str, text: str) -> Path:
     path = OUTPUT_DIR / name
     path.write_text(text + "\n")
     print(f"\n{text}\n[report written to {path}]")
+    return path
+
+
+def write_json(name: str, payload: dict) -> Path:
+    """Persist a machine-readable result next to the text table.
+
+    Every benchmark writes one JSON document so the perf trajectory can be
+    tracked across commits (CI uploads ``benchmarks/out/*.json`` artifacts).
+    """
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    path = OUTPUT_DIR / name
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"[json written to {path}]")
     return path
 
 

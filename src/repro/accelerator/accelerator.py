@@ -14,7 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.accelerator.csb import ConfigSpaceBus
-from repro.accelerator.engine import VectorisedEngine
+from repro.accelerator.engine import CleanAccumulatorCache, VectorisedEngine
 from repro.accelerator.geometry import ArrayGeometry, PAPER_GEOMETRY
 from repro.accelerator.pdp import PDP
 from repro.accelerator.reference import ScalarReferenceEngine
@@ -40,6 +40,12 @@ class NVDLAAccelerator:
         only practical for tiny layers).
     seed:
         Seed for fault models that need randomness (transient pulses).
+    cache_entries:
+        Size of the vectorised engine's clean-accumulator cache (0 disables
+        it).  Campaigns that re-run a frozen image batch under many fault
+        configurations reuse each layer's im2col buffer and clean GEMM and
+        pay only the correction-term cost; results are bit-identical either
+        way.  Ignored by the scalar reference engine.
     """
 
     def __init__(
@@ -47,11 +53,13 @@ class NVDLAAccelerator:
         geometry: ArrayGeometry = PAPER_GEOMETRY,
         engine: str = "vectorised",
         seed: int = 0,
+        cache_entries: int = 0,
     ):
         self.geometry = geometry
         rng = np.random.default_rng(seed)
         if engine == "vectorised":
-            self.engine = VectorisedEngine(geometry, rng=rng)
+            cache = CleanAccumulatorCache(cache_entries) if cache_entries > 0 else None
+            self.engine = VectorisedEngine(geometry, rng=rng, clean_cache=cache)
         elif engine == "scalar":
             self.engine = ScalarReferenceEngine(geometry, rng=rng)
         else:
@@ -91,6 +99,20 @@ class NVDLAAccelerator:
     @property
     def injection_config(self) -> InjectionConfig:
         return self._injection
+
+    # ------------------------------------------------------------------
+    # Clean-accumulator cache lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def clean_cache(self) -> CleanAccumulatorCache | None:
+        """The engine's clean-accumulator cache, if one is armed."""
+        return getattr(self.engine, "clean_cache", None)
+
+    def reset_caches(self) -> None:
+        """Drop cached clean accumulators (e.g. between unrelated campaigns)."""
+        cache = self.clean_cache
+        if cache is not None:
+            cache.clear()
 
     # ------------------------------------------------------------------
     # Execution

@@ -30,28 +30,190 @@ affected products and adding ``constant * number_of_affected_products``.
 For value-dependent models (bit flips, transient pulses) the affected
 products are materialised, transformed by the model and re-summed.  Both
 paths are validated against the scalar reference engine in the test suite.
+
+Fast math
+---------
+The clean accumulator is computed by the shared exact integer GEMM core
+(:mod:`repro.runtime.gemm`): im2col keeps the int8 patches narrow all the
+way to the GEMM boundary and the contraction runs on BLAS float kernels
+whose exactness is certified by an overflow bound — bit-identical to the
+original int64 einsum, several times faster.
+
+Because ``faulty = clean + correction``, a campaign that re-evaluates the
+same frozen image batch under many injection configurations recomputes the
+same clean GEMMs over and over.  :class:`CleanAccumulatorCache` memoises
+``(layer, input-digest) -> (cols, clean accumulator)`` so repeat trials pay
+only the correction-term cost for every layer whose input is unchanged (the
+first conv layer always qualifies; deeper layers qualify whenever the armed
+fault did not perturb the upstream activations).
 """
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
+
 import numpy as np
 
-from repro.accelerator.cacc import saturating_accumulate
 from repro.accelerator.geometry import ArrayGeometry, PAPER_GEOMETRY
 from repro.faults.injector import InjectionConfig
 from repro.faults.models import FaultModel
 from repro.faults.sites import FaultSite
 from repro.nn.functional import conv_output_size, im2col
 from repro.quant.qlayers import QConv, QLinear
+from repro.runtime.gemm import exact_matmul
 from repro.utils.bitops import ACCUMULATOR_WIDTH, saturate
+
+
+class CleanAccumulatorCache:
+    """LRU cache of clean per-layer GEMM results, keyed by input content.
+
+    A key is ``(layer name, input shape, SHA-1 of the input bytes)``: two
+    calls reuse an entry only when the layer sees byte-identical input, so
+    cached campaigns are bit-identical to uncached ones by construction.
+    Entries hold the (narrow-dtype) im2col buffer and the clean int64
+    accumulator; neither is ever mutated by the engine (fault corrections
+    copy before writing), so entries can be shared freely across trials.
+
+    During a campaign only the *clean* activations recur: a fault perturbs
+    every layer downstream of it, so trial-time inputs of deeper layers are
+    one-shot and caching them would just pin dead memory and churn the LRU.
+    The platform therefore primes the cache during the fault-free baseline
+    pass and then :meth:`freeze`\\ s it — frozen lookups still hit, but
+    misses no longer insert.
+
+    Capacity is bounded both by entry count and by payload bytes
+    (``max_bytes``, default 256 MB): a full-width model primes one entry of
+    tens of MB per (layer, batch chunk), so an entry cap alone could pin
+    GBs.  When the baseline pass primes more than fits, the LRU keeps the
+    most recently primed chunks and trials hit only on those — the cache
+    degrades to partial reuse, never to unbounded memory.
+    """
+
+    #: Default ceiling on cached payload bytes (cols + accumulators).
+    DEFAULT_MAX_BYTES = 256 << 20
+
+    def __init__(self, max_entries: int = 128, max_bytes: int | None = None):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1 (use cache=None to disable)")
+        self.max_entries = max_entries
+        #: Byte budget across all entries; at paper scale a single entry of
+        #: the full-width model is tens of MB, so an entry count alone would
+        #: let the cache pin GBs.  ``None`` disables the byte bound.
+        self.max_bytes = self.DEFAULT_MAX_BYTES if max_bytes is None else max_bytes
+        self._entries: OrderedDict[tuple, tuple[np.ndarray, np.ndarray]] = OrderedDict()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+        #: When True, misses do not insert (reads still hit).
+        self.frozen = False
+
+    def key(self, name: str, x: np.ndarray) -> tuple:
+        digest = hashlib.sha1(x.tobytes()).digest()
+        return (name, x.shape, digest)
+
+    def get(self, key: tuple) -> tuple[np.ndarray, np.ndarray] | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def _evict_oldest(self) -> None:
+        _, (cols, acc) = self._entries.popitem(last=False)
+        self._bytes -= cols.nbytes + acc.nbytes
+
+    def put(self, key: tuple, cols: np.ndarray, acc: np.ndarray) -> None:
+        if self.frozen:
+            return
+        entry_bytes = cols.nbytes + acc.nbytes
+        if self.max_bytes is not None and entry_bytes > self.max_bytes:
+            return  # a single over-budget payload would evict everything else
+        previous = self._entries.pop(key, None)
+        if previous is not None:
+            self._bytes -= previous[0].nbytes + previous[1].nbytes
+        self._entries[key] = (cols, acc)
+        self._bytes += entry_bytes
+        while len(self._entries) > self.max_entries:
+            self._evict_oldest()
+        if self.max_bytes is not None:
+            while self._bytes > self.max_bytes and len(self._entries) > 1:
+                self._evict_oldest()
+
+    def freeze(self) -> None:
+        """Stop inserting on miss (campaign trials only ever *reuse*)."""
+        self.frozen = True
+
+    def thaw(self) -> None:
+        """Allow inserts again (the fault-free baseline pass primes here)."""
+        self.frozen = False
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def nbytes(self) -> int:
+        """Payload bytes currently held (cols + accumulators)."""
+        return self._bytes
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict[str, int | float]:
+        return {
+            "entries": len(self),
+            "bytes": self._bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "frozen": self.frozen,
+        }
 
 
 class VectorisedEngine:
     """Fast lane-accurate engine for conv/FC layers on the MAC array."""
 
-    def __init__(self, geometry: ArrayGeometry = PAPER_GEOMETRY, rng: np.random.Generator | None = None):
+    def __init__(
+        self,
+        geometry: ArrayGeometry = PAPER_GEOMETRY,
+        rng: np.random.Generator | None = None,
+        clean_cache: CleanAccumulatorCache | None = None,
+    ):
         self.geometry = geometry
         self.rng = rng or np.random.default_rng(0)
+        #: Optional clean-accumulator reuse across fault trials (off for a
+        #: bare engine; campaigns enable it through the platform config).
+        self.clean_cache = clean_cache
+
+    # ------------------------------------------------------------------
+    # Clean GEMM (shared by conv and FC)
+    # ------------------------------------------------------------------
+    def _clean_accumulate(
+        self, name: str, x_q: np.ndarray, w_mat: np.ndarray, make_cols
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(cols, clean acc)``, via the cache when one is armed."""
+        cache = self.clean_cache
+        if cache is None:
+            cols = make_cols()
+            return cols, exact_matmul(w_mat, cols)
+        key = cache.key(name, x_q)
+        entry = cache.get(key)
+        if entry is not None:
+            return entry
+        cols = make_cols()
+        acc = exact_matmul(w_mat, cols)
+        cache.put(key, cols, acc)
+        return cols, acc
 
     # ------------------------------------------------------------------
     # Convolution
@@ -73,9 +235,14 @@ class VectorisedEngine:
         out_h = conv_output_size(h, k, node.stride, node.padding)
         out_w = conv_output_size(w, k, node.stride, node.padding)
 
-        cols = im2col(x_q.astype(np.int64), k, node.stride, node.padding)  # (N, IC*K*K, P)
-        w_mat = node.weight.astype(np.int64).reshape(oc, -1)  # (OC, IC*K*K)
-        acc = np.einsum("or,nrp->nop", w_mat, cols, optimize=True)
+        w_mat = node.weight.reshape(oc, -1)  # int8, (OC, IC*K*K)
+        cols, acc = self._clean_accumulate(
+            node.name,
+            x_q,
+            w_mat,
+            # int8 patches, (N, IC*K*K, P) — narrow until the GEMM boundary
+            lambda: im2col(x_q, k, node.stride, node.padding),
+        )
 
         if config.enabled:
             acc = self._apply_faults_conv(acc, cols, w_mat, node, config)
@@ -115,45 +282,48 @@ class VectorisedEngine:
         kernel_elems: int,
         site: FaultSite,
         model: FaultModel,
-    ) -> tuple[list[int], np.ndarray] | None:
+    ) -> tuple[np.ndarray, np.ndarray] | None:
         """Correction term added to ``acc[:, oc_sel, :]`` for one fault site."""
         atomic_c = self.geometry.atomic_c
         atomic_k = self.geometry.atomic_k
 
-        oc_sel = [o for o in range(out_channels) if o % atomic_k == site.mac_unit]
-        if not oc_sel:
+        oc_sel = np.arange(site.mac_unit, out_channels, atomic_k)
+        if oc_sel.size == 0:
             # The MAC unit only ever processes padded (discarded) kernels.
             return None
-        ic_real = [c for c in range(in_channels) if c % atomic_c == site.multiplier]
+        ic_real = np.arange(site.multiplier, in_channels, atomic_c)
         channel_groups = self.geometry.channel_groups(in_channels)
-        pad_lane_count = channel_groups - len(ic_real)
+        pad_lane_count = channel_groups - ic_real.size
         pad_terms = pad_lane_count * kernel_elems
 
-        rows = [c * kernel_elems + j for c in ic_real for j in range(kernel_elems)]
+        # Row r of the im2col buffer holds (channel r // K^2, kernel elem
+        # r % K^2); the faulty lane touches every kernel element of its
+        # channels, i.e. the K^2-blocks starting at ic_real * K^2.
+        rows = (ic_real[:, None] * kernel_elems + np.arange(kernel_elems)[None, :]).ravel()
         n_batch, _, positions = cols.shape
 
         constant = model.constant_override()
         if constant is not None and not model.value_dependent:
-            total_terms = len(rows) + pad_terms
-            if rows:
+            total_terms = rows.size + pad_terms
+            if rows.size:
                 w_sub = w_mat[np.ix_(oc_sel, rows)]
                 cols_sub = cols[:, rows, :]
-                true_contrib = np.einsum("or,nrp->nop", w_sub, cols_sub, optimize=True)
+                true_contrib = exact_matmul(w_sub, cols_sub)
             else:
-                true_contrib = np.zeros((n_batch, len(oc_sel), positions), dtype=np.int64)
+                true_contrib = np.zeros((n_batch, oc_sel.size, positions), dtype=np.int64)
             delta = np.int64(constant) * total_terms - true_contrib
             return oc_sel, delta
 
         # Value-dependent path: materialise the affected products.
-        delta = np.zeros((n_batch, len(oc_sel), positions), dtype=np.int64)
-        if rows:
-            w_sub = w_mat[np.ix_(oc_sel, rows)]  # (O, R)
-            cols_sub = cols[:, rows, :]  # (N, R, P)
+        delta = np.zeros((n_batch, oc_sel.size, positions), dtype=np.int64)
+        if rows.size:
+            w_sub = w_mat[np.ix_(oc_sel, rows)].astype(np.int64)  # (O, R)
+            cols_sub = cols[:, rows, :].astype(np.int64)  # (N, R, P)
             products = w_sub[None, :, :, None] * cols_sub[:, None, :, :]  # (N, O, R, P)
             faulty = model.apply(products, self.rng)
             delta += (faulty - products).sum(axis=2)
         if pad_terms:
-            pad_products = np.zeros((n_batch, len(oc_sel), pad_terms, positions), dtype=np.int64)
+            pad_products = np.zeros((n_batch, oc_sel.size, pad_terms, positions), dtype=np.int64)
             pad_faulty = model.apply(pad_products, self.rng)
             delta += pad_faulty.sum(axis=2)
         return oc_sel, delta
@@ -180,9 +350,10 @@ class VectorisedEngine:
 
         # An FC layer is a 1x1 convolution over a 1x1 feature map on this
         # datapath; reuse the convolution fault arithmetic with P == 1.
-        cols = x_q.astype(np.int64).reshape(n, in_features, 1)
-        w_mat = node.weight.astype(np.int64)
-        acc = np.einsum("or,nrp->nop", w_mat, cols, optimize=True)
+        w_mat = node.weight  # int8, (OUT, IN)
+        cols, acc = self._clean_accumulate(
+            node.name, x_q, w_mat, lambda: x_q.reshape(n, in_features, 1)
+        )
 
         if config.enabled:
             acc = acc.copy()
@@ -217,7 +388,7 @@ class VectorisedEngine:
         total_pairs = self.geometry.pad_channels(in_channels) * out_channels
         affected = 0
         for site in config.faults:
-            oc_count = len([o for o in range(out_channels) if o % self.geometry.atomic_k == site.mac_unit])
+            oc_count = len(range(site.mac_unit, out_channels, self.geometry.atomic_k))
             ic_count = self.geometry.channel_groups(in_channels)
             affected += oc_count * ic_count
         return affected / max(total_pairs, 1)

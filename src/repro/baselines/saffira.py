@@ -30,6 +30,7 @@ from repro.faults.injector import InjectionConfig
 from repro.faults.sites import FaultSite
 from repro.nn.functional import conv_output_size, im2col
 from repro.quant.qlayers import QConv, QuantizedModel
+from repro.runtime.gemm import exact_matmul
 from repro.utils.bitops import ACCUMULATOR_WIDTH, saturate
 
 
@@ -92,6 +93,25 @@ class SystolicArraySimulator:
         return saturate(acc, ACCUMULATOR_WIDTH), total_cycles
 
     # ------------------------------------------------------------------
+    # Exact reference (shared fast-math core)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def reference_accumulator(x_q: np.ndarray, node: QConv) -> np.ndarray:
+        """Fault-free accumulator of the layer via the exact GEMM core.
+
+        The cycle-level simulator must reproduce this bit for bit on the
+        positions it simulates; tests (and users sub-sampling with
+        ``max_output_positions``) use it as the fast golden reference.
+        """
+        n, _, h, w = x_q.shape
+        k = node.kernel_size
+        out_h = conv_output_size(h, k, node.stride, node.padding)
+        out_w = conv_output_size(w, k, node.stride, node.padding)
+        cols = im2col(x_q, k, node.stride, node.padding)
+        acc = exact_matmul(node.weight.reshape(node.out_channels, -1), cols)
+        return saturate(acc, ACCUMULATOR_WIDTH).reshape(n, node.out_channels, out_h, out_w)
+
+    # ------------------------------------------------------------------
     # Layer simulation
     # ------------------------------------------------------------------
     def simulate_conv(
@@ -135,7 +155,9 @@ class SystolicArraySimulator:
         if max_output_positions is not None:
             positions = min(positions, max_output_positions)
 
-        cols_buf = im2col(x_q.astype(np.int64), k, node.stride, node.padding)
+        # Narrow int8 patch buffer; the per-cycle loop widens scalars itself
+        # and tile placement into the int64 staging arrays casts implicitly.
+        cols_buf = im2col(x_q, k, node.stride, node.padding)
         w_mat = node.weight.astype(np.int64).reshape(node.out_channels, -1)
         depth_total = w_mat.shape[1]
 

@@ -101,23 +101,22 @@ class SoftwareFaultInjector:
     # ------------------------------------------------------------------
     def _corrupt(self, activations: np.ndarray, spec: GraphFaultSpec) -> np.ndarray:
         out = activations.copy()
-        if out.ndim == 4:
-            channel_axis_len = out.shape[1]
-        elif out.ndim == 2:
-            channel_axis_len = out.shape[1]
+        if out.ndim not in (2, 4):
+            return out
+        channel_axis_len = out.shape[1]
+        if spec.channels:
+            channels = np.asarray(spec.channels)
+            channels = channels[channels < channel_axis_len]
         else:
+            channels = np.arange(channel_axis_len)
+        if channels.size == 0:
             return out
-        channels = spec.channels if spec.channels else tuple(range(channel_axis_len))
-        channels = tuple(c for c in channels if c < channel_axis_len)
-        if not channels:
-            return out
-        selected = out[:, list(channels)]
+        selected = out[:, channels]
         if spec.fraction >= 1.0:
             mask = np.ones(selected.shape, dtype=bool)
         else:
             mask = self._rng.random(selected.shape) < spec.fraction
-        selected = np.where(mask, np.array(spec.value, dtype=selected.dtype), selected)
-        out[:, list(channels)] = selected
+        out[:, channels] = np.where(mask, np.array(spec.value, dtype=selected.dtype), selected)
         return out
 
     def run(self, images: np.ndarray, specs: list[GraphFaultSpec]) -> np.ndarray:

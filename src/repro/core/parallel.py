@@ -198,6 +198,7 @@ def _shard_worker(
     """Worker entry point: build the platform once, evaluate one shard."""
     try:
         platform = spec.build()
+        platform.reset_caches()
         baseline = platform.baseline_accuracy(images, labels, batch_size=config.batch_size)
         results.put(("meta", worker_id, (baseline, platform.inferences_per_second())))
         rng = SeededRNG(config.seed)
@@ -207,6 +208,9 @@ def _shard_worker(
                 platform, trial, index, baseline, images, labels, config.batch_size
             )
             results.put(("record", worker_id, record))
+        cache_stats = platform.gemm_cache_stats()
+        if cache_stats is not None:
+            logger.debug("worker %d clean-accumulator cache: %s", worker_id, cache_stats)
         results.put(("done", worker_id, None))
     except Exception:  # pragma: no cover - exercised via the parent's error path
         results.put(("error", worker_id, traceback.format_exc()))
@@ -429,6 +433,9 @@ class ParallelCampaignRunner:
     ) -> CampaignResult:
         cfg = self.config
         platform = self.platform if self.platform is not None else self.spec.build()
+        # Fresh cache per run: deterministic memory profile, and reused
+        # platforms (serial campaigns) don't carry entries across campaigns.
+        platform.reset_caches()
         baseline = platform.baseline_accuracy(images, labels, batch_size=cfg.batch_size)
         if header is not None:
             self._check_baseline(baseline, header["baseline_accuracy"], "the checkpoint header")
@@ -473,6 +480,9 @@ class ParallelCampaignRunner:
         finally:
             if writer is not None:
                 writer.close()
+        cache_stats = platform.gemm_cache_stats()
+        if cache_stats is not None:
+            logger.debug("clean-accumulator cache: %s", cache_stats)
         return result
 
     # ------------------------------------------------------------------

@@ -9,6 +9,7 @@ integer inputs, in the int8 reference CPU backend
 from __future__ import annotations
 
 import numpy as np
+from numpy.lib.stride_tricks import as_strided
 
 
 # ---------------------------------------------------------------------------
@@ -26,10 +27,12 @@ def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
     return out
 
 
-def im2col(x: np.ndarray, kernel: int, stride: int, padding: int) -> np.ndarray:
-    """Unfold NCHW input into columns for matrix-multiply convolution.
+def im2col_view(x: np.ndarray, kernel: int, stride: int, padding: int) -> np.ndarray:
+    """Zero-copy sliding-window view of NCHW input for im2col lowering.
 
-    Returns an array of shape ``(N, C * kernel * kernel, out_h * out_w)``.
+    Returns a read-only view of shape ``(N, C, kernel, kernel, out_h, out_w)``
+    built with stride tricks: no patch data is materialised, so the input's
+    (narrow) dtype is preserved for free.  ``padding > 0`` still pads once.
     """
     n, c, h, w = x.shape
     out_h = conv_output_size(h, kernel, stride, padding)
@@ -42,13 +45,39 @@ def im2col(x: np.ndarray, kernel: int, stride: int, padding: int) -> np.ndarray:
             mode="constant",
         )
 
-    cols = np.empty((n, c, kernel, kernel, out_h, out_w), dtype=x.dtype)
-    for ky in range(kernel):
-        y_max = ky + stride * out_h
-        for kx in range(kernel):
-            x_max = kx + stride * out_w
-            cols[:, :, ky, kx, :, :] = x[:, :, ky:y_max:stride, kx:x_max:stride]
-    return cols.reshape(n, c * kernel * kernel, out_h * out_w)
+    sn, sc, sh, sw = x.strides
+    return as_strided(
+        x,
+        shape=(n, c, kernel, kernel, out_h, out_w),
+        strides=(sn, sc, sh, sw, sh * stride, sw * stride),
+        writeable=False,
+    )
+
+
+def im2col(x: np.ndarray, kernel: int, stride: int, padding: int) -> np.ndarray:
+    """Unfold NCHW input into columns for matrix-multiply convolution.
+
+    Returns an array of shape ``(N, C * kernel * kernel, out_h * out_w)``
+    with the input's dtype preserved — callers doing exact integer GEMM keep
+    int8 patches all the way to the GEMM boundary instead of materialising
+    8-byte int64 copies.  1x1/stride-1 lowering returns a *read-only*
+    reshaped view of the input (no copy at all); other geometries return a
+    fresh buffer.
+    """
+    n, c, h, w = x.shape
+    if kernel == 1 and stride == 1:
+        if padding > 0:
+            x = np.pad(
+                x, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant"
+            )
+        cols = x.reshape(n, c, (h + 2 * padding) * (w + 2 * padding))
+        # The view aliases the caller's activations: writing through it
+        # would corrupt them in place, so revoke write access.
+        cols.flags.writeable = False
+        return cols
+    view = im2col_view(x, kernel, stride, padding)
+    _, _, _, _, out_h, out_w = view.shape
+    return view.reshape(n, c * kernel * kernel, out_h * out_w)
 
 
 def col2im(

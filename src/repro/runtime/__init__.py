@@ -11,29 +11,48 @@ Ryzen 7 7700.  This subpackage provides the equivalents:
 * :mod:`repro.runtime.cpu_backend` — a bit-exact int8 software execution of
   the quantised model (the "CPU rows" of Table I, and the golden model the
   accelerator emulator is validated against),
+* :mod:`repro.runtime.gemm` — the exact BLAS-backed integer GEMM core shared
+  by every conv/FC call site in the repository,
 * :mod:`repro.runtime.perf_model` — analytic latency models for the CPU and
   accelerator operating points reported in Table I.
+
+The public names are resolved lazily (PEP 562): :mod:`repro.runtime.gemm`
+is a dependency-free leaf imported by :mod:`repro.accelerator.engine`, and
+an eager ``from repro.runtime.runtime import Runtime`` here would close an
+import cycle through :mod:`repro.accelerator.accelerator`.
 """
 
-from repro.runtime.cpu_backend import CPUBackend
-from repro.runtime.perf_model import (
-    CPUDevice,
-    DevicePerformanceModel,
-    PerformanceEstimate,
-    ARM_CORTEX_A53,
-    AMD_RYZEN_7700,
-    table1_performance_rows,
-)
-from repro.runtime.runtime import Runtime, InferenceResult
+from __future__ import annotations
 
-__all__ = [
-    "CPUBackend",
-    "Runtime",
-    "InferenceResult",
-    "CPUDevice",
-    "DevicePerformanceModel",
-    "PerformanceEstimate",
-    "ARM_CORTEX_A53",
-    "AMD_RYZEN_7700",
-    "table1_performance_rows",
-]
+import importlib
+
+_EXPORTS = {
+    "CPUBackend": ("repro.runtime.cpu_backend", "CPUBackend"),
+    "Runtime": ("repro.runtime.runtime", "Runtime"),
+    "InferenceResult": ("repro.runtime.runtime", "InferenceResult"),
+    "CPUDevice": ("repro.runtime.perf_model", "CPUDevice"),
+    "DevicePerformanceModel": ("repro.runtime.perf_model", "DevicePerformanceModel"),
+    "PerformanceEstimate": ("repro.runtime.perf_model", "PerformanceEstimate"),
+    "ARM_CORTEX_A53": ("repro.runtime.perf_model", "ARM_CORTEX_A53"),
+    "AMD_RYZEN_7700": ("repro.runtime.perf_model", "AMD_RYZEN_7700"),
+    "table1_performance_rows": ("repro.runtime.perf_model", "table1_performance_rows"),
+    "exact_matmul": ("repro.runtime.gemm", "exact_matmul"),
+    "gemm_backend": ("repro.runtime.gemm", "gemm_backend"),
+    "set_gemm_backend": ("repro.runtime.gemm", "set_gemm_backend"),
+    "get_gemm_backend": ("repro.runtime.gemm", "get_gemm_backend"),
+    "GEMM_STATS": ("repro.runtime.gemm", "GEMM_STATS"),
+}
+
+__all__ = list(_EXPORTS)
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

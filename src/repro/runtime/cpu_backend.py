@@ -18,6 +18,7 @@ import time
 import numpy as np
 
 from repro.nn.functional import conv_output_size, im2col
+from repro.runtime.gemm import exact_matmul
 from repro.quant.qlayers import (
     QAdd,
     QConv,
@@ -50,16 +51,18 @@ class CPUBackend:
         k = node.kernel_size
         out_h = conv_output_size(h, k, node.stride, node.padding)
         out_w = conv_output_size(w, k, node.stride, node.padding)
-        cols = im2col(x_q.astype(np.int64), k, node.stride, node.padding)
-        w_mat = node.weight.astype(np.int64).reshape(node.out_channels, -1)
-        acc = np.einsum("or,nrp->nop", w_mat, cols, optimize=True)
+        # int8 patches straight into the exact BLAS-backed GEMM core; the
+        # result is bit-identical to the historical int64 einsum.
+        cols = im2col(x_q, k, node.stride, node.padding)
+        w_mat = node.weight.reshape(node.out_channels, -1)
+        acc = exact_matmul(w_mat, cols)
         acc = acc + node.bias.astype(np.int64)[None, :, None]
         acc = acc.reshape(n, node.out_channels, out_h, out_w)
         return requantize(acc, node.requant, channel_axis=1, relu=node.relu)
 
     @staticmethod
     def _linear(x_q: np.ndarray, node: QLinear) -> np.ndarray:
-        acc = x_q.astype(np.int64) @ node.weight.astype(np.int64).T
+        acc = exact_matmul(x_q, node.weight.T)
         acc = acc + node.bias.astype(np.int64)[None, :]
         if node.requant is None:
             return acc

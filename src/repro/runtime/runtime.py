@@ -41,19 +41,37 @@ class InferenceResult:
 
 @dataclass
 class RuntimeStatistics:
-    """Counters accumulated over the runtime's lifetime."""
+    """Counters accumulated over the runtime's lifetime.
+
+    ``per_config_images`` aggregates by fault-model *kind* (model labels +
+    armed-site count) rather than by full configuration description: a
+    million-trial campaign arms a million distinct configurations, and one
+    dict entry each would grow without bound.  ``max_tracked_configs`` is a
+    backstop for strategies that still produce many kinds (e.g. sweeping
+    every constant value) — once reached, new kinds land in ``"(other)"``.
+    """
 
     inferences: int = 0
     images: int = 0
     wall_seconds: float = 0.0
     fi_reconfigurations: int = 0
     per_config_images: dict[str, int] = field(default_factory=dict)
+    max_tracked_configs: int = 256
+
+    @staticmethod
+    def _config_key(injection: InjectionConfig) -> str:
+        if not injection.enabled:
+            return "fault-free"
+        labels = sorted({model.label() for model in injection.faults.values()})
+        return f"{'+'.join(labels)} x{len(injection)}"
 
     def record(self, result: InferenceResult) -> None:
         self.inferences += 1
         self.images += result.batch_size
         self.wall_seconds += result.wall_seconds
-        key = result.injection.describe()
+        key = self._config_key(result.injection)
+        if key not in self.per_config_images and len(self.per_config_images) >= self.max_tracked_configs:
+            key = "(other)"
         self.per_config_images[key] = self.per_config_images.get(key, 0) + result.batch_size
 
     @property
@@ -124,14 +142,13 @@ class Runtime:
 
     def accuracy(self, images: np.ndarray, labels: np.ndarray, batch_size: int = 64) -> float:
         """Top-1 accuracy over a dataset under the current fault configuration."""
-        loadable = self._require_loadable()
+        self._require_loadable()
         correct = 0
         total = len(labels)
         for start in range(0, total, batch_size):
             batch = images[start : start + batch_size]
             result = self.infer(batch)
             correct += int((result.predictions == labels[start : start + batch_size]).sum())
-        del loadable
         return correct / max(total, 1)
 
     # ------------------------------------------------------------------

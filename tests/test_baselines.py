@@ -84,6 +84,17 @@ class TestSystolicArraySimulator:
         assert report.cycles > 0
         assert report.wall_seconds > 0
 
+    def test_reference_accumulator_matches_cycle_simulation(self):
+        # The exact-GEMM golden reference and the per-cycle simulation must
+        # agree bit for bit on a fault-free layer.
+        node = make_qconv(5, 9, 3, padding=1, seed=22)
+        x = random_int8((2, 5, 4, 4), seed=23)
+        sim = SystolicArraySimulator(rows=8, cols=8)
+        acc_sim, _ = sim.simulate_conv(x, node)
+        np.testing.assert_array_equal(
+            acc_sim, SystolicArraySimulator.reference_accumulator(x, node)
+        )
+
     def test_fault_changes_output(self):
         node = make_qconv(8, 8, 1, seed=4)
         x = random_int8((1, 8, 2, 2), seed=5)

@@ -1,0 +1,355 @@
+"""Bit-exactness suite for the BLAS-backed integer GEMM core.
+
+The fast-math core (:mod:`repro.runtime.gemm`) routes integer contractions
+through float BLAS kernels whenever an overflow bound certifies that every
+partial sum is exactly representable.  These tests pin the load-bearing
+claim — *bit-identical to the int64 einsum reference, always* — across
+random shapes and dtypes, at the worst-case operand magnitudes, on the tier
+boundaries, and through the forced-fallback path.  They also cover the
+clean-accumulator cache that reuses per-layer GEMMs across fault trials.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.accelerator.engine import CleanAccumulatorCache, VectorisedEngine
+from repro.faults.injector import InjectionConfig
+from repro.faults.models import BitFlip, ConstantValue, StuckAtZero, TransientPulse
+from repro.faults.sites import FaultSite
+from repro.runtime import gemm
+from repro.runtime.gemm import (
+    FLOAT32_EXACT_BOUND,
+    FLOAT64_EXACT_BOUND,
+    GEMM_STATS,
+    accumulation_bound,
+    exact_matmul,
+    gemm_backend,
+    get_gemm_backend,
+    operand_bound,
+    set_gemm_backend,
+)
+
+from tests.conftest import make_qconv, random_int8
+
+
+def reference_int64(w: np.ndarray, cols: np.ndarray) -> np.ndarray:
+    """The seed implementation's contraction, verbatim."""
+    w64 = w.astype(np.int64)
+    c64 = cols.astype(np.int64)
+    if w64.ndim == 2 and c64.ndim == 3:
+        return np.einsum("or,nrp->nop", w64, c64, optimize=True)
+    return np.matmul(w64, c64)
+
+
+class TestExactMatmulProperty:
+    @given(
+        o=st.integers(min_value=1, max_value=12),
+        r=st.integers(min_value=1, max_value=40),
+        p=st.integers(min_value=1, max_value=17),
+        n=st.integers(min_value=1, max_value=3),
+        dtype=st.sampled_from([np.int8, np.int16]),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bit_identical_to_int64_einsum(self, o, r, p, n, dtype, seed):
+        rng = np.random.default_rng(seed)
+        info = np.iinfo(dtype)
+        w = rng.integers(info.min, info.max + 1, size=(o, r)).astype(dtype)
+        cols = rng.integers(info.min, info.max + 1, size=(n, r, p)).astype(dtype)
+        np.testing.assert_array_equal(exact_matmul(w, cols), reference_int64(w, cols))
+
+    def test_worst_case_magnitudes_float32_tier(self):
+        # depth 1023 of (-128)*(-128) products sits one step under the
+        # float32 exactness bound: 1023 * 2**14 = 2**24 - 2**14.
+        depth = 1023
+        w = np.full((4, depth), -128, dtype=np.int8)
+        cols = np.full((2, depth, 5), -128, dtype=np.int8)
+        assert accumulation_bound(w, cols) < FLOAT32_EXACT_BOUND
+        GEMM_STATS.reset()
+        result = exact_matmul(w, cols)
+        assert GEMM_STATS.float32_calls == 1
+        np.testing.assert_array_equal(result, np.full((2, 4, 5), depth * 16384, dtype=np.int64))
+
+    def test_worst_case_magnitudes_float64_tier(self):
+        # One more accumulation step crosses into the float64 tier; the
+        # result (2**24) is exactly the first integer float32 cannot hold +0.
+        depth = 1024
+        w = np.full((3, depth), -128, dtype=np.int8)
+        cols = np.full((1, depth, 3), -128, dtype=np.int8)
+        assert FLOAT32_EXACT_BOUND <= accumulation_bound(w, cols) < FLOAT64_EXACT_BOUND
+        GEMM_STATS.reset()
+        result = exact_matmul(w, cols)
+        assert GEMM_STATS.float64_calls == 1
+        np.testing.assert_array_equal(result, np.full((1, 3, 3), depth * 16384, dtype=np.int64))
+
+    def test_int16_extremes_use_float64(self):
+        w = np.full((2, 8), np.iinfo(np.int16).min, dtype=np.int16)
+        cols = np.full((1, 8, 2), np.iinfo(np.int16).min, dtype=np.int16)
+        GEMM_STATS.reset()
+        result = exact_matmul(w, cols)
+        assert GEMM_STATS.float64_calls == 1
+        np.testing.assert_array_equal(result, reference_int64(w, cols))
+
+    def test_overflow_bound_forces_int64_fallback(self):
+        # 2**31 * 2**31 = 2**62 cannot be certified for float64 (bound >=
+        # 2**53): the core must refuse BLAS and produce the exact value.
+        a = np.array([[1 << 31]], dtype=np.int64)
+        b = np.array([[[1 << 31]]], dtype=np.int64)
+        assert accumulation_bound(a, b) >= FLOAT64_EXACT_BOUND
+        GEMM_STATS.reset()
+        result = exact_matmul(a, b)
+        assert GEMM_STATS.int64_calls == 1
+        assert GEMM_STATS.bound_fallbacks == 1
+        assert int(result[0, 0, 0]) == 1 << 62
+
+    def test_int64_operands_with_small_values_still_use_blas(self):
+        # Wide dtype but small actual magnitudes: the data pass certifies BLAS.
+        rng = np.random.default_rng(0)
+        a = rng.integers(-100, 101, size=(5, 7)).astype(np.int64)
+        b = rng.integers(-100, 101, size=(2, 7, 3)).astype(np.int64)
+        GEMM_STATS.reset()
+        np.testing.assert_array_equal(exact_matmul(a, b), reference_int64(a, b))
+        assert GEMM_STATS.float32_calls == 1
+
+    def test_2d_matmul_shapes(self):
+        rng = np.random.default_rng(1)
+        x = rng.integers(-128, 128, size=(6, 20)).astype(np.int8)
+        w = rng.integers(-128, 128, size=(9, 20)).astype(np.int8)
+        np.testing.assert_array_equal(
+            exact_matmul(x, w.T), x.astype(np.int64) @ w.astype(np.int64).T
+        )
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            exact_matmul(np.zeros((2, 3), dtype=np.int8), np.zeros((4, 2), dtype=np.int8))
+
+    def test_float_operands_rejected(self):
+        with pytest.raises(TypeError):
+            exact_matmul(np.zeros((2, 3), dtype=np.float32), np.zeros((3, 2), dtype=np.float32))
+
+
+class TestBackendSelection:
+    def test_forced_int64_backend_is_bit_identical(self):
+        rng = np.random.default_rng(2)
+        w = rng.integers(-128, 128, size=(8, 30)).astype(np.int8)
+        cols = rng.integers(-128, 128, size=(2, 30, 11)).astype(np.int8)
+        auto = exact_matmul(w, cols)
+        with gemm_backend("int64"):
+            forced = exact_matmul(w, cols)
+        np.testing.assert_array_equal(auto, forced)
+
+    def test_forced_float32_never_returns_inexact_results(self):
+        # A float32 request that the bound cannot certify must widen, not lie.
+        depth = 4096  # bound = depth * 2**14 = 2**26 >= FLOAT32_EXACT_BOUND
+        w = np.full((2, depth), -128, dtype=np.int8)
+        cols = np.full((1, depth, 2), -128, dtype=np.int8)
+        GEMM_STATS.reset()
+        with gemm_backend("float32"):
+            result = exact_matmul(w, cols)
+        assert GEMM_STATS.float64_calls == 1
+        assert GEMM_STATS.bound_fallbacks == 1
+        np.testing.assert_array_equal(result, np.full((1, 2, 2), depth * 16384, dtype=np.int64))
+
+    def test_backend_context_restores_previous(self):
+        before = get_gemm_backend()
+        with gemm_backend("int64"):
+            assert get_gemm_backend() == "int64"
+        assert get_gemm_backend() == before
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            set_gemm_backend("quantum")
+
+    def test_operand_bound_dtype_fast_paths(self):
+        assert operand_bound(np.zeros(3, dtype=np.int8)) == 128
+        assert operand_bound(np.zeros(3, dtype=np.int16)) == 1 << 15
+        assert operand_bound(np.array([-5, 3], dtype=np.int64)) == 5
+        assert operand_bound(np.array([], dtype=np.int64)) == 0
+
+
+class TestEngineUsesExactCore:
+    def test_conv_worst_case_magnitudes_bit_exact(self):
+        # Every operand at the int8 extreme, accumulation depth 64*3*3=576:
+        # well inside the float32 tier, and the engine must match the seed
+        # formula exactly.
+        node = make_qconv(64, 8, 3, padding=1, seed=0)
+        node.weight[:] = -128
+        x = np.full((1, 64, 5, 5), -128, dtype=np.int8)
+        acc = VectorisedEngine().conv_accumulate(x, node)
+        from repro.nn.functional import im2col
+
+        cols = im2col(x.astype(np.int64), 3, 1, 1)
+        ref = np.einsum(
+            "or,nrp->nop", node.weight.astype(np.int64).reshape(8, -1), cols, optimize=True
+        ).reshape(acc.shape)
+        np.testing.assert_array_equal(acc, ref)
+
+    def test_engine_forced_int64_matches_auto(self):
+        node = make_qconv(8, 8, 3, padding=1, seed=4)
+        x = random_int8((2, 8, 6, 6), seed=5)
+        config = InjectionConfig.single(FaultSite(2, 3), ConstantValue(7))
+        auto = VectorisedEngine().conv_accumulate(x, node, config)
+        with gemm_backend("int64"):
+            forced = VectorisedEngine().conv_accumulate(x, node, config)
+        np.testing.assert_array_equal(auto, forced)
+
+
+class TestCleanAccumulatorCache:
+    def _engine_pair(self):
+        cached = VectorisedEngine(clean_cache=CleanAccumulatorCache(max_entries=8))
+        plain = VectorisedEngine()
+        return cached, plain
+
+    def test_hit_on_repeated_input(self):
+        cached, plain = self._engine_pair()
+        node = make_qconv(8, 8, 3, padding=1, seed=6)
+        x = random_int8((2, 8, 6, 6), seed=7)
+        first = cached.conv_accumulate(x, node)
+        second = cached.conv_accumulate(x, node)
+        assert cached.clean_cache.hits == 1
+        assert cached.clean_cache.misses == 1
+        np.testing.assert_array_equal(first, second)
+        np.testing.assert_array_equal(first, plain.conv_accumulate(x, node))
+
+    def test_faulty_trials_reuse_clean_entry(self):
+        cached, plain = self._engine_pair()
+        node = make_qconv(8, 12, 3, padding=1, seed=8)
+        x = random_int8((2, 8, 6, 6), seed=9)
+        cached.conv_accumulate(x, node)  # primes the cache (baseline run)
+        for value in (0, -1, 5):
+            config = InjectionConfig.single(FaultSite(1, 2), ConstantValue(value))
+            fast = cached.conv_accumulate(x, node, config)
+            np.testing.assert_array_equal(fast, plain.conv_accumulate(x, node, config))
+        assert cached.clean_cache.hits == 3
+
+    def test_cached_entries_survive_faulty_mutation(self):
+        # A faulty trial must not corrupt the cached clean accumulator.
+        cached, plain = self._engine_pair()
+        node = make_qconv(8, 8, 3, padding=1, seed=10)
+        x = random_int8((1, 8, 5, 5), seed=11)
+        clean_before = cached.conv_accumulate(x, node)
+        cached.conv_accumulate(
+            x, node, InjectionConfig.single(FaultSite(0, 0), StuckAtZero())
+        )
+        clean_after = cached.conv_accumulate(x, node)
+        np.testing.assert_array_equal(clean_before, clean_after)
+        np.testing.assert_array_equal(clean_after, plain.conv_accumulate(x, node))
+
+    def test_different_inputs_are_distinct_entries(self):
+        cached, plain = self._engine_pair()
+        node = make_qconv(8, 8, 3, padding=1, seed=12)
+        a = random_int8((1, 8, 5, 5), seed=13)
+        b = random_int8((1, 8, 5, 5), seed=14)
+        np.testing.assert_array_equal(
+            cached.conv_accumulate(a, node), plain.conv_accumulate(a, node)
+        )
+        np.testing.assert_array_equal(
+            cached.conv_accumulate(b, node), plain.conv_accumulate(b, node)
+        )
+        assert cached.clean_cache.misses == 2
+        assert len(cached.clean_cache) == 2
+
+    def test_linear_path_cached(self):
+        from tests.conftest import make_qlinear
+
+        cached, plain = self._engine_pair()
+        node = make_qlinear(24, 10, final=True, seed=15)
+        x = random_int8((3, 24), seed=16)
+        cached.linear_accumulate(x, node)
+        config = InjectionConfig.single(FaultSite(1, 3), ConstantValue(100))
+        np.testing.assert_array_equal(
+            cached.linear_accumulate(x, node, config),
+            plain.linear_accumulate(x, node, config),
+        )
+        assert cached.clean_cache.hits == 1
+
+    def test_value_dependent_models_identical_with_cache(self):
+        # Bit flips materialise products from the cached cols; transient
+        # pulses additionally draw from the engine RNG — both must match an
+        # uncached engine with the same seed draw for draw.
+        for model in (BitFlip(7), TransientPulse(11, duty=0.5)):
+            cached = VectorisedEngine(
+                rng=np.random.default_rng(42),
+                clean_cache=CleanAccumulatorCache(max_entries=8),
+            )
+            plain = VectorisedEngine(rng=np.random.default_rng(42))
+            node = make_qconv(8, 8, 3, padding=1, seed=17)
+            x = random_int8((1, 8, 5, 5), seed=18)
+            config = InjectionConfig.single(FaultSite(3, 1), model)
+            cached.conv_accumulate(x, node)  # prime
+            plain.conv_accumulate(x, node)
+            np.testing.assert_array_equal(
+                cached.conv_accumulate(x, node, config),
+                plain.conv_accumulate(x, node, config),
+            )
+
+    def test_lru_eviction_is_bounded(self):
+        cache = CleanAccumulatorCache(max_entries=2)
+        engine = VectorisedEngine(clean_cache=cache)
+        node = make_qconv(8, 8, 1, seed=19)
+        for seed in range(5):
+            engine.conv_accumulate(random_int8((1, 8, 4, 4), seed=seed), node)
+        assert len(cache) == 2
+        assert cache.misses == 5
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            CleanAccumulatorCache(max_entries=0)
+
+    def test_byte_budget_bounds_payload(self):
+        node = make_qconv(8, 8, 1, seed=27)
+        x = random_int8((1, 8, 4, 4), seed=28)
+        # Size the budget to exactly two entries of this geometry.
+        probe = CleanAccumulatorCache(max_entries=8)
+        VectorisedEngine(clean_cache=probe).conv_accumulate(x, node)
+        entry_bytes = probe.nbytes
+        cache = CleanAccumulatorCache(max_entries=8, max_bytes=2 * entry_bytes)
+        engine = VectorisedEngine(clean_cache=cache)
+        for seed in range(5):
+            engine.conv_accumulate(random_int8((1, 8, 4, 4), seed=seed), node)
+        assert len(cache) == 2
+        assert cache.nbytes <= cache.max_bytes
+        # An over-budget single payload is skipped rather than evicting all.
+        tiny = CleanAccumulatorCache(max_entries=8, max_bytes=entry_bytes - 1)
+        engine = VectorisedEngine(clean_cache=tiny)
+        engine.conv_accumulate(x, node)
+        assert len(tiny) == 0 and tiny.nbytes == 0
+
+    def test_frozen_cache_hits_but_never_inserts(self):
+        # Campaign trials run against a frozen cache: primed entries hit,
+        # one-shot faulty activations are not retained.
+        cache = CleanAccumulatorCache(max_entries=8)
+        engine = VectorisedEngine(clean_cache=cache)
+        node = make_qconv(8, 8, 1, seed=24)
+        primed = random_int8((1, 8, 4, 4), seed=25)
+        engine.conv_accumulate(primed, node)  # baseline primes
+        cache.freeze()
+        one_shot = random_int8((1, 8, 4, 4), seed=26)
+        plain = VectorisedEngine()
+        np.testing.assert_array_equal(
+            engine.conv_accumulate(one_shot, node), plain.conv_accumulate(one_shot, node)
+        )
+        np.testing.assert_array_equal(
+            engine.conv_accumulate(primed, node), plain.conv_accumulate(primed, node)
+        )
+        assert len(cache) == 1  # the one-shot input was not inserted
+        assert cache.hits == 1 and cache.frozen
+        cache.thaw()
+        engine.conv_accumulate(one_shot, node)
+        assert len(cache) == 2
+
+    def test_stats_and_clear(self):
+        cache = CleanAccumulatorCache(max_entries=4)
+        engine = VectorisedEngine(clean_cache=cache)
+        node = make_qconv(8, 8, 1, seed=20)
+        x = random_int8((1, 8, 4, 4), seed=21)
+        engine.conv_accumulate(x, node)
+        engine.conv_accumulate(x, node)
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1 and stats["entries"] == 1
+        assert stats["hit_rate"] == pytest.approx(0.5)
+        cache.clear()
+        assert len(cache) == 0 and cache.hits == 0 and cache.misses == 0
