@@ -26,6 +26,11 @@ class CMACArray:
         self.geometry = geometry
         rng = rng or np.random.default_rng(0)
         self.mac_units = [MACUnit(geometry.muls_per_mac, rng=rng) for _ in range(geometry.num_macs)]
+        #: Accumulator-stage model per MAC unit (applied to the partial-sum
+        #: bus after the adder tree, before the sum reaches the CACC).
+        self.accumulator_models: dict[int, FaultModel] = {}
+        #: The site each accumulator-stage model was armed at (for reporting).
+        self._accumulator_sites: dict[int, FaultSite] = {}
 
     # ------------------------------------------------------------------
     # Fault configuration
@@ -38,18 +43,31 @@ class CMACArray:
 
     def set_fault(self, site: FaultSite, model: FaultModel) -> None:
         site.validate(self.geometry.num_macs, self.geometry.muls_per_mac)
-        self.mac_units[site.mac_unit].set_fault(site.multiplier, model)
+        if model.stage == "accumulator":
+            # The lane coordinate is a convention (lane 0); the fault sits on
+            # the MAC unit's single partial-sum bus, of which there is one.
+            if site.mac_unit in self.accumulator_models:
+                raise ValueError(
+                    f"MAC unit {site.mac_unit} already has an accumulator-stage fault"
+                )
+            self.accumulator_models[site.mac_unit] = model
+            self._accumulator_sites[site.mac_unit] = site
+        else:
+            self.mac_units[site.mac_unit].set_fault(site.multiplier, model)
 
     def clear_faults(self) -> None:
         for mac in self.mac_units:
             mac.clear_faults()
+        self.accumulator_models.clear()
+        self._accumulator_sites.clear()
 
     def faulty_sites(self) -> list[FaultSite]:
         sites = []
         for mac_idx, mac in enumerate(self.mac_units):
             for lane in mac.faulty_lanes():
                 sites.append(FaultSite(mac_idx, lane))
-        return sites
+        sites.extend(self._accumulator_sites.values())
+        return sorted(sites)
 
     # ------------------------------------------------------------------
     # Computation
@@ -85,7 +103,11 @@ class CMACArray:
         zero_weights: list[int] = [0] * self.geometry.muls_per_mac
         for k in range(self.geometry.num_macs):
             weights = weights_per_kernel[k] if k < len(weights_per_kernel) else zero_weights
-            sums.append(self.mac_units[k].multiply_accumulate(activations, weights))
+            total = self.mac_units[k].multiply_accumulate(activations, weights)
+            model = self.accumulator_models.get(k)
+            if model is not None:
+                total = int(model.apply(np.array([total], dtype=np.int64))[0])
+            sums.append(total)
         return sums
 
     @property

@@ -261,6 +261,7 @@ class VectorisedEngine:
         oc, _ = w_mat.shape
         ic = node.in_channels
         k = node.kernel_size
+        self._validate_stage_combination(config)
         acc = acc.copy()
         for site, model in config.faults.items():
             site.validate(self.geometry.num_macs, self.geometry.muls_per_mac)
@@ -272,6 +273,121 @@ class VectorisedEngine:
             oc_sel, delta = correction
             acc[:, oc_sel, :] += delta
         return acc
+
+    @staticmethod
+    def _validate_stage_combination(config: InjectionConfig) -> None:
+        """Reject fault combinations whose corrections are not additive.
+
+        Corrections are applied independently per armed site on top of the
+        *clean* accumulator, which is exact as long as every armed fault
+        touches a disjoint set of terms.  An accumulator-stage fault is a
+        non-linear function of its MAC unit's partial sums, so it cannot be
+        combined with another fault on the same MAC unit (the scalar
+        reference engine handles such configurations; the vectorised engine
+        refuses them rather than silently produce different results).
+        """
+        acc_macs: list[int] = []
+        product_macs: set[int] = set()
+        for site, model in config.faults.items():
+            if model.stage == "accumulator":
+                acc_macs.append(site.mac_unit)
+            else:
+                product_macs.add(site.mac_unit)
+        duplicates = {mac for mac in acc_macs if acc_macs.count(mac) > 1}
+        if duplicates:
+            raise ValueError(
+                f"MAC unit(s) {sorted(duplicates)} carry more than one "
+                "accumulator-stage fault; a MAC unit has a single partial-sum bus"
+            )
+        overlap = set(acc_macs) & product_macs
+        if overlap:
+            raise NotImplementedError(
+                f"MAC unit(s) {sorted(overlap)} combine product-stage and "
+                "accumulator-stage faults; the vectorised engine cannot apply "
+                "these additively — use the scalar reference engine"
+            )
+
+    def _cycle_indices(
+        self,
+        n_batch: int,
+        positions: int,
+        kernel_groups: int,
+        channel_groups: int,
+        kernel_elems: int,
+        kg_sel: np.ndarray,
+        inner: np.ndarray,
+    ) -> np.ndarray:
+        """Per-layer atomic-operation index of each affected term.
+
+        The hardware schedule iterates sample -> output position -> kernel
+        group -> channel group -> kernel element, every multiplier firing
+        once per atomic operation, so the cycle of the term computed for
+        (sample ``n``, output position ``p``, kernel group ``kg``, channel
+        group ``cg``, kernel element ``e``) is::
+
+            ((n * P + p) * KG + kg) * (CG * K^2) + cg * K^2 + e
+
+        ``kg_sel`` holds the kernel group of each selected output channel and
+        ``inner`` the ``cg * K^2 + e`` term of each affected im2col row; the
+        result has shape ``(N, len(kg_sel), len(inner), P)`` matching the
+        materialised products.
+        """
+        np_term = (
+            np.arange(n_batch, dtype=np.int64)[:, None] * positions
+            + np.arange(positions, dtype=np.int64)[None, :]
+        )  # (N, P)
+        return (
+            (np_term[:, None, None, :] * kernel_groups + kg_sel[None, :, None, None])
+            * (channel_groups * kernel_elems)
+            + inner[None, None, :, None]
+        )
+
+    def _accumulator_delta(
+        self,
+        cols: np.ndarray,
+        w_mat: np.ndarray,
+        oc_sel: np.ndarray,
+        in_channels: int,
+        kernel_elems: int,
+        model: FaultModel,
+    ) -> np.ndarray:
+        """Correction for an accumulator-stage fault on one MAC unit.
+
+        The fault transforms every partial sum the MAC unit forwards to the
+        CACC — one per (channel group, kernel element) atomic operation — so
+        the affected partial sums are materialised by grouping the im2col
+        rows into atomic-C lanes (padding lanes contribute zero, exactly as
+        the zero-padded hardware lanes do) and the correction is the summed
+        difference between the faulty and the clean partials.
+        """
+        atomic_c = self.geometry.atomic_c
+        channel_groups = self.geometry.channel_groups(in_channels)
+        n_batch, _, positions = cols.shape
+        n_out = oc_sel.size
+        padded_channels = channel_groups * atomic_c
+
+        w_g = np.zeros((n_out, padded_channels, kernel_elems), dtype=np.int64)
+        w_g[:, :in_channels, :] = (
+            w_mat[oc_sel].astype(np.int64).reshape(n_out, in_channels, kernel_elems)
+        )
+        w_g = w_g.reshape(n_out, channel_groups, atomic_c, kernel_elems)
+        cols_g = np.zeros(
+            (n_batch, padded_channels, kernel_elems, positions), dtype=np.int64
+        )
+        cols_g[:, :in_channels] = (
+            cols.astype(np.int64).reshape(n_batch, in_channels, kernel_elems, positions)
+        )
+        cols_g = cols_g.reshape(n_batch, channel_groups, atomic_c, kernel_elems, positions)
+
+        # One partial sum per (sample, output channel, channel group, kernel
+        # element, position): the lane axis is contracted by the adder tree.
+        # The generic int64 einsum is acceptable here because, like the
+        # value-dependent product path, it only touches the armed MAC's
+        # ~1/atomic_k slice of the layer; the clean accumulator itself still
+        # comes from the BLAS-backed GEMM core (and is usually cached).
+        partials = np.einsum("ogle,nglep->nogep", w_g, cols_g)
+        faulty = model.apply(partials, self.rng)
+        return (faulty - partials).sum(axis=(2, 3))
 
     def _site_correction(
         self,
@@ -291,6 +407,17 @@ class VectorisedEngine:
         if oc_sel.size == 0:
             # The MAC unit only ever processes padded (discarded) kernels.
             return None
+
+        if model.stage == "accumulator":
+            if model.cycle_dependent:
+                raise NotImplementedError(
+                    "cycle-dependent accumulator-stage models are not supported"
+                )
+            delta = self._accumulator_delta(
+                cols, w_mat, oc_sel, in_channels, kernel_elems, model
+            )
+            return oc_sel, delta
+
         ic_real = np.arange(site.multiplier, in_channels, atomic_c)
         channel_groups = self.geometry.channel_groups(in_channels)
         pad_lane_count = channel_groups - ic_real.size
@@ -314,6 +441,12 @@ class VectorisedEngine:
             delta = np.int64(constant) * total_terms - true_contrib
             return oc_sel, delta
 
+        if model.cycle_dependent:
+            return oc_sel, self._cyclic_delta(
+                cols, w_mat, oc_sel, in_channels, kernel_elems, out_channels,
+                ic_real, rows, site, model,
+            )
+
         # Value-dependent path: materialise the affected products.
         delta = np.zeros((n_batch, oc_sel.size, positions), dtype=np.int64)
         if rows.size:
@@ -327,6 +460,64 @@ class VectorisedEngine:
             pad_faulty = model.apply(pad_products, self.rng)
             delta += pad_faulty.sum(axis=2)
         return oc_sel, delta
+
+    def _cyclic_delta(
+        self,
+        cols: np.ndarray,
+        w_mat: np.ndarray,
+        oc_sel: np.ndarray,
+        in_channels: int,
+        kernel_elems: int,
+        out_channels: int,
+        ic_real: np.ndarray,
+        rows: np.ndarray,
+        site: FaultSite,
+        model: FaultModel,
+    ) -> np.ndarray:
+        """Correction for a cycle-dependent product-stage fault on one site.
+
+        The faulty value of each affected product depends on the atomic
+        operation that produced it, so the cycle index of every affected
+        term (real lanes *and* zero-padded lanes, which still cycle in
+        hardware) is reconstructed from the schedule and handed to the
+        model together with the materialised products.
+        """
+        atomic_c = self.geometry.atomic_c
+        atomic_k = self.geometry.atomic_k
+        channel_groups = self.geometry.channel_groups(in_channels)
+        kernel_groups = self.geometry.kernel_groups(out_channels)
+        pad_lane_count = channel_groups - ic_real.size
+        n_batch, _, positions = cols.shape
+        kg_sel = oc_sel // atomic_k
+        elems = np.arange(kernel_elems, dtype=np.int64)
+
+        delta = np.zeros((n_batch, oc_sel.size, positions), dtype=np.int64)
+        if rows.size:
+            inner = ((ic_real // atomic_c)[:, None] * kernel_elems + elems[None, :]).ravel()
+            cycles = self._cycle_indices(
+                n_batch, positions, kernel_groups, channel_groups, kernel_elems,
+                kg_sel, inner,
+            )
+            w_sub = w_mat[np.ix_(oc_sel, rows)].astype(np.int64)  # (O, R)
+            cols_sub = cols[:, rows, :].astype(np.int64)  # (N, R, P)
+            products = w_sub[None, :, :, None] * cols_sub[:, None, :, :]  # (N, O, R, P)
+            faulty = model.apply_at(products, cycles)
+            delta += (faulty - products).sum(axis=2)
+        if pad_lane_count:
+            # The trailing channel groups hold the site's padding lanes;
+            # their products are zero but the transient still overrides them.
+            pad_cgs = np.arange(channel_groups - pad_lane_count, channel_groups, dtype=np.int64)
+            inner = (pad_cgs[:, None] * kernel_elems + elems[None, :]).ravel()
+            cycles = self._cycle_indices(
+                n_batch, positions, kernel_groups, channel_groups, kernel_elems,
+                kg_sel, inner,
+            )
+            pad_products = np.zeros(
+                (n_batch, oc_sel.size, inner.size, positions), dtype=np.int64
+            )
+            pad_faulty = model.apply_at(pad_products, cycles)
+            delta += pad_faulty.sum(axis=2)
+        return delta
 
     # ------------------------------------------------------------------
     # Fully connected
@@ -356,6 +547,7 @@ class VectorisedEngine:
         )
 
         if config.enabled:
+            self._validate_stage_combination(config)
             acc = acc.copy()
             for site, model in config.faults.items():
                 site.validate(self.geometry.num_macs, self.geometry.muls_per_mac)
@@ -387,8 +579,12 @@ class VectorisedEngine:
             in_channels, out_channels = node.in_features, node.out_features
         total_pairs = self.geometry.pad_channels(in_channels) * out_channels
         affected = 0
-        for site in config.faults:
+        for site, model in config.faults.items():
             oc_count = len(range(site.mac_unit, out_channels, self.geometry.atomic_k))
-            ic_count = self.geometry.channel_groups(in_channels)
+            if model.stage == "accumulator":
+                # Every lane of the MAC unit feeds the corrupted partial sum.
+                ic_count = self.geometry.pad_channels(in_channels)
+            else:
+                ic_count = self.geometry.channel_groups(in_channels)
             affected += oc_count * ic_count
         return affected / max(total_pairs, 1)

@@ -43,6 +43,11 @@ class Int8Multiplier:
         self.cycles = 0
 
     def set_fault_model(self, model: FaultModel | None) -> None:
+        if model is not None and model.stage != "product":
+            raise ValueError(
+                f"{model.label()} attacks the {model.stage} stage and cannot be "
+                "attached to a multiplier lane; arm it through the CMAC array"
+            )
         self.fault_model = model
 
     def clear_faults(self) -> None:
@@ -63,7 +68,15 @@ class Int8Multiplier:
         if self.injector.enabled:
             return int(self.injector.apply_signed(product))
         if self.fault_model is not None:
-            faulty = self.fault_model.apply(np.array([product], dtype=np.int64), self._rng)
+            if self.fault_model.cycle_dependent:
+                # This multiplier fires once per atomic operation, so its own
+                # multiply counter *is* the schedule's per-layer cycle index.
+                faulty = self.fault_model.apply_at(
+                    np.array([product], dtype=np.int64),
+                    np.array([self.cycles - 1], dtype=np.int64),
+                )
+            else:
+                faulty = self.fault_model.apply(np.array([product], dtype=np.int64), self._rng)
             return int(faulty[0])
         return product
 

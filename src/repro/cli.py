@@ -11,6 +11,7 @@ be scripted without writing Python:
     python -m repro campaign --workers 4 --checkpoint fig2.jsonl   # parallel
     python -m repro campaign --workers 4 --checkpoint fig2.jsonl --resume
     python -m repro heatmap  --value 0 --images 64 --output fig3.json
+    python -m repro sweep    --spec sweep.toml --workers 4 --sweep-dir out
     python -m repro table1
 
 All subcommands use the cached case-study model (training it on first use);
@@ -28,6 +29,7 @@ from repro.core.analysis import accuracy_drop_boxplots, heatmap_matrix, most_sen
 from repro.core.campaign import CampaignConfig, FaultInjectionCampaign
 from repro.core.parallel import ParallelCampaignRunner
 from repro.core.strategies import ExhaustiveSingleSite, PerMACUnitSweep, RandomMultipliers
+from repro.core.sweep import ExperimentSpec, SweepRunner
 from repro.runtime.perf_model import table1_performance_rows
 from repro.utils.tabulate import format_heatmap, format_table
 from repro.zoo import CaseStudySpec, build_case_study_platform, case_study_platform_spec
@@ -120,6 +122,56 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    spec = ExperimentSpec.from_file(args.spec)
+    if args.images is not None:
+        spec.images = args.images
+    if args.sweep_seed is not None:
+        spec.seed = args.sweep_seed
+    grid = spec.grid()
+    if args.list:
+        for scenario in grid:
+            print(scenario.scenario_id)
+        print(f"{len(grid)} scenario(s)")
+        return 0
+
+    runner = SweepRunner(
+        grid,
+        workers=args.workers,
+        sweep_dir=args.sweep_dir,
+        resume=args.resume,
+    )
+    sweep = runner.run()
+
+    items = sweep.summary()["scenarios"]
+    rows = []
+    for item in items:
+        rows.append([
+            item["scenario"],
+            item["num_trials"],
+            item["baseline_accuracy"],
+            item["mean_accuracy_drop"],
+            item["max_accuracy_drop"],
+        ])
+    print(format_table(
+        ["scenario", "trials", "baseline", "mean drop", "max drop"],
+        rows,
+        floatfmt=".3f",
+        title=f"{len(grid)} scenarios x {spec.images} images "
+              f"({args.workers} worker{'s' if args.workers != 1 else ''}, "
+              f"{sweep.wall_seconds:.1f}s)",
+    ))
+    with_trials = [item for item in items if item["num_trials"]]
+    if with_trials:
+        worst = max(with_trials, key=lambda item: item["max_accuracy_drop"])
+        print(f"worst accuracy drop: {worst['max_accuracy_drop']:.3f} "
+              f"in scenario {worst['scenario']}")
+    print(f"structure digest: {sweep.structure_digest()}")
+    if args.sweep_dir:
+        print(f"artifacts written to {args.sweep_dir}/sweep.jsonl and sweep.json")
+    return 0
+
+
 def _cmd_heatmap(args: argparse.Namespace) -> int:
     platform, case = _build_platform(args)
     images = case.dataset.test_images[: args.images]
@@ -172,6 +224,27 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--resume", action="store_true",
                           help="skip trials already present in --checkpoint")
     campaign.set_defaults(func=_cmd_campaign)
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="run a declarative scenario grid (models x faults x strategies x platforms)",
+    )
+    sweep.add_argument("--spec", type=str, required=True,
+                       help="JSON or TOML experiment spec file (see repro.core.sweep)")
+    sweep.add_argument("--sweep-dir", type=str, default="sweep-out",
+                       help="directory for per-scenario checkpoints and merged artifacts")
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="worker processes per scenario; merged artifacts are "
+                            "bit-identical for any worker count")
+    sweep.add_argument("--resume", action="store_true",
+                       help="complete the missing trials of an interrupted sweep")
+    sweep.add_argument("--images", type=int, default=None,
+                       help="override the spec's evaluation-image count")
+    sweep.add_argument("--sweep-seed", type=int, default=None,
+                       help="override the spec's campaign seed")
+    sweep.add_argument("--list", action="store_true",
+                       help="print the scenario ids of the grid and exit")
+    sweep.set_defaults(func=_cmd_sweep)
 
     heatmap = subparsers.add_parser("heatmap", help="run the single-site sweep (Fig. 3 style)")
     _add_model_arguments(heatmap)

@@ -14,8 +14,11 @@ analyse the classification-accuracy drop.
 * :class:`~repro.core.parallel.ParallelCampaignRunner` — shards the trials
   of a campaign across worker processes with JSONL checkpointing and
   resume; the serial campaign is its ``workers=1`` special case.
+* :mod:`repro.core.sweep` — declarative scenario grids (models x fault
+  families x strategies x platforms) executed as one experiment matrix
+  through the parallel runner, with merged JSONL/JSON artifacts.
 * :mod:`repro.core.analysis` — box-plot series, heat maps and summary
-  statistics over campaign results.
+  statistics over campaign results (including cross-scenario series).
 * :mod:`repro.core.results` — result records and serialisation.
 """
 
@@ -35,7 +38,19 @@ from repro.core.analysis import (
     BoxPlotSeries,
     accuracy_drop_boxplots,
     heatmap_matrix,
+    scenario_boxplots,
     summarize_by_group,
+)
+from repro.core.sweep import (
+    ExperimentSpec,
+    FaultAxis,
+    ModelAxis,
+    PlatformAxis,
+    Scenario,
+    ScenarioGrid,
+    StrategyAxis,
+    SweepResult,
+    SweepRunner,
 )
 
 __all__ = [
@@ -58,5 +73,15 @@ __all__ = [
     "BoxPlotSeries",
     "accuracy_drop_boxplots",
     "heatmap_matrix",
+    "scenario_boxplots",
     "summarize_by_group",
+    "ExperimentSpec",
+    "ModelAxis",
+    "FaultAxis",
+    "StrategyAxis",
+    "PlatformAxis",
+    "Scenario",
+    "ScenarioGrid",
+    "SweepRunner",
+    "SweepResult",
 ]

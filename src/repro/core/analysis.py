@@ -116,6 +116,27 @@ def most_sensitive_site(result: CampaignResult, injected_value: int | None = Non
     return max(candidates, key=lambda r: r.accuracy_drop)
 
 
+def scenario_boxplots(
+    results_by_scenario: dict[str, CampaignResult],
+) -> dict[str, BoxPlotSeries]:
+    """Cross-scenario aggregation: one accuracy-drop series per scenario.
+
+    Takes the ``scenario id -> CampaignResult`` mapping of a sweep (see
+    :meth:`SweepResult.results_by_id
+    <repro.core.sweep.SweepResult.results_by_id>`) and returns one
+    :class:`BoxPlotSeries` per scenario, grouped by the number of armed
+    fault sites — the Fig. 2 presentation generalised to heterogeneous
+    scenarios, so different fault models, strategies and platforms can be
+    compared on one axis.
+    """
+    series: dict[str, BoxPlotSeries] = {}
+    for scenario_id in sorted(results_by_scenario):
+        result = results_by_scenario[scenario_id]
+        boxes = summarize_by_group(result, group_by="num_faults")
+        series[scenario_id] = BoxPlotSeries(label=scenario_id, boxes=dict(boxes))
+    return series
+
+
 def summarize_by_group(
     result: CampaignResult, group_by: str = "num_faults"
 ) -> dict[object, BoxPlotStats]:

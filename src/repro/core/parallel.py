@@ -22,8 +22,8 @@ serial run** for any worker count and across interrupt/resume:
 Checkpoint format (one JSON object per line)::
 
     {"kind": "header", "version": 1, "strategy": ..., "seed": ...,
-     "num_images": ..., "total_trials": ..., "baseline_accuracy": ...,
-     "emulated_inferences_per_second": ...}
+     "num_images": ..., "total_trials": ..., "batch_size": ...,
+     "baseline_accuracy": ..., "emulated_inferences_per_second": ...}
     {"kind": "record", "trial_index": 0, "description": ..., ...}
     {"kind": "record", "trial_index": 3, ...}
 
@@ -61,8 +61,12 @@ logger = get_logger(__name__)
 CHECKPOINT_VERSION = 1
 
 #: Header fields that must match between a checkpoint and the campaign
-#: attempting to resume from it.
-_HEADER_IDENTITY = ("strategy", "seed", "num_images", "total_trials")
+#: attempting to resume from it.  ``batch_size`` is part of the identity
+#: because cycle-dependent fault models (per-cycle transients) derive their
+#: firing pattern from each sample's position within its evaluation batch
+#: chunk — resuming under a different batch size would silently mix records
+#: computed under different effective fault behaviour.
+_HEADER_IDENTITY = ("strategy", "seed", "num_images", "total_trials", "batch_size")
 
 
 # ----------------------------------------------------------------------
@@ -350,8 +354,14 @@ class ParallelCampaignRunner:
             "seed": self.config.seed,
             "num_images": num_images,
             "total_trials": self._total_trials(),
+            "batch_size": self.config.batch_size,
         }
         for key in _HEADER_IDENTITY:
+            if key == "batch_size" and key not in header:
+                # Legacy checkpoint written before batch_size joined the
+                # identity (i.e. before cycle-dependent fault models existed,
+                # whose firing pattern is the reason it matters); accept it.
+                continue
             if header.get(key) != expected[key]:
                 raise ValueError(
                     f"checkpoint {self.checkpoint} belongs to a different campaign: "
@@ -397,6 +407,7 @@ class ParallelCampaignRunner:
                     "seed": self.config.seed,
                     "num_images": num_images,
                     "total_trials": self._total_trials(),
+                    "batch_size": self.config.batch_size,
                     "baseline_accuracy": baseline,
                     "emulated_inferences_per_second": ips,
                 }

@@ -92,6 +92,41 @@ class InjectionStrategy:
         if not 0 <= index < total:
             raise IndexError(f"trial index {index} out of range [0, {total})")
 
+    # ------------------------------------------------------------------
+    # Fault-model axis (shared by the concrete strategies)
+    # ------------------------------------------------------------------
+    def _resolved_models(self) -> tuple[FaultModel, ...]:
+        """The fault models this strategy sweeps over.
+
+        Strategies historically sweep a tuple of injected constants
+        (``values``); the ``models`` field generalises that to arbitrary
+        :class:`~repro.faults.models.FaultModel` objects (bit flips,
+        accumulator-stage stuck-ats, per-cycle transients, ...).  When
+        ``models`` is unset the legacy constant sweep is used, preserving
+        the exact trial derivation of existing campaigns.
+        """
+        models = getattr(self, "models", None)
+        if models is not None:
+            if not models:
+                raise ValueError("models must be a non-empty tuple of fault models")
+            return tuple(models)
+        return tuple(ConstantValue(v) for v in getattr(self, "values", ()))
+
+    def _models_stage(self, models: tuple[FaultModel, ...]) -> str:
+        """The (single) datapath stage the models attack.
+
+        A strategy instance must be homogeneous in stage: the site domain
+        (multiplier lanes vs MAC-unit accumulators) depends on it, and mixed
+        stages would make the trial index space ambiguous.
+        """
+        stages = {model.stage for model in models}
+        if len(stages) != 1:
+            raise ValueError(
+                f"strategy {self.name!r} mixes fault-model stages {sorted(stages)}; "
+                "use one strategy instance per stage"
+            )
+        return stages.pop()
+
 
 def _value_of(model: FaultModel) -> int | None:
     return model.constant_override()
@@ -112,27 +147,44 @@ class RandomMultipliers(InjectionStrategy):
     fault_counts: tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7)
     trials_per_point: int = 10
     name: str = "random-multipliers"
+    #: Optional explicit fault-model sweep; overrides ``values`` (which then
+    #: only exist for backwards compatibility).  Accumulator-stage models
+    #: draw random MAC-unit accumulators instead of multiplier lanes.
+    models: tuple[FaultModel, ...] | None = None
 
     def expected_trials(self, universe: FaultUniverse) -> int:
-        return len(self.values) * len(self.fault_counts) * self.trials_per_point
+        return len(self._resolved_models()) * len(self.fault_counts) * self.trials_per_point
 
     def trial_at(self, universe: FaultUniverse, rng: SeededRNG, index: int) -> StrategyTrial:
+        models = self._resolved_models()
+        stage = self._models_stage(models)
         per_count = self.trials_per_point
         per_value = len(self.fault_counts) * per_count
-        self._check_index(index, len(self.values) * per_value)
-        value = self.values[index // per_value]
+        self._check_index(index, len(models) * per_value)
+        model = models[index // per_value]
         count = self.fault_counts[(index % per_value) // per_count]
         trial = index % per_count
         # One independent child stream per trial: the sites of trial i depend
-        # only on (seed, value, count, i), never on how many trials were drawn
+        # only on (seed, model, count, i), never on how many trials were drawn
         # before it, so sharding the index space cannot change the randomness.
-        stream = rng.child("random-multipliers", value, count, trial).generator()
-        sites = universe.random_sites(count, stream)
+        # The legacy constant sweep keys the stream by the injected value so
+        # that pre-existing campaigns replay identically.
+        tag: int | str = (
+            self.values[index // per_value] if self.models is None else model.label()
+        )
+        stream = rng.child("random-multipliers", tag, count, trial).generator()
+        if stage == "accumulator":
+            sites = universe.random_accumulator_sites(count, stream)
+        else:
+            sites = universe.random_sites(count, stream)
+        metadata = {"trial": trial}
+        if self.models is not None:
+            metadata["model"] = model.label()
         return StrategyTrial(
-            config=InjectionConfig.uniform(sites, ConstantValue(value)),
+            config=InjectionConfig.uniform(sites, model),
             num_faults=count,
-            injected_value=value,
-            metadata={"trial": trial},
+            injected_value=model.constant_override(),
+            metadata=metadata,
         )
 
 
@@ -148,20 +200,35 @@ class ExhaustiveSingleSite(InjectionStrategy):
 
     values: tuple[int, ...] = (0, 1, -1)
     name: str = "exhaustive-single-site"
+    #: Optional explicit fault-model sweep; overrides ``values``.  For
+    #: accumulator-stage models the site domain is one accumulator per MAC
+    #: unit instead of every multiplier lane.
+    models: tuple[FaultModel, ...] | None = None
+
+    def _domain(self, universe: FaultUniverse) -> list[FaultSite]:
+        stage = self._models_stage(self._resolved_models())
+        if stage == "accumulator":
+            return universe.accumulator_sites()
+        return universe.all_sites()
 
     def expected_trials(self, universe: FaultUniverse) -> int:
-        return len(self.values) * universe.size
+        return len(self._resolved_models()) * len(self._domain(universe))
 
     def trial_at(self, universe: FaultUniverse, rng: SeededRNG, index: int) -> StrategyTrial:
-        self._check_index(index, len(self.values) * universe.size)
-        value = self.values[index // universe.size]
-        site = FaultSite.from_flat_index(index % universe.size, universe.muls_per_mac)
+        models = self._resolved_models()
+        stage = self._models_stage(models)
+        domain = self._domain(universe)
+        self._check_index(index, len(models) * len(domain))
+        model = models[index // len(domain)]
+        site = domain[index % len(domain)]
+        metadata = {"model": model.label()} if self.models is not None else {}
         return StrategyTrial(
-            config=InjectionConfig.single(site, ConstantValue(value)),
+            config=InjectionConfig.single(site, model),
             num_faults=1,
-            injected_value=value,
+            injected_value=model.constant_override(),
             mac_unit=site.mac_unit,
-            multiplier=site.multiplier,
+            multiplier=None if stage == "accumulator" else site.multiplier,
+            metadata=metadata,
         )
 
 
@@ -171,20 +238,32 @@ class PerMACUnitSweep(InjectionStrategy):
 
     values: tuple[int, ...] = (0,)
     name: str = "per-mac-unit"
+    #: Optional explicit fault-model sweep (product-stage models only: the
+    #: strategy arms every lane of a MAC unit, which is meaningless for the
+    #: MAC's single accumulator).
+    models: tuple[FaultModel, ...] | None = None
 
     def expected_trials(self, universe: FaultUniverse) -> int:
-        return len(self.values) * universe.num_macs
+        return len(self._resolved_models()) * universe.num_macs
 
     def trial_at(self, universe: FaultUniverse, rng: SeededRNG, index: int) -> StrategyTrial:
-        self._check_index(index, len(self.values) * universe.num_macs)
-        value = self.values[index // universe.num_macs]
+        models = self._resolved_models()
+        if self._models_stage(models) != "product":
+            raise ValueError(
+                f"{self.name} arms every multiplier lane of a MAC unit and only "
+                "supports product-stage fault models"
+            )
+        self._check_index(index, len(models) * universe.num_macs)
+        model = models[index // universe.num_macs]
         mac = index % universe.num_macs
         sites = universe.sites_in_mac(mac)
+        metadata = {"model": model.label()} if self.models is not None else {}
         return StrategyTrial(
-            config=InjectionConfig.uniform(sites, ConstantValue(value)),
+            config=InjectionConfig.uniform(sites, model),
             num_faults=len(sites),
-            injected_value=value,
+            injected_value=model.constant_override(),
             mac_unit=mac,
+            metadata=metadata,
         )
 
 
@@ -194,20 +273,30 @@ class PerMultiplierPositionSweep(InjectionStrategy):
 
     values: tuple[int, ...] = (0,)
     name: str = "per-multiplier-position"
+    #: Optional explicit fault-model sweep (product-stage models only).
+    models: tuple[FaultModel, ...] | None = None
 
     def expected_trials(self, universe: FaultUniverse) -> int:
-        return len(self.values) * universe.muls_per_mac
+        return len(self._resolved_models()) * universe.muls_per_mac
 
     def trial_at(self, universe: FaultUniverse, rng: SeededRNG, index: int) -> StrategyTrial:
-        self._check_index(index, len(self.values) * universe.muls_per_mac)
-        value = self.values[index // universe.muls_per_mac]
+        models = self._resolved_models()
+        if self._models_stage(models) != "product":
+            raise ValueError(
+                f"{self.name} arms one multiplier lane across all MAC units and "
+                "only supports product-stage fault models"
+            )
+        self._check_index(index, len(models) * universe.muls_per_mac)
+        model = models[index // universe.muls_per_mac]
         position = index % universe.muls_per_mac
         sites = universe.sites_at_position(position)
+        metadata = {"model": model.label()} if self.models is not None else {}
         return StrategyTrial(
-            config=InjectionConfig.uniform(sites, ConstantValue(value)),
+            config=InjectionConfig.uniform(sites, model),
             num_faults=len(sites),
-            injected_value=value,
+            injected_value=model.constant_override(),
             multiplier=position,
+            metadata=metadata,
         )
 
 

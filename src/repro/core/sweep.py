@@ -1,0 +1,761 @@
+"""Declarative scenario sweeps: experiment grids over the platform's axes.
+
+A fault-injection *campaign* evaluates one strategy on one model on one
+platform.  A *sweep* evaluates the cross product of four declarative axes —
+
+* **models** — named case-study variants from the zoo (width, epochs, ...),
+* **faults** — fault-model families (constant overrides, bit flips,
+  accumulator-stage stuck-ats, per-cycle transients, ...),
+* **strategies** — how sites are selected per trial (random subsets,
+  exhaustive single-site, per-MAC/-position sweeps),
+* **platforms** — MAC-array geometry and engine configuration,
+
+— as one :class:`ScenarioGrid` of independent scenarios.  Every scenario is
+compiled once (workers prime the clean-accumulator cache during their
+baseline pass) and executed as deterministic trial shards through
+:class:`~repro.core.parallel.ParallelCampaignRunner`, so the merged sweep
+artifact is bit-identical for any worker count and survives kill + resume
+exactly like a single campaign does.
+
+The grid is a *bijection* over the declared axes: every
+``(model, fault, strategy, platform)`` cell appears exactly once, in the
+deterministic nested order models -> faults -> strategies -> platforms.
+Incompatible cells (e.g. an accumulator-stage family under a per-lane
+sweep strategy) fail grid construction loudly instead of being skipped.
+
+Specs are plain dicts and can be loaded from JSON or TOML files::
+
+    images = 32
+    seed = 0
+
+    [[models]]
+    name = "w0.125"
+    params = { width_multiplier = 0.125, epochs = 1 }
+
+    [[faults]]
+    name = "const0"
+    kind = "const"
+    values = [0]
+
+    [[faults]]
+    name = "acc21"
+    kind = "acc-stuck"
+    bits = [21]
+    stuck = 1
+
+    [[strategies]]
+    name = "random"
+    kind = "random"
+    counts = [1, 2]
+    trials = 2
+
+Artifacts (under ``--sweep-dir``)::
+
+    scenarios/<model>/<fault>/<strategy>/<platform>.jsonl   per-scenario checkpoint
+    sweep.jsonl                  merged scenario + record lines (deterministic)
+    sweep.json                   spec + per-scenario summaries + wall times
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import re
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
+
+from repro.accelerator.geometry import ArrayGeometry
+from repro.core.campaign import CampaignConfig
+from repro.core.parallel import ParallelCampaignRunner, PlatformSpec
+from repro.core.platform import PlatformConfig
+from repro.core.results import CampaignResult
+from repro.core.strategies import (
+    ExhaustiveSingleSite,
+    InjectionStrategy,
+    PerMACUnitSweep,
+    PerMultiplierPositionSweep,
+    RandomMultipliers,
+)
+from repro.faults.models import (
+    AccumulatorStuckAt,
+    BitFlip,
+    ConstantValue,
+    FaultModel,
+    StuckAtOne,
+    StuckAtZero,
+    TransientCycleFault,
+)
+from repro.utils.bitops import PARTIAL_SUM_WIDTH
+from repro.utils.logging import get_logger
+
+logger = get_logger(__name__)
+
+#: Keys of :meth:`TrialRecord.to_dict` / scenario headers that carry
+#: accuracy floats.  The structure digest strips them so it certifies trial
+#: derivation, sharding and serialisation independently of the BLAS builds
+#: that trained the model.
+_VOLATILE_KEYS = ("accuracy", "accuracy_drop", "baseline_accuracy")
+
+
+def _slug(name: str) -> str:
+    """Filename- and record-safe version of an axis name."""
+    slug = re.sub(r"[^A-Za-z0-9._+-]+", "-", str(name)).strip("-")
+    if not slug:
+        raise ValueError(f"axis name {name!r} has no filename-safe characters")
+    return slug
+
+
+def _pop_name(data: dict, default: str) -> str:
+    return _slug(data.pop("name", None) or default)
+
+
+class _NamedAxis:
+    """Shared validation: axis names must be slug-safe however constructed.
+
+    Scenario ids join four axis names with ``/`` and checkpoint paths split
+    them back, so a name containing a separator (possible on the
+    programmatic construction path, which bypasses ``from_dict``'s slugging)
+    would corrupt the id-to-path mapping — reject it at construction time.
+    """
+
+    def __post_init__(self) -> None:
+        if self.name != _slug(self.name):
+            raise ValueError(
+                f"axis name {self.name!r} is not filename-safe; use characters "
+                f"[A-Za-z0-9._+-] (e.g. {_slug(self.name)!r})"
+            )
+
+
+# ----------------------------------------------------------------------
+# Axes
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ModelAxis(_NamedAxis):
+    """One model cell: a zoo variant plus optional CaseStudySpec overrides."""
+
+    name: str
+    variant: str | None = None
+    params: dict = field(default_factory=dict)
+
+    def case_spec(self):
+        """Resolve to the :class:`~repro.zoo.CaseStudySpec` this cell trains."""
+        from repro.zoo import CaseStudySpec, case_study_variant
+
+        base = case_study_variant(self.variant) if self.variant else CaseStudySpec()
+        if not self.params:
+            return base
+        known = {f.name for f in dataclasses.fields(CaseStudySpec)}
+        unknown = set(self.params) - known
+        if unknown:
+            raise ValueError(
+                f"model axis {self.name!r}: unknown CaseStudySpec fields {sorted(unknown)}"
+            )
+        return dataclasses.replace(base, **self.params)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ModelAxis":
+        data = dict(data)
+        variant = data.pop("variant", None)
+        params = dict(data.pop("params", {}))
+        params.update(data.pop("extra", {}))
+        name = _pop_name(data, variant or "default")
+        params.update(data)  # inline keys are CaseStudySpec overrides
+        return cls(name=name, variant=variant, params=params)
+
+    def to_dict(self) -> dict:
+        out: dict = {"name": self.name}
+        if self.variant:
+            out["variant"] = self.variant
+        if self.params:
+            out["params"] = dict(self.params)
+        return out
+
+
+@dataclass(frozen=True)
+class FaultAxis(_NamedAxis):
+    """One fault-model family: the tuple of models a strategy sweeps over."""
+
+    name: str
+    kind: str
+    params: dict = field(default_factory=dict)
+
+    def build(self) -> tuple[FaultModel, ...]:
+        params = dict(self.params)
+        kind = self.kind
+        if kind == "const":
+            values = params.pop("values", (0,))
+            models: tuple[FaultModel, ...] = tuple(ConstantValue(int(v)) for v in values)
+        elif kind == "stuck-at-0":
+            models = (StuckAtZero(),)
+        elif kind == "stuck-at-1":
+            models = (StuckAtOne(),)
+        elif kind == "bitflip":
+            bits = params.pop("bits", (0,))
+            models = tuple(BitFlip(int(b)) for b in bits)
+        elif kind == "transient":
+            values = params.pop("values", (0,))
+            duty = float(params.pop("duty", 0.5))
+            salt = int(params.pop("salt", 0))
+            models = tuple(
+                TransientCycleFault(value=int(v), duty=duty, salt=salt) for v in values
+            )
+        elif kind == "acc-stuck":
+            bits = params.pop("bits", (PARTIAL_SUM_WIDTH - 1,))
+            stuck = int(params.pop("stuck", 0))
+            models = tuple(AccumulatorStuckAt(bit=int(b), stuck=stuck) for b in bits)
+        else:
+            raise ValueError(
+                f"fault axis {self.name!r}: unknown kind {kind!r}; expected one of "
+                "const, stuck-at-0, stuck-at-1, bitflip, transient, acc-stuck"
+            )
+        if params:
+            raise ValueError(
+                f"fault axis {self.name!r}: unknown parameters {sorted(params)}"
+            )
+        if not models:
+            raise ValueError(f"fault axis {self.name!r} builds no fault models")
+        return models
+
+    @property
+    def stage(self) -> str:
+        """Datapath stage the family attacks (all models of a family share it)."""
+        return self.build()[0].stage
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultAxis":
+        data = dict(data)
+        kind = data.pop("kind", None)
+        if not kind:
+            raise ValueError(f"fault axis entry {data!r} needs a 'kind'")
+        params = dict(data.pop("params", {}))
+        name = _pop_name(data, kind)
+        params.update(data)
+        return cls(name=name, kind=kind, params=params)
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "kind": self.kind, **dict(self.params)}
+
+
+@dataclass(frozen=True)
+class StrategyAxis(_NamedAxis):
+    """One injection-strategy cell, instantiated per fault family."""
+
+    name: str
+    kind: str
+    params: dict = field(default_factory=dict)
+
+    def build(self, models: tuple[FaultModel, ...], name: str) -> InjectionStrategy:
+        params = dict(self.params)
+        stage = models[0].stage
+        if self.kind == "random":
+            counts = tuple(int(c) for c in params.pop("counts", (1, 2, 3, 4, 5, 6, 7)))
+            trials = int(params.pop("trials", 10))
+            strategy: InjectionStrategy = RandomMultipliers(
+                fault_counts=counts, trials_per_point=trials, models=models, name=name
+            )
+        elif self.kind == "exhaustive":
+            strategy = ExhaustiveSingleSite(models=models, name=name)
+        elif self.kind == "per-mac":
+            if stage != "product":
+                raise ValueError(
+                    f"strategy axis {self.name!r} (per-mac) arms whole MAC units "
+                    "and cannot sweep accumulator-stage fault families"
+                )
+            strategy = PerMACUnitSweep(models=models, name=name)
+        elif self.kind == "per-position":
+            if stage != "product":
+                raise ValueError(
+                    f"strategy axis {self.name!r} (per-position) arms multiplier "
+                    "lanes and cannot sweep accumulator-stage fault families"
+                )
+            strategy = PerMultiplierPositionSweep(models=models, name=name)
+        else:
+            raise ValueError(
+                f"strategy axis {self.name!r}: unknown kind {self.kind!r}; expected "
+                "one of random, exhaustive, per-mac, per-position"
+            )
+        if params:
+            raise ValueError(
+                f"strategy axis {self.name!r}: unknown parameters {sorted(params)}"
+            )
+        return strategy
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StrategyAxis":
+        data = dict(data)
+        kind = data.pop("kind", None)
+        if not kind:
+            raise ValueError(f"strategy axis entry {data!r} needs a 'kind'")
+        params = dict(data.pop("params", {}))
+        name = _pop_name(data, kind)
+        params.update(data)
+        return cls(name=name, kind=kind, params=params)
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "kind": self.kind, **dict(self.params)}
+
+
+@dataclass(frozen=True)
+class PlatformAxis(_NamedAxis):
+    """One platform cell: MAC-array geometry plus engine configuration."""
+
+    name: str
+    num_macs: int = 8
+    muls_per_mac: int = 8
+    engine: str = "vectorised"
+    gemm_cache_entries: int = 128
+
+    def config(self) -> PlatformConfig:
+        return PlatformConfig(
+            geometry=ArrayGeometry(num_macs=self.num_macs, muls_per_mac=self.muls_per_mac),
+            engine=self.engine,
+            gemm_cache_entries=self.gemm_cache_entries,
+            name=self.name,
+        )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PlatformAxis":
+        data = dict(data)
+        num_macs = int(data.pop("num_macs", 8))
+        muls_per_mac = int(data.pop("muls_per_mac", 8))
+        engine = data.pop("engine", "vectorised")
+        cache = int(data.pop("gemm_cache_entries", 128))
+        name = _pop_name(data, f"{num_macs}x{muls_per_mac}")
+        if data:
+            raise ValueError(f"platform axis {name!r}: unknown parameters {sorted(data)}")
+        return cls(
+            name=name,
+            num_macs=num_macs,
+            muls_per_mac=muls_per_mac,
+            engine=engine,
+            gemm_cache_entries=cache,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "num_macs": self.num_macs,
+            "muls_per_mac": self.muls_per_mac,
+            "engine": self.engine,
+            "gemm_cache_entries": self.gemm_cache_entries,
+        }
+
+
+# ----------------------------------------------------------------------
+# Spec and grid
+# ----------------------------------------------------------------------
+@dataclass
+class ExperimentSpec:
+    """Declarative description of a scenario sweep (the four axes + knobs)."""
+
+    models: list[ModelAxis] = field(default_factory=lambda: [ModelAxis(name="default")])
+    faults: list[FaultAxis] = field(
+        default_factory=lambda: [FaultAxis(name="const0", kind="const", params={"values": (0,)})]
+    )
+    strategies: list[StrategyAxis] = field(
+        default_factory=lambda: [StrategyAxis(name="random", kind="random")]
+    )
+    platforms: list[PlatformAxis] = field(default_factory=lambda: [PlatformAxis(name="8x8")])
+    #: Evaluation images per trial (head of each model's test split).
+    images: int = 64
+    #: Campaign seed shared by every scenario (site draws stay independent:
+    #: each trial derives its stream from its own coordinates).
+    seed: int = 0
+    batch_size: int = 64
+
+    def __post_init__(self) -> None:
+        for axis_name, axis in (
+            ("models", self.models),
+            ("faults", self.faults),
+            ("strategies", self.strategies),
+            ("platforms", self.platforms),
+        ):
+            if not axis:
+                raise ValueError(f"sweep spec needs at least one entry in {axis_name!r}")
+            names = [entry.name for entry in axis]
+            if len(names) != len(set(names)):
+                raise ValueError(f"duplicate names in {axis_name!r}: {sorted(names)}")
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentSpec":
+        data = dict(data)
+        models = [ModelAxis.from_dict(d) for d in data.pop("models", [])]
+        faults = [FaultAxis.from_dict(d) for d in data.pop("faults", [])]
+        strategies = [StrategyAxis.from_dict(d) for d in data.pop("strategies", [])]
+        platforms = [PlatformAxis.from_dict(d) for d in data.pop("platforms", [])]
+        kwargs = {}
+        for key in ("images", "seed", "batch_size"):
+            if key in data:
+                kwargs[key] = int(data.pop(key))
+        if data:
+            raise ValueError(f"unknown sweep spec keys {sorted(data)}")
+        spec = cls(**kwargs)
+        if models:
+            spec.models = models
+        if faults:
+            spec.faults = faults
+        if strategies:
+            spec.strategies = strategies
+        if platforms:
+            spec.platforms = platforms
+        spec.__post_init__()
+        return spec
+
+    @classmethod
+    def from_file(cls, path: Path | str) -> "ExperimentSpec":
+        """Load a spec from a ``.toml`` or ``.json`` file."""
+        path = Path(path)
+        if path.suffix.lower() == ".toml":
+            import tomllib
+
+            data = tomllib.loads(path.read_text())
+        else:
+            data = json.loads(path.read_text())
+        return cls.from_dict(data)
+
+    def to_dict(self) -> dict:
+        return {
+            "images": self.images,
+            "seed": self.seed,
+            "batch_size": self.batch_size,
+            "models": [m.to_dict() for m in self.models],
+            "faults": [f.to_dict() for f in self.faults],
+            "strategies": [s.to_dict() for s in self.strategies],
+            "platforms": [p.to_dict() for p in self.platforms],
+        }
+
+    def grid(self) -> "ScenarioGrid":
+        return ScenarioGrid(self)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One cell of the grid: (model, fault family, strategy, platform)."""
+
+    scenario_id: str
+    model: ModelAxis
+    fault: FaultAxis
+    strategy: StrategyAxis
+    platform: PlatformAxis
+    #: Axis indices ``(model, fault, strategy, platform)`` of this cell.
+    cell: tuple[int, int, int, int]
+
+    def build_strategy(self) -> InjectionStrategy:
+        """Instantiate this cell's strategy, armed with its fault family."""
+        return self.strategy.build(
+            self.fault.build(), name=f"{self.strategy.name}|{self.fault.name}"
+        )
+
+    def platform_config(self) -> PlatformConfig:
+        return self.platform.config()
+
+    def checkpoint_name(self) -> Path:
+        """Relative checkpoint path: one directory level per axis.
+
+        Axis names are unique within their axis and every id has exactly
+        four segments, so the mapping scenario -> path is collision-free
+        (joining with a separator string would let names containing the
+        separator collide).
+        """
+        model, fault, strategy, platform = self.scenario_id.split("/")
+        return Path(model) / fault / strategy / f"{platform}.jsonl"
+
+
+class ScenarioGrid:
+    """The deterministic cross product of an :class:`ExperimentSpec`'s axes.
+
+    Enumeration is a bijection: every ``(model, fault, strategy, platform)``
+    cell appears exactly once, in nested order (models outermost, platforms
+    innermost), with a unique ``scenario_id``.  Incompatible cells raise at
+    construction time.
+    """
+
+    def __init__(self, spec: ExperimentSpec):
+        self.spec = spec
+        self.scenarios: list[Scenario] = []
+        for mi, model in enumerate(spec.models):
+            for fi, fault in enumerate(spec.faults):
+                for si, strategy in enumerate(spec.strategies):
+                    for pi, platform in enumerate(spec.platforms):
+                        scenario = Scenario(
+                            scenario_id=f"{model.name}/{fault.name}/{strategy.name}/{platform.name}",
+                            model=model,
+                            fault=fault,
+                            strategy=strategy,
+                            platform=platform,
+                            cell=(mi, fi, si, pi),
+                        )
+                        # Validate the cell eagerly: strategy/fault stage
+                        # compatibility and site-domain bounds fail here,
+                        # not hours into the sweep.
+                        built = scenario.build_strategy()
+                        counts = getattr(built, "fault_counts", ())
+                        if fault.stage == "accumulator":
+                            domain = platform.num_macs
+                            what = "MAC-unit accumulators"
+                        else:
+                            domain = platform.num_macs * platform.muls_per_mac
+                            what = "multiplier sites"
+                        if counts and max(counts) > domain:
+                            raise ValueError(
+                                f"scenario {scenario.scenario_id!r}: fault count "
+                                f"{max(counts)} exceeds the {domain} {what} "
+                                "of the platform"
+                            )
+                        self.scenarios.append(scenario)
+        ids = [s.scenario_id for s in self.scenarios]
+        if len(ids) != len(set(ids)):
+            raise ValueError("scenario ids are not unique")  # pragma: no cover
+
+    def ids(self) -> list[str]:
+        return [s.scenario_id for s in self.scenarios]
+
+    def __iter__(self) -> Iterator[Scenario]:
+        return iter(self.scenarios)
+
+    def __len__(self) -> int:
+        return len(self.scenarios)
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+@dataclass
+class ScenarioResult:
+    """One scenario's campaign result."""
+
+    scenario: Scenario
+    result: CampaignResult
+
+
+@dataclass
+class SweepResult:
+    """All scenario results of one sweep, with deterministic serialisation."""
+
+    scenario_results: list[ScenarioResult] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    #: Memoised structure digest (serialising every record is O(records);
+    #: summary(), to_dict() and the CLI all ask for the same value).
+    _structure_digest: str | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def __len__(self) -> int:
+        return len(self.scenario_results)
+
+    def results_by_id(self) -> dict[str, CampaignResult]:
+        return {sr.scenario.scenario_id: sr.result for sr in self.scenario_results}
+
+    def _merged_line_dicts(self) -> Iterator[dict]:
+        """One dict per merged-JSONL line, in deterministic sweep order.
+
+        Scenario lines carry campaign identity; record lines are the trial
+        records tagged with their scenario id.  Wall-clock and throughput
+        numbers are deliberately excluded: the merged artifact must be
+        bit-identical for any worker count.
+        """
+        for sr in self.scenario_results:
+            result = sr.result
+            yield {
+                "kind": "scenario",
+                "scenario": sr.scenario.scenario_id,
+                "cell": list(sr.scenario.cell),
+                "strategy": result.strategy,
+                "seed": result.seed,
+                "num_images": result.num_images,
+                "total_trials": len(result.records),
+                "baseline_accuracy": result.baseline_accuracy,
+            }
+            for record in result.records:
+                yield {"kind": "record", "scenario": sr.scenario.scenario_id, **record.to_dict()}
+
+    def merged_jsonl_text(self) -> str:
+        """The merged sweep artifact (``sweep.jsonl``) as one string."""
+        return "".join(
+            json.dumps(line, sort_keys=True) + "\n" for line in self._merged_line_dicts()
+        )
+
+    def digest(self) -> str:
+        """SHA-256 of the merged JSONL (includes accuracies)."""
+        return hashlib.sha256(self.merged_jsonl_text().encode("utf-8")).hexdigest()
+
+    def structure_digest(self) -> str:
+        """SHA-256 of the merged JSONL with accuracy floats stripped.
+
+        This digest freezes trial derivation (which sites each trial arms),
+        sharding (record order and indices) and record serialisation, while
+        staying independent of the floating-point training/calibration that
+        produced the model — so it is stable across BLAS builds and suitable
+        as a golden value in CI.
+        """
+        if self._structure_digest is None:
+            hasher = hashlib.sha256()
+            for line in self._merged_line_dicts():
+                stripped = {k: v for k, v in line.items() if k not in _VOLATILE_KEYS}
+                hasher.update(json.dumps(stripped, sort_keys=True).encode("utf-8"))
+                hasher.update(b"\n")
+            self._structure_digest = hasher.hexdigest()
+        return self._structure_digest
+
+    def summary(self) -> dict:
+        return {
+            "num_scenarios": len(self.scenario_results),
+            "num_trials": sum(len(sr.result) for sr in self.scenario_results),
+            "wall_seconds": self.wall_seconds,
+            "structure_digest": self.structure_digest(),
+            "scenarios": [
+                {
+                    "scenario": sr.scenario.scenario_id,
+                    "cell": list(sr.scenario.cell),
+                    **sr.result.summary(),
+                }
+                for sr in self.scenario_results
+            ],
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "wall_seconds": self.wall_seconds,
+            "structure_digest": self.structure_digest(),
+            "scenarios": [
+                {
+                    "scenario": sr.scenario.scenario_id,
+                    "cell": list(sr.scenario.cell),
+                    "model": sr.scenario.model.to_dict(),
+                    "fault": sr.scenario.fault.to_dict(),
+                    "strategy": sr.scenario.strategy.to_dict(),
+                    "platform": sr.scenario.platform.to_dict(),
+                    "result": sr.result.to_dict(),
+                }
+                for sr in self.scenario_results
+            ],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# Runner
+# ----------------------------------------------------------------------
+#: Resolver signature: scenario -> (platform spec, eval images, eval labels).
+ScenarioResolver = Callable[[Scenario], tuple[PlatformSpec, np.ndarray, np.ndarray]]
+
+
+class SweepRunner:
+    """Executes every scenario of a grid through the parallel campaign runner.
+
+    Each scenario runs as its own checkpointed campaign (one JSONL file per
+    scenario under ``<sweep_dir>/scenarios/``); ``resume=True`` completes
+    exactly the missing trials of a killed sweep.  Scenarios sharing a
+    (model, platform) cell reuse one trained platform spec, and each worker
+    primes its clean-accumulator cache during the scenario's baseline pass.
+
+    A custom ``resolver`` replaces the zoo lookup (e.g. in tests, where a
+    tiny pre-trained platform spec stands in for the case-study model).
+    """
+
+    def __init__(
+        self,
+        grid: ScenarioGrid | Sequence[Scenario],
+        *,
+        workers: int = 1,
+        sweep_dir: Path | str | None = None,
+        resume: bool = False,
+        images: int | None = None,
+        seed: int | None = None,
+        batch_size: int | None = None,
+        resolver: ScenarioResolver | None = None,
+        cache_dir: Path | str | None = None,
+    ):
+        spec = grid.spec if isinstance(grid, ScenarioGrid) else None
+        self.scenarios = list(grid)
+        if not self.scenarios:
+            raise ValueError("sweep needs at least one scenario")
+        self.workers = workers
+        self.sweep_dir = Path(sweep_dir) if sweep_dir is not None else None
+        self.resume = resume
+        self.images = images if images is not None else (spec.images if spec else 64)
+        self.seed = seed if seed is not None else (spec.seed if spec else 0)
+        self.batch_size = (
+            batch_size if batch_size is not None else (spec.batch_size if spec else 64)
+        )
+        self.resolver = resolver or self._zoo_resolver
+        self.cache_dir = cache_dir
+        self._spec = spec
+
+    def _zoo_resolver(self, scenario: Scenario) -> tuple[PlatformSpec, np.ndarray, np.ndarray]:
+        from repro.zoo import case_study_platform_spec
+
+        platform_spec, case = case_study_platform_spec(
+            scenario.model.case_spec(),
+            platform_config=scenario.platform_config(),
+            cache_dir=self.cache_dir,
+        )
+        images = case.dataset.test_images[: self.images]
+        labels = case.dataset.test_labels[: self.images]
+        return platform_spec, images, labels
+
+    def _checkpoint_path(self, scenario: Scenario) -> Path | None:
+        if self.sweep_dir is None:
+            return None
+        return self.sweep_dir / "scenarios" / scenario.checkpoint_name()
+
+    def run(self) -> SweepResult:
+        """Execute all scenarios and write the merged artifacts."""
+        start = time.perf_counter()
+        resolved: dict[tuple[str, str], tuple[PlatformSpec, np.ndarray, np.ndarray]] = {}
+        scenario_results: list[ScenarioResult] = []
+        for number, scenario in enumerate(self.scenarios, start=1):
+            # Key the platform memo on the axis *contents*, not the names:
+            # hand-assembled scenario lists may reuse a name for different
+            # parameters, and those must not share a trained platform.
+            key = (
+                json.dumps(scenario.model.to_dict(), sort_keys=True),
+                json.dumps(scenario.platform.to_dict(), sort_keys=True),
+            )
+            if key not in resolved:
+                resolved[key] = self.resolver(scenario)
+            platform_spec, images, labels = resolved[key]
+            logger.info(
+                "scenario %d/%d: %s", number, len(self.scenarios), scenario.scenario_id
+            )
+            runner = ParallelCampaignRunner(
+                platform_spec,
+                scenario.build_strategy(),
+                CampaignConfig(batch_size=self.batch_size, seed=self.seed),
+                workers=self.workers,
+                checkpoint=self._checkpoint_path(scenario),
+                resume=self.resume,
+            )
+            result = runner.run(images, labels)
+            scenario_results.append(ScenarioResult(scenario=scenario, result=result))
+        sweep = SweepResult(
+            scenario_results=scenario_results,
+            wall_seconds=time.perf_counter() - start,
+        )
+        self._write_artifacts(sweep)
+        return sweep
+
+    def _write_artifacts(self, sweep: SweepResult) -> None:
+        if self.sweep_dir is None:
+            return
+        self.sweep_dir.mkdir(parents=True, exist_ok=True)
+        (self.sweep_dir / "sweep.jsonl").write_text(sweep.merged_jsonl_text())
+        payload = sweep.to_dict()
+        if self._spec is not None:
+            payload["spec"] = self._spec.to_dict()
+        (self.sweep_dir / "sweep.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        logger.info(
+            "sweep artifacts written to %s (%d scenarios, %d records)",
+            self.sweep_dir,
+            len(sweep),
+            sum(len(sr.result) for sr in sweep.scenario_results),
+        )

@@ -14,11 +14,13 @@ block exactly:
 """
 
 from repro.faults.models import (
+    AccumulatorStuckAt,
     BitFlip,
     ConstantValue,
     FaultModel,
     StuckAtOne,
     StuckAtZero,
+    TransientCycleFault,
     TransientPulse,
 )
 from repro.faults.sites import FaultSite, FaultUniverse
@@ -32,6 +34,8 @@ __all__ = [
     "ConstantValue",
     "BitFlip",
     "TransientPulse",
+    "TransientCycleFault",
+    "AccumulatorStuckAt",
     "FaultSite",
     "FaultUniverse",
     "FaultInjector",

@@ -125,7 +125,14 @@ class InjectionConfig:
         """Short human-readable description used in logs and result records."""
         if not self.faults:
             return "fault-free"
-        parts = [f"{site.display()}={model.label()}" for site, model in sorted(self.faults.items())]
+        parts = []
+        for site, model in sorted(self.faults.items()):
+            where = (
+                f"MAC {site.mac_unit + 1} / ACC"
+                if model.stage == "accumulator"
+                else site.display()
+            )
+            parts.append(f"{where}={model.label()}")
         return "; ".join(parts)
 
     def __len__(self) -> int:

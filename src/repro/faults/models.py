@@ -1,14 +1,26 @@
-"""Fault models applied to the 18-bit multiplier product bus.
+"""Fault models applied to the accelerator datapath.
 
-A fault model answers one question: *given the fault-free product value a
-multiplier would have produced in this cycle, what value appears on its
-output bus instead?*  The paper's hardware supports overriding the bus with
-zero or a programmable constant; additional models (stuck-at-one, single-bit
-flips, transient pulses) are provided because the paper explicitly notes
-that "other fault models can easily be incorporated".
+A fault model answers one question: *given the fault-free value a datapath
+stage would have produced in this cycle, what value appears on its output
+bus instead?*  The paper's hardware supports overriding the 18-bit
+multiplier product bus with zero or a programmable constant; additional
+models (stuck-at-one, single-bit flips, transient pulses, accumulator-stage
+stuck-ats) are provided because the paper explicitly notes that "other
+fault models can easily be incorporated".
 
-All models operate on the *signed* interpretation of the 18-bit bus; the
-conversion helpers in :mod:`repro.utils.bitops` define the bus semantics.
+Models are grouped by the :attr:`~FaultModel.stage` they attack:
+
+* ``"product"`` (default) — the signed 18-bit multiplier product bus; the
+  conversion helpers in :mod:`repro.utils.bitops` define the bus semantics.
+* ``"accumulator"`` — the signed 22-bit partial-sum bus between a MAC
+  unit's adder tree and the CACC; one such fault corrupts every partial
+  sum the MAC unit forwards, regardless of which multiplier lane produced
+  the operands.
+
+Cycle-dependent models (:attr:`~FaultModel.cycle_dependent`) additionally
+receive the index of the atomic operation being executed, derived purely
+from the hardware schedule, so that the vectorised engine and the scalar
+reference engine reproduce the exact same transient behaviour.
 """
 
 from __future__ import annotations
@@ -17,15 +29,36 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.utils.bitops import PRODUCT_WIDTH, saturate, to_signed, to_unsigned
+from repro.utils.bitops import (
+    PARTIAL_SUM_WIDTH,
+    PRODUCT_WIDTH,
+    saturate,
+    to_signed,
+    to_unsigned,
+)
+
+_MASK64 = (1 << 64) - 1
+
+
+def _splitmix64(x: np.ndarray) -> np.ndarray:
+    """The splitmix64 finaliser: a stateless, portable 64-bit mixer.
+
+    Both engines hand it uint64 cycle indices (the scalar reference engine
+    wraps its per-multiplier counter in a one-element array), so a single
+    vectorised implementation defines the pseudo-random stream.
+    """
+    z = np.asarray(x, dtype=np.uint64) + np.uint64(0x9E3779B97F4A7C15)
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return z ^ (z >> np.uint64(31))
 
 
 class FaultModel:
-    """Base class for product-level fault models.
+    """Base class for datapath fault models.
 
     Subclasses implement :meth:`apply`, which transforms an array of
-    fault-free signed product values into faulty values, and declare whether
-    the faulty value depends on the original product (:attr:`value_dependent`)
+    fault-free signed bus values into faulty values, and declare whether
+    the faulty value depends on the original value (:attr:`value_dependent`)
     — value-independent models admit a much faster vectorised execution path.
     """
 
@@ -35,9 +68,28 @@ class FaultModel:
     #: True when the fault is persistent across all cycles of an inference.
     persistent: bool = True
 
+    #: Datapath stage the model attacks: ``"product"`` (the 18-bit
+    #: multiplier output bus) or ``"accumulator"`` (the 22-bit partial-sum
+    #: bus between a MAC unit's adder tree and the CACC).
+    stage: str = "product"
+
+    #: True when the faulty value depends on *which cycle* produced it;
+    #: such models implement :meth:`apply_at` instead of :meth:`apply`.
+    cycle_dependent: bool = False
+
     def apply(self, products: np.ndarray, rng: np.random.Generator | None = None) -> np.ndarray:
         """Return the faulty products corresponding to ``products``."""
         raise NotImplementedError
+
+    def apply_at(self, products: np.ndarray, cycles: np.ndarray) -> np.ndarray:
+        """Return the faulty products for values produced at ``cycles``.
+
+        ``cycles`` holds, for each element of ``products``, the zero-based
+        index of the atomic operation that produced it (the per-layer cycle
+        counter of the hardware schedule).  Only cycle-dependent models
+        implement this; all others ignore cycle indices.
+        """
+        raise NotImplementedError(f"{type(self).__name__} is not cycle-dependent")
 
     def constant_override(self) -> int | None:
         """The signed constant this model injects, if it is a constant override.
@@ -180,6 +232,106 @@ class TransientPulse(FaultModel):
 
     def label(self) -> str:
         return f"pulse({self.value},duty={self.duty:g})"
+
+
+@dataclass(frozen=True)
+class TransientCycleFault(FaultModel):
+    """Deterministic per-cycle transient: override random-looking cycles.
+
+    Unlike :class:`TransientPulse` (whose firing pattern depends on the
+    order in which an engine happens to draw random numbers), this model
+    decides whether it fires in a given cycle from the cycle index alone: a
+    stateless 64-bit hash of ``(salt, cycle)`` is compared against ``duty``.
+    Both engines therefore produce *bit-identical* faulty accumulators — the
+    property the differential test suite certifies for every fault model.
+
+    The cycle index is the per-layer atomic-operation counter of the
+    hardware schedule (it resets when a new layer is launched, as the CACC
+    does); every multiplier of the array cycles once per atomic operation.
+    """
+
+    value: int
+    duty: float = 0.5
+    salt: int = 0
+    value_dependent: bool = True  # untouched cycles keep the original product
+    persistent: bool = False
+    cycle_dependent: bool = True
+
+    def __post_init__(self) -> None:
+        lo = -(1 << (PRODUCT_WIDTH - 1))
+        hi = (1 << (PRODUCT_WIDTH - 1)) - 1
+        if not lo <= self.value <= hi:
+            raise ValueError(f"constant {self.value} does not fit on the product bus")
+        if not 0.0 <= self.duty <= 1.0:
+            raise ValueError("duty must be in [0, 1]")
+
+    def fires(self, cycles: np.ndarray) -> np.ndarray:
+        """Boolean mask of the cycles in which the transient fires."""
+        cycles = np.asarray(cycles)
+        if (cycles < 0).any():
+            raise ValueError("cycle indices must be non-negative")
+        threshold = int(round(self.duty * float(1 << 64)))
+        if threshold >= (1 << 64):
+            return np.ones(cycles.shape, dtype=bool)
+        if threshold <= 0:
+            return np.zeros(cycles.shape, dtype=bool)
+        keyed = cycles.astype(np.uint64) ^ np.uint64((self.salt * 0x9E3779B97F4A7C15) & _MASK64)
+        return _splitmix64(keyed) < np.uint64(threshold)
+
+    def apply_at(self, products: np.ndarray, cycles: np.ndarray) -> np.ndarray:
+        products = np.asarray(products, dtype=np.int64)
+        mask = np.broadcast_to(self.fires(cycles), products.shape)
+        return np.where(mask, np.int64(self.value), products)
+
+    def apply(self, products: np.ndarray, rng: np.random.Generator | None = None) -> np.ndarray:
+        raise TypeError(
+            "TransientCycleFault is cycle-dependent; engines must call apply_at() "
+            "with the schedule's cycle indices"
+        )
+
+    def label(self) -> str:
+        return f"transient({self.value},duty={self.duty:g},salt={self.salt})"
+
+
+@dataclass(frozen=True)
+class AccumulatorStuckAt(FaultModel):
+    """One bit of a MAC unit's partial-sum bus stuck at 0 or 1.
+
+    This attacks the accumulator stage rather than a multiplier: every
+    partial sum the MAC unit's adder tree forwards to the CACC has bit
+    ``bit`` forced to ``stuck``, regardless of which multiplier lanes
+    contributed.  The site such a model is armed at addresses the MAC unit;
+    by convention it is armed at multiplier lane 0 (see
+    :meth:`FaultUniverse.accumulator_sites
+    <repro.faults.sites.FaultUniverse.accumulator_sites>`), and the lane
+    coordinate is ignored.
+    """
+
+    bit: int
+    stuck: int = 0
+    value_dependent: bool = True
+    persistent: bool = True
+    stage: str = "accumulator"
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.bit < PARTIAL_SUM_WIDTH:
+            raise ValueError(
+                f"bit index must be in [0, {PARTIAL_SUM_WIDTH}), got {self.bit}"
+            )
+        if self.stuck not in (0, 1):
+            raise ValueError(f"stuck value must be 0 or 1, got {self.stuck}")
+
+    def apply(self, partials: np.ndarray, rng: np.random.Generator | None = None) -> np.ndarray:
+        """Force the stuck bit on signed partial-sum bus value(s)."""
+        bus = to_unsigned(np.asarray(partials, dtype=np.int64), PARTIAL_SUM_WIDTH)
+        if self.stuck:
+            bus = bus | np.int64(1 << self.bit)
+        else:
+            bus = bus & np.int64(~(1 << self.bit))
+        return to_signed(bus, PARTIAL_SUM_WIDTH)
+
+    def label(self) -> str:
+        return f"acc-stuck{self.stuck}@{self.bit}"
 
 
 def saturate_product(values: np.ndarray) -> np.ndarray:

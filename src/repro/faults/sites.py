@@ -95,6 +95,24 @@ class FaultUniverse:
         indices = rng.choice(self.size, size=count, replace=False)
         return [FaultSite.from_flat_index(int(i), self.muls_per_mac) for i in sorted(indices)]
 
+    def accumulator_sites(self) -> list[FaultSite]:
+        """One injectable accumulator-stage site per MAC unit.
+
+        Accumulator-stage fault models attack a MAC unit's partial-sum bus
+        rather than an individual multiplier; by convention such a model is
+        armed at multiplier lane 0 of the MAC unit it targets.
+        """
+        return [FaultSite(mac, 0) for mac in range(self.num_macs)]
+
+    def random_accumulator_sites(self, count: int, rng: np.random.Generator) -> list[FaultSite]:
+        """Select ``count`` distinct MAC-unit accumulators uniformly at random."""
+        if not 0 <= count <= self.num_macs:
+            raise ValueError(
+                f"cannot select {count} accumulators out of {self.num_macs} MAC units"
+            )
+        macs = rng.choice(self.num_macs, size=count, replace=False)
+        return [FaultSite(int(mac), 0) for mac in sorted(macs)]
+
     def contains(self, site: FaultSite) -> bool:
         return 0 <= site.mac_unit < self.num_macs and 0 <= site.multiplier < self.muls_per_mac
 

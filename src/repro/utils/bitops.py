@@ -18,6 +18,11 @@ PRODUCT_WIDTH = 18
 #: Width of the accumulator partial sums inside the CACC.
 ACCUMULATOR_WIDTH = 34
 
+#: Width of the per-MAC partial-sum bus between the CMAC adder tree and the
+#: CACC.  A MAC unit sums up to 16 products of at most 18 bits each, so the
+#: bus carries 22 bits; accumulator-stage faults override bits of this bus.
+PARTIAL_SUM_WIDTH = 22
+
 #: Width of the input operands (activations and weights).
 OPERAND_WIDTH = 8
 

@@ -48,6 +48,28 @@ class CaseStudySpec:
         )
 
 
+#: Named case-study variants selectable by sweep specs and the CLI.  The
+#: default (width 0.25) is the paper's case-study scale; the narrower and
+#: wider variants bracket it so scenario grids can sweep model capacity.
+CASE_STUDY_VARIANTS: dict[str, CaseStudySpec] = {
+    "default": CaseStudySpec(),
+    "w0.125": CaseStudySpec(width_multiplier=0.125),
+    "w0.25": CaseStudySpec(width_multiplier=0.25),
+    "w0.5": CaseStudySpec(width_multiplier=0.5),
+}
+
+
+def case_study_variant(name: str) -> CaseStudySpec:
+    """Look up a named :class:`CaseStudySpec` variant (e.g. ``"w0.125"``)."""
+    try:
+        return CASE_STUDY_VARIANTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown case-study variant {name!r}; available: "
+            f"{sorted(CASE_STUDY_VARIANTS)}"
+        ) from None
+
+
 @dataclass
 class CaseStudyModel:
     """A trained case-study model plus its dataset and float accuracy."""

@@ -40,6 +40,20 @@ class TestParser:
         assert args.value == -1
         assert args.images == 32
 
+    def test_sweep_arguments(self):
+        args = build_parser().parse_args(
+            ["sweep", "--spec", "grid.toml", "--workers", "4", "--resume", "--list"]
+        )
+        assert args.spec == "grid.toml"
+        assert args.workers == 4
+        assert args.resume is True
+        assert args.list is True
+        assert args.sweep_dir == "sweep-out"
+
+    def test_sweep_requires_spec(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep"])
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["bogus"])
@@ -94,3 +108,53 @@ class TestEndToEnd:
         assert len(data["heatmap"]) == 8
         out = capsys.readouterr().out
         assert "most sensitive site" in out
+
+    def test_sweep(self, tmp_path, capsys, monkeypatch):
+        import repro.zoo as zoo
+
+        monkeypatch.setattr(zoo, "DEFAULT_CACHE_DIR", tmp_path)
+        spec_path = tmp_path / "grid.json"
+        spec_path.write_text(json.dumps({
+            "images": 16,
+            "models": [{
+                "name": "tiny",
+                "params": {"width_multiplier": 0.125, "epochs": 1,
+                           "num_train": 120, "num_test": 40, "seed": 21},
+            }],
+            "faults": [
+                {"name": "const0", "kind": "const", "values": [0]},
+                {"name": "acc", "kind": "acc-stuck", "bits": [21], "stuck": 1},
+            ],
+            "strategies": [
+                {"name": "random", "kind": "random", "counts": [1], "trials": 1},
+            ],
+        }))
+
+        assert main(["sweep", "--spec", str(spec_path), "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "2 scenario(s)" in out
+        assert "tiny/acc/random/8x8" in out
+
+        sweep_dir = tmp_path / "out"
+        code = main([
+            "sweep", "--spec", str(spec_path),
+            "--sweep-dir", str(sweep_dir),
+            "--workers", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "structure digest:" in out
+        merged = (sweep_dir / "sweep.jsonl").read_text()
+        assert merged.count('"kind": "scenario"') == 2
+        payload = json.loads((sweep_dir / "sweep.json").read_text())
+        assert len(payload["scenarios"]) == 2
+
+        # resume over the finished sweep is a no-op with identical artifacts
+        code = main([
+            "sweep", "--spec", str(spec_path),
+            "--sweep-dir", str(sweep_dir),
+            "--workers", "2",
+            "--resume",
+        ])
+        assert code == 0
+        assert (sweep_dir / "sweep.jsonl").read_text() == merged

@@ -15,8 +15,16 @@ from repro.accelerator.engine import VectorisedEngine
 from repro.accelerator.geometry import ArrayGeometry, PAPER_GEOMETRY
 from repro.accelerator.reference import ScalarReferenceEngine
 from repro.faults.injector import InjectionConfig
-from repro.faults.models import BitFlip, ConstantValue, StuckAtOne, StuckAtZero
+from repro.faults.models import (
+    AccumulatorStuckAt,
+    BitFlip,
+    ConstantValue,
+    StuckAtOne,
+    StuckAtZero,
+    TransientCycleFault,
+)
 from repro.faults.sites import FaultSite, FaultUniverse
+from repro.utils.bitops import PARTIAL_SUM_WIDTH
 
 from tests.conftest import make_qconv, make_qlinear, random_int8
 
@@ -159,6 +167,209 @@ class TestFaultEquivalence:
         config = InjectionConfig.single(FaultSite(mac, mul), ConstantValue(value))
         vec = VectorisedEngine(PAPER_GEOMETRY).conv_accumulate(x, node, config)
         ref = ScalarReferenceEngine(PAPER_GEOMETRY).conv_accumulate(x, node, config)
+        np.testing.assert_array_equal(vec, ref)
+
+
+class TestAccumulatorStageEquivalence:
+    """Differential certification of the accumulator-stage stuck-at model.
+
+    Every new fault model must produce bit-identical accumulators on the
+    vectorised engine and the cycle-accurate reference engine; these cases
+    cover aligned, padded-channel, padded-kernel and strided layers plus
+    random geometries.
+    """
+
+    @pytest.mark.parametrize("case", SMALL_CASES)
+    @pytest.mark.parametrize("model", [
+        AccumulatorStuckAt(bit=0, stuck=1),
+        AccumulatorStuckAt(bit=12, stuck=0),
+        AccumulatorStuckAt(bit=PARTIAL_SUM_WIDTH - 1, stuck=1),  # sign bit
+    ])
+    def test_single_accumulator_fault(self, case, model):
+        node, x = conv_case(*case)
+        config = InjectionConfig.single(FaultSite(2, 0), model)
+        vec = VectorisedEngine(PAPER_GEOMETRY).conv_accumulate(x, node, config)
+        ref = ScalarReferenceEngine(PAPER_GEOMETRY).conv_accumulate(x, node, config)
+        np.testing.assert_array_equal(vec, ref)
+
+    def test_multiple_accumulator_faults_on_distinct_macs(self):
+        node, x = conv_case(8, 12, 3, 1, 1, 4, seed=17)
+        config = InjectionConfig(faults={
+            FaultSite(0, 0): AccumulatorStuckAt(bit=3, stuck=1),
+            FaultSite(5, 0): AccumulatorStuckAt(bit=20, stuck=0),
+        })
+        vec = VectorisedEngine(PAPER_GEOMETRY).conv_accumulate(x, node, config)
+        ref = ScalarReferenceEngine(PAPER_GEOMETRY).conv_accumulate(x, node, config)
+        np.testing.assert_array_equal(vec, ref)
+
+    def test_linear_accumulator_fault(self):
+        node = make_qlinear(20, 10, final=True, seed=8)
+        x = random_int8((3, 20), seed=9)
+        config = InjectionConfig.single(FaultSite(1, 0), AccumulatorStuckAt(bit=7, stuck=1))
+        vec = VectorisedEngine().linear_accumulate(x, node, config)
+        ref = ScalarReferenceEngine().linear_accumulate(x, node, config)
+        np.testing.assert_array_equal(vec, ref)
+
+    def test_accumulator_fault_with_product_fault_on_other_mac(self):
+        """Disjoint MAC units stay additive: both engines must agree."""
+        node, x = conv_case(8, 16, 3, 1, 1, 4, seed=23)
+        config = InjectionConfig(faults={
+            FaultSite(1, 0): AccumulatorStuckAt(bit=10, stuck=1),
+            FaultSite(4, 3): ConstantValue(-7),
+        })
+        vec = VectorisedEngine(PAPER_GEOMETRY).conv_accumulate(x, node, config)
+        ref = ScalarReferenceEngine(PAPER_GEOMETRY).conv_accumulate(x, node, config)
+        np.testing.assert_array_equal(vec, ref)
+
+    def test_vectorised_rejects_mixed_stages_on_one_mac(self):
+        node, x = conv_case(8, 8, 3, 1, 1, 4)
+        config = InjectionConfig(faults={
+            FaultSite(2, 0): AccumulatorStuckAt(bit=4, stuck=1),
+            FaultSite(2, 5): ConstantValue(0),
+        })
+        with pytest.raises(NotImplementedError, match="accumulator-stage"):
+            VectorisedEngine(PAPER_GEOMETRY).conv_accumulate(x, node, config)
+
+    def test_reference_rejects_duplicate_accumulator_faults(self):
+        node, x = conv_case(8, 8, 1, 1, 0, 2)
+        config = InjectionConfig(faults={
+            FaultSite(2, 0): AccumulatorStuckAt(bit=4, stuck=1),
+            FaultSite(2, 1): AccumulatorStuckAt(bit=5, stuck=0),
+        })
+        with pytest.raises(ValueError):
+            ScalarReferenceEngine(PAPER_GEOMETRY).conv_accumulate(x, node, config)
+        with pytest.raises(ValueError):
+            VectorisedEngine(PAPER_GEOMETRY).conv_accumulate(x, node, config)
+
+    def test_stuck_bit_is_forced_on_partials(self):
+        """Semantics check: with stuck=1 every partial sum carries the bit."""
+        model = AccumulatorStuckAt(bit=6, stuck=1)
+        partials = np.array([0, 1, -1, 64, -64, 1000], dtype=np.int64)
+        faulty = model.apply(partials)
+        assert ((np.asarray(faulty) >> 6) & 1).all()
+        # idempotent: the bus mux is stateless
+        np.testing.assert_array_equal(model.apply(faulty), faulty)
+
+    @given(
+        num_macs=st.integers(min_value=2, max_value=6),
+        muls=st.integers(min_value=2, max_value=6),
+        mac=st.integers(min_value=0, max_value=5),
+        bit=st.integers(min_value=0, max_value=PARTIAL_SUM_WIDTH - 1),
+        stuck=st.integers(min_value=0, max_value=1),
+        in_c=st.integers(min_value=1, max_value=9),
+        out_c=st.integers(min_value=1, max_value=9),
+        kernel=st.integers(min_value=1, max_value=3),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_random_geometry_property(
+        self, num_macs, muls, mac, bit, stuck, in_c, out_c, kernel, seed
+    ):
+        geometry = ArrayGeometry(num_macs=num_macs, muls_per_mac=muls)
+        node, x = conv_case(in_c, out_c, kernel, 1, kernel // 2, 3, seed=seed)
+        config = InjectionConfig.single(
+            FaultSite(mac % num_macs, 0), AccumulatorStuckAt(bit=bit, stuck=stuck)
+        )
+        vec = VectorisedEngine(geometry).conv_accumulate(x, node, config)
+        ref = ScalarReferenceEngine(geometry).conv_accumulate(x, node, config)
+        np.testing.assert_array_equal(vec, ref)
+
+
+class TestTransientCycleEquivalence:
+    """Differential certification of the deterministic per-cycle transient."""
+
+    @pytest.mark.parametrize("case", SMALL_CASES)
+    def test_single_site_transient(self, case):
+        node, x = conv_case(*case, batch=2)
+        config = InjectionConfig.single(
+            FaultSite(1, 2), TransientCycleFault(value=-9, duty=0.5, salt=4)
+        )
+        vec = VectorisedEngine(PAPER_GEOMETRY).conv_accumulate(x, node, config)
+        ref = ScalarReferenceEngine(PAPER_GEOMETRY).conv_accumulate(x, node, config)
+        np.testing.assert_array_equal(vec, ref)
+
+    def test_transient_on_padded_channel_lanes(self):
+        # 3 input channels: lanes 3..7 are zero padding, but the transient
+        # still fires on their cycles and must match the scalar model.
+        node, x = conv_case(3, 8, 3, 1, 1, 4, seed=31)
+        config = InjectionConfig.single(
+            FaultSite(0, 5), TransientCycleFault(value=77, duty=0.5, salt=1)
+        )
+        vec = VectorisedEngine(PAPER_GEOMETRY).conv_accumulate(x, node, config)
+        ref = ScalarReferenceEngine(PAPER_GEOMETRY).conv_accumulate(x, node, config)
+        np.testing.assert_array_equal(vec, ref)
+
+    def test_linear_transient(self):
+        node = make_qlinear(24, 10, final=True, seed=12)
+        x = random_int8((3, 24), seed=13)
+        config = InjectionConfig.single(
+            FaultSite(3, 1), TransientCycleFault(value=50, duty=0.25, salt=2)
+        )
+        vec = VectorisedEngine().linear_accumulate(x, node, config)
+        ref = ScalarReferenceEngine().linear_accumulate(x, node, config)
+        np.testing.assert_array_equal(vec, ref)
+
+    def test_duty_zero_is_noop_and_duty_one_is_constant(self):
+        node, x = conv_case(8, 8, 3, 1, 1, 4, seed=5)
+        engine = VectorisedEngine()
+        clean = engine.conv_accumulate(x, node)
+        site = FaultSite(1, 1)
+        off = engine.conv_accumulate(
+            x, node, InjectionConfig.single(site, TransientCycleFault(value=9, duty=0.0))
+        )
+        np.testing.assert_array_equal(off, clean)
+        always = engine.conv_accumulate(
+            x, node, InjectionConfig.single(site, TransientCycleFault(value=9, duty=1.0))
+        )
+        const = engine.conv_accumulate(
+            x, node, InjectionConfig.single(site, ConstantValue(9))
+        )
+        np.testing.assert_array_equal(always, const)
+
+    def test_fires_is_pure_and_order_independent(self):
+        model = TransientCycleFault(value=1, duty=0.5, salt=7)
+        cycles = np.arange(512, dtype=np.int64)
+        forward = model.fires(cycles)
+        backward = model.fires(cycles[::-1])[::-1]
+        np.testing.assert_array_equal(forward, backward)
+        # roughly duty-distributed (binomial bound, not exact)
+        assert 0.3 < forward.mean() < 0.7
+
+    def test_multi_site_transient(self):
+        node, x = conv_case(8, 12, 3, 1, 1, 4, seed=41)
+        config = InjectionConfig.uniform(
+            [FaultSite(0, 0), FaultSite(3, 6), FaultSite(7, 7)],
+            TransientCycleFault(value=-3, duty=0.5, salt=11),
+        )
+        vec = VectorisedEngine(PAPER_GEOMETRY).conv_accumulate(x, node, config)
+        ref = ScalarReferenceEngine(PAPER_GEOMETRY).conv_accumulate(x, node, config)
+        np.testing.assert_array_equal(vec, ref)
+
+    @given(
+        num_macs=st.integers(min_value=2, max_value=6),
+        muls=st.integers(min_value=2, max_value=6),
+        mac=st.integers(min_value=0, max_value=5),
+        mul=st.integers(min_value=0, max_value=5),
+        duty=st.sampled_from([0.0, 0.25, 0.5, 0.9, 1.0]),
+        salt=st.integers(min_value=0, max_value=2**32),
+        value=st.sampled_from([0, 1, -1, 100]),
+        in_c=st.integers(min_value=1, max_value=9),
+        out_c=st.integers(min_value=1, max_value=9),
+        kernel=st.integers(min_value=1, max_value=3),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_random_geometry_property(
+        self, num_macs, muls, mac, mul, duty, salt, value, in_c, out_c, kernel, seed
+    ):
+        geometry = ArrayGeometry(num_macs=num_macs, muls_per_mac=muls)
+        node, x = conv_case(in_c, out_c, kernel, 1, kernel // 2, 3, seed=seed)
+        config = InjectionConfig.single(
+            FaultSite(mac % num_macs, mul % muls),
+            TransientCycleFault(value=value, duty=duty, salt=salt),
+        )
+        vec = VectorisedEngine(geometry).conv_accumulate(x, node, config)
+        ref = ScalarReferenceEngine(geometry).conv_accumulate(x, node, config)
         np.testing.assert_array_equal(vec, ref)
 
 

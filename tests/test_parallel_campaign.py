@@ -251,6 +251,37 @@ class TestCheckpointResume:
                 tiny_platform_spec, tiny_dataset, workers=1, checkpoint=checkpoint, resume=True
             )
 
+    def test_resume_rejects_different_batch_size(
+        self, tiny_platform_spec, tiny_dataset, tmp_path
+    ):
+        """batch_size is campaign identity: cycle-dependent fault models fire
+        per batch-chunk cycle index, so a resumed run must use the same one."""
+        checkpoint = tmp_path / "batched.jsonl"
+        run_campaign(tiny_platform_spec, tiny_dataset, workers=1, checkpoint=checkpoint)
+        other = CampaignConfig(batch_size=CONFIG.batch_size // 2, seed=CONFIG.seed,
+                               max_images=CONFIG.max_images)
+        runner = ParallelCampaignRunner(
+            tiny_platform_spec, STRATEGY, other, workers=1,
+            checkpoint=checkpoint, resume=True,
+        )
+        with pytest.raises(ValueError, match="batch_size"):
+            runner.run(tiny_dataset.test_images, tiny_dataset.test_labels)
+
+    def test_resume_accepts_legacy_header_without_batch_size(
+        self, tiny_platform_spec, tiny_dataset, tmp_path
+    ):
+        """Checkpoints written before batch_size joined the identity resume."""
+        checkpoint = tmp_path / "legacy.jsonl"
+        full = run_campaign(tiny_platform_spec, tiny_dataset, workers=1, checkpoint=checkpoint)
+        lines = checkpoint.read_text().splitlines()
+        header = json.loads(lines[0])
+        del header["batch_size"]
+        checkpoint.write_text("\n".join([json.dumps(header), *lines[1:-1]]) + "\n")
+        resumed = run_campaign(
+            tiny_platform_spec, tiny_dataset, workers=1, checkpoint=checkpoint, resume=True
+        )
+        assert resumed.records == full.records
+
     def test_resume_with_missing_checkpoint_starts_fresh(
         self, tiny_platform_spec, tiny_dataset, tmp_path
     ):
