@@ -1,0 +1,148 @@
+"""Adaptive-stopping benchmark: trial savings vs a fixed trial budget.
+
+The statistical-fault-injection argument for adaptive campaigns is that a
+fixed trial budget is almost always oversized: once the confidence
+interval around the tracked metric is tight enough, further trials buy
+nothing.  This benchmark runs the same scenario twice —
+
+* **fixed** — the full trial budget of the strategy (the pre-PR behaviour);
+* **adaptive** — the same campaign under an
+  :class:`~repro.core.stats.AdaptiveCampaignPlan` whose 95% CI half-width
+  target is derived from the fixed run's final precision (x1.8, i.e. the
+  caller accepts a slightly looser answer in exchange for wall-clock),
+
+and records the trial savings plus the sanity condition that makes the
+savings meaningful: the adaptive run's mean accuracy drop must lie inside
+the fixed run's confidence interval.  The gate asserts **>= 2x fewer
+trials on at least one scenario** with that condition intact; per-scenario
+numbers travel in ``benchmarks/out/adaptive_stopping.json``.
+
+``REPRO_BENCH_SMOKE=1`` (CI) uses a tiny model and 32 evaluation images;
+the default scale uses the zoo case-study model.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.campaign import CampaignConfig
+from repro.core.parallel import ParallelCampaignRunner
+from repro.core.stats import AdaptiveCampaignPlan, mean_t_interval
+from repro.core.strategies import RandomMultipliers
+from repro.utils.tabulate import format_table
+from repro.zoo import CaseStudySpec, case_study_platform_spec
+
+from benchmarks.conftest import write_json, write_report
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "0") not in ("0", "", "false", "False")
+
+#: Injected constants; each is one scenario (one campaign pair).
+VALUES = (0, -1)
+
+#: Fixed budget per scenario: 5 fault counts x 8 repetitions.
+FAULT_COUNTS = (1, 2, 3, 4, 5)
+TRIALS_PER_POINT = 8
+
+ROUND_SIZE = 5
+CONFIDENCE = 0.95
+
+#: The adaptive target is the fixed run's final half-width times this
+#: factor: precision the caller deems sufficient, known to be reachable
+#: well before the full budget (half-width shrinks ~ 1/sqrt(n)).
+TARGET_FACTOR = 1.8
+
+
+def test_adaptive_stopping_savings():
+    spec = (
+        CaseStudySpec(width_multiplier=0.125, num_train=160, num_test=64, epochs=1)
+        if SMOKE
+        else CaseStudySpec()
+    )
+    platform_spec, case = case_study_platform_spec(spec)
+    images_count = 32 if SMOKE else 64
+    images = case.dataset.test_images[:images_count]
+    labels = case.dataset.test_labels[:images_count]
+    config = CampaignConfig(seed=0)
+
+    scenarios = []
+    for value in VALUES:
+        strategy = RandomMultipliers(
+            values=(value,), fault_counts=FAULT_COUNTS, trials_per_point=TRIALS_PER_POINT
+        )
+        fixed = ParallelCampaignRunner(platform_spec, strategy, config).run(images, labels)
+        drops = [record.accuracy_drop for record in fixed.records]
+        fixed_ci = mean_t_interval(drops, CONFIDENCE)
+        target = fixed_ci.half_width * TARGET_FACTOR
+        plan = AdaptiveCampaignPlan(
+            target_half_width=max(target, 1e-12),
+            round_size=ROUND_SIZE,
+            confidence=CONFIDENCE,
+            min_rounds=2,
+        )
+        adaptive = ParallelCampaignRunner(
+            platform_spec, strategy, config, plan=plan
+        ).run(images, labels)
+        info = adaptive.adaptive
+        savings = len(fixed.records) / max(len(adaptive.records), 1)
+        scenarios.append(
+            {
+                "injected_value": value,
+                "fixed_trials": len(fixed.records),
+                "adaptive_trials": len(adaptive.records),
+                "savings_factor": savings,
+                "rounds_completed": info["rounds_completed"],
+                "stopped_early": info["stopped_early"],
+                "target_half_width": plan.target_half_width,
+                "fixed_mean_drop": fixed_ci.estimate,
+                "fixed_ci_low": fixed_ci.low,
+                "fixed_ci_high": fixed_ci.high,
+                "adaptive_mean_drop": adaptive.mean_accuracy_drop(),
+                "adaptive_half_width": info["final_half_width"],
+                "mean_inside_fixed_ci": fixed_ci.contains(adaptive.mean_accuracy_drop()),
+                "fixed_wall_s": fixed.wall_seconds,
+                "adaptive_wall_s": adaptive.wall_seconds,
+            }
+        )
+
+    rows = [
+        [
+            s["injected_value"],
+            s["fixed_trials"],
+            s["adaptive_trials"],
+            f"{s['savings_factor']:.2f}x",
+            f"{s['fixed_mean_drop']:.3f}",
+            f"[{s['fixed_ci_low']:.3f}, {s['fixed_ci_high']:.3f}]",
+            f"{s['adaptive_mean_drop']:.3f}",
+            "yes" if s["mean_inside_fixed_ci"] else "NO",
+        ]
+        for s in scenarios
+    ]
+    text = format_table(
+        ["value", "fixed", "adaptive", "savings", "fixed mean",
+         f"{CONFIDENCE:.0%} CI", "adapt mean", "in CI"],
+        rows,
+        title=f"Adaptive stopping vs fixed budget ({images_count} images, "
+              f"rounds of {ROUND_SIZE}, target = {TARGET_FACTOR}x fixed half-width)",
+    )
+    write_report("adaptive_stopping.txt", text)
+    write_json(
+        "adaptive_stopping.json",
+        {
+            "benchmark": "adaptive_stopping",
+            "smoke": SMOKE,
+            "images": images_count,
+            "confidence": CONFIDENCE,
+            "round_size": ROUND_SIZE,
+            "target_factor": TARGET_FACTOR,
+            "scenarios": scenarios,
+        },
+    )
+
+    # The acceptance gate: on at least one scenario the adaptive campaign
+    # needs <= half the trials while its mean stays inside the fixed run's
+    # confidence interval (a cheaper answer that agrees with the expensive
+    # one).  Every adaptive mean must stay inside its scenario's fixed CI.
+    assert all(s["mean_inside_fixed_ci"] for s in scenarios), scenarios
+    assert any(
+        s["savings_factor"] >= 2.0 and s["mean_inside_fixed_ci"] for s in scenarios
+    ), scenarios

@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Confidence-bounded campaigns: adaptive stopping + stratified sampling.
+
+Demonstrates the statistical inference subsystem end to end on the
+case-study model:
+
+1. an **adaptive campaign** — the random-multiplier strategy executed in
+   fixed-size rounds that stop as soon as the 95% confidence interval
+   around the mean accuracy drop is tight enough (usually well before the
+   fixed budget would have run out);
+2. a **stratified follow-up** — a uniform pilot round per MAC-unit
+   stratum, converted into a variance-minimising Neyman allocation, whose
+   campaign yields a per-stratum sensitivity ranking;
+3. a **reliability report** — both results rendered into a self-contained
+   HTML dashboard plus a machine-readable JSON report.
+
+Run with::
+
+    python examples/adaptive_campaign.py [--images N] [--target H] [--workers N]
+
+Everything is deterministic: records (and the stopping round) are
+bit-identical for any ``--workers`` count.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.core import (
+    AdaptiveCampaignPlan,
+    CampaignConfig,
+    ParallelCampaignRunner,
+    RandomMultipliers,
+    StratifiedSampling,
+    neyman_allocation,
+    stratum_sensitivity,
+)
+from repro.report import build_report, render_html
+from repro.utils.tabulate import format_table
+from repro.zoo import case_study_platform_spec
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--images", type=int, default=64,
+                        help="test images evaluated per trial")
+    parser.add_argument("--target", type=float, default=0.08,
+                        help="95%% CI half-width target of the adaptive campaign "
+                             "(the case-study model reaches ~0.056 at the full "
+                             "40-trial budget; 0.08 stops about halfway)")
+    parser.add_argument("--round-size", type=int, default=8,
+                        help="trials per adaptive round")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes (records identical for any count)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--report", type=Path, default=Path("adaptive_report.html"),
+                        help="output path of the HTML reliability report")
+    return parser.parse_args()
+
+
+def main() -> int:
+    args = parse_args()
+    platform_spec, case = case_study_platform_spec()
+    images = case.dataset.test_images[: args.images]
+    labels = case.dataset.test_labels[: args.images]
+    config = CampaignConfig(seed=args.seed)
+    universe = platform_spec.universe()
+
+    # ------------------------------------------------------------------
+    # 1. Adaptive campaign: stop when the CI is tight enough.
+    # ------------------------------------------------------------------
+    plan = AdaptiveCampaignPlan(
+        target_half_width=args.target, round_size=args.round_size, confidence=0.95
+    )
+    strategy = RandomMultipliers(values=(0,), fault_counts=(1, 2, 3, 4, 5),
+                                 trials_per_point=8)
+    adaptive = ParallelCampaignRunner(
+        platform_spec, strategy, config, workers=args.workers, plan=plan
+    ).run(images, labels)
+    info = adaptive.adaptive
+    print(f"adaptive campaign: {info['trials_evaluated']}/{info['budget']} trials "
+          f"({info['rounds_completed']} rounds, "
+          f"{'stopped early' if info['stopped_early'] else 'ran to budget'}); "
+          f"mean drop {adaptive.mean_accuracy_drop():.3f}, "
+          f"final half-width {info['final_half_width']:.4f} "
+          f"(target {plan.target_half_width:g})")
+
+    # ------------------------------------------------------------------
+    # 2. Stratified sampling: pilot -> Neyman allocation -> main campaign.
+    # ------------------------------------------------------------------
+    pilot_strategy = StratifiedSampling.pilot(universe.num_macs, trials_per_stratum=2)
+    pilot = ParallelCampaignRunner(
+        platform_spec, pilot_strategy, config, workers=args.workers
+    ).run(images, labels)
+    allocation = neyman_allocation(pilot, total_trials=24, num_strata=universe.num_macs)
+    print(f"Neyman allocation from the pilot round: {allocation}")
+    main_strategy = StratifiedSampling(allocation=allocation, name="stratified-neyman")
+    stratified = ParallelCampaignRunner(
+        platform_spec, main_strategy, config, workers=args.workers
+    ).run(images, labels)
+    ranking = stratum_sensitivity(stratified)
+    rows = [
+        [f"MAC {entry['stratum'] + 1}", entry["count"], entry["mean_drop"],
+         entry["max_drop"]]
+        for entry in ranking
+    ]
+    print(format_table(["stratum", "trials", "mean drop", "max drop"], rows,
+                       floatfmt=".3f", title="Per-stratum sensitivity (Neyman allocation)"))
+
+    # ------------------------------------------------------------------
+    # 3. Reliability report over both campaigns.
+    # ------------------------------------------------------------------
+    report = build_report(
+        {"adaptive/random": adaptive, "stratified/neyman": stratified},
+        kind="campaign",
+        source="examples/adaptive_campaign.py",
+    )
+    args.report.write_text(render_html(report, title="adaptive campaign example"))
+    args.report.with_suffix(".json").write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"report written to {args.report} (+ {args.report.with_suffix('.json')})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

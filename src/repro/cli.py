@@ -12,6 +12,7 @@ be scripted without writing Python:
     python -m repro campaign --workers 4 --checkpoint fig2.jsonl --resume
     python -m repro heatmap  --value 0 --images 64 --output fig3.json
     python -m repro sweep    --spec sweep.toml --workers 4 --sweep-dir out
+    python -m repro report   --input out/sweep.json --html report.html
     python -m repro table1
 
 All subcommands use the cached case-study model (training it on first use);
@@ -28,11 +29,22 @@ from pathlib import Path
 from repro.core.analysis import accuracy_drop_boxplots, heatmap_matrix, most_sensitive_site
 from repro.core.campaign import CampaignConfig, FaultInjectionCampaign
 from repro.core.parallel import ParallelCampaignRunner
+from repro.core.stats import AdaptiveCampaignPlan
 from repro.core.strategies import ExhaustiveSingleSite, PerMACUnitSweep, RandomMultipliers
 from repro.core.sweep import ExperimentSpec, SweepRunner
 from repro.runtime.perf_model import table1_performance_rows
 from repro.utils.tabulate import format_heatmap, format_table
 from repro.zoo import CaseStudySpec, build_case_study_platform, case_study_platform_spec
+
+
+#: Defaults of the campaign flags that only parameterise an adaptive plan
+#: (single source of truth for build_parser and the orphaned-flag guard).
+_ADAPTIVE_FLAG_DEFAULTS = {
+    "adaptive_round": 16,
+    "adaptive_confidence": 0.95,
+    "adaptive_metric": "mean-drop",
+    "chance_accuracy": None,
+}
 
 
 def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
@@ -96,6 +108,32 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     else:
         raise ValueError(f"unknown strategy {args.strategy!r}")
 
+    plan = None
+    if args.adaptive_target is not None:
+        from repro.core.stats import OutcomeThresholds
+
+        plan = AdaptiveCampaignPlan(
+            target_half_width=args.adaptive_target,
+            round_size=args.adaptive_round,
+            confidence=args.adaptive_confidence,
+            metric=args.adaptive_metric.replace("-", "_"),
+            thresholds=OutcomeThresholds(chance_accuracy=args.chance_accuracy),
+        )
+    else:
+        # The other adaptive knobs only parameterise the stopping plan; a
+        # fixed-budget campaign would silently ignore them, which reads as
+        # "my flags worked" when none of them did.
+        tuned = [
+            "--" + dest.replace("_", "-")
+            for dest, default in _ADAPTIVE_FLAG_DEFAULTS.items()
+            if getattr(args, dest) != default
+        ]
+        if tuned:
+            raise ValueError(
+                f"{', '.join(tuned)} only take effect with --adaptive-target; "
+                "set a CI half-width target to run a confidence-bounded campaign"
+            )
+
     images = case.dataset.test_images[: args.images]
     labels = case.dataset.test_labels[: args.images]
     runner = ParallelCampaignRunner(
@@ -105,12 +143,22 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         workers=args.workers,
         checkpoint=args.checkpoint or None,
         resume=args.resume,
+        plan=plan,
     )
     result = runner.run(images, labels)
 
     print(f"baseline accuracy: {result.baseline_accuracy:.3f}; "
           f"{len(result)} injections in {result.wall_seconds:.1f}s "
           f"({args.workers} worker{'s' if args.workers != 1 else ''})")
+    if result.adaptive is not None:
+        info = result.adaptive
+        half_width = info["final_half_width"]
+        print(f"adaptive stopping: {info['trials_evaluated']}/{info['budget']} trials "
+              f"over {info['rounds_completed']} round(s), "
+              f"{'stopped early' if info['stopped_early'] else 'ran to budget'}; "
+              f"final CI half-width "
+              f"{'n/a' if half_width is None else format(half_width, '.4f')} "
+              f"(target {plan.target_half_width:g})")
     series = accuracy_drop_boxplots(result)
     for value, s in sorted(series.items(), key=lambda kv: str(kv[0])):
         rows = [[count, s.boxes[count].mean, s.boxes[count].maximum] for count in s.positions()]
@@ -172,6 +220,61 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.core.stats import OutcomeThresholds
+    from repro.report import build_report, load_results, render_html
+
+    kind, results = load_results(args.input)
+    # The CLI does not expose masked_epsilon; clamp it under the user's
+    # tolerable threshold so e.g. --tolerable-drop 0 ("every measurable
+    # degradation is SDC") is accepted rather than rejected over a knob
+    # the user cannot see.
+    default_epsilon = OutcomeThresholds().masked_epsilon
+    thresholds = OutcomeThresholds(
+        masked_epsilon=min(default_epsilon, args.tolerable_drop),
+        tolerable_drop=args.tolerable_drop,
+        critical_drop=args.critical_drop,
+        chance_accuracy=args.chance_accuracy,
+    )
+    report = build_report(
+        results,
+        kind=kind,
+        source=args.input,
+        confidence=args.confidence,
+        thresholds=thresholds,
+    )
+
+    reliability = report["reliability"]
+    rows = []
+    for entry in report["scenarios"]:
+        summary = entry["summary"]
+        ci = summary["mean_drop_ci"]
+        rows.append([
+            entry["scenario"],
+            summary["num_trials"],
+            summary["mean_accuracy_drop"],
+            "-" if ci is None else f"[{ci['low']:.3f}, {ci['high']:.3f}]",
+            summary["sdc_rate"],
+            summary["outcomes"]["critical"],
+        ])
+    print(format_table(
+        ["scenario", "trials", "mean drop", f"{args.confidence:.0%} CI", "SDC rate", "crit"],
+        rows,
+        floatfmt=".3f",
+        title=f"{kind} report: {reliability['total_trials']} trials, "
+              f"SDC rate {reliability['sdc_rate']:.3f}",
+    ))
+
+    html_path = Path(args.html)
+    html_path.write_text(render_html(report, title=f"repro {kind} reliability report"))
+    print(f"HTML report written to {html_path}")
+    if args.json_out:
+        json_path = Path(args.json_out)
+        json_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"JSON report written to {json_path}")
+    return 0
+
+
 def _cmd_heatmap(args: argparse.Namespace) -> int:
     platform, case = _build_platform(args)
     images = case.dataset.test_images[: args.images]
@@ -223,6 +326,24 @@ def build_parser() -> argparse.ArgumentParser:
                           help="JSONL file streaming one record per finished trial")
     campaign.add_argument("--resume", action="store_true",
                           help="skip trials already present in --checkpoint")
+    campaign.add_argument("--adaptive-target", type=float, default=None,
+                          help="adaptive stopping: stop once the CI half-width of the "
+                               "tracked metric is at or below this target")
+    campaign.add_argument("--adaptive-round", type=int,
+                          default=_ADAPTIVE_FLAG_DEFAULTS["adaptive_round"],
+                          help="trials per adaptive round (stopping is re-evaluated "
+                               "only at round boundaries, keeping records "
+                               "bit-identical for any worker count)")
+    campaign.add_argument("--adaptive-confidence", type=float,
+                          default=_ADAPTIVE_FLAG_DEFAULTS["adaptive_confidence"],
+                          help="confidence level of the stopping interval")
+    campaign.add_argument("--adaptive-metric", choices=("mean-drop", "sdc-rate"),
+                          default=_ADAPTIVE_FLAG_DEFAULTS["adaptive_metric"],
+                          help="metric the stopping interval tracks")
+    campaign.add_argument("--chance-accuracy", type=float,
+                          default=_ADAPTIVE_FLAG_DEFAULTS["chance_accuracy"],
+                          help="for the sdc-rate metric: count any trial whose "
+                               "accuracy falls to this chance level as critical")
     campaign.set_defaults(func=_cmd_campaign)
 
     sweep = subparsers.add_parser(
@@ -245,6 +366,28 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--list", action="store_true",
                        help="print the scenario ids of the grid and exit")
     sweep.set_defaults(func=_cmd_sweep)
+
+    report = subparsers.add_parser(
+        "report",
+        help="render a sweep.json / campaign JSON into an HTML + JSON reliability report",
+    )
+    report.add_argument("--input", type=str, required=True,
+                        help="sweep.json (repro sweep) or campaign JSON (repro campaign --output)")
+    report.add_argument("--html", type=str, default="report.html",
+                        help="output path of the self-contained HTML dashboard")
+    report.add_argument("--json", dest="json_out", type=str, default="",
+                        help="optional output path of the machine-readable JSON report")
+    report.add_argument("--confidence", type=float, default=0.95,
+                        help="confidence level of all reported intervals")
+    report.add_argument("--tolerable-drop", type=float, default=0.01,
+                        help="accuracy-drop threshold separating tolerable from SDC")
+    report.add_argument("--critical-drop", type=float, default=0.25,
+                        help="accuracy-drop threshold separating SDC from critical")
+    report.add_argument("--chance-accuracy", type=float, default=None,
+                        help="mark any trial whose absolute accuracy falls to this "
+                             "chance level (e.g. 0.1 for 10 classes) as critical, "
+                             "regardless of its drop")
+    report.set_defaults(func=_cmd_report)
 
     heatmap = subparsers.add_parser("heatmap", help="run the single-site sweep (Fig. 3 style)")
     _add_model_arguments(heatmap)

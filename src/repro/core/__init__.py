@@ -19,6 +19,10 @@ analyse the classification-accuracy drop.
   through the parallel runner, with merged JSONL/JSON artifacts.
 * :mod:`repro.core.analysis` — box-plot series, heat maps and summary
   statistics over campaign results (including cross-scenario series).
+* :mod:`repro.core.stats` — the statistical inference layer: confidence
+  intervals (Wilson, Clopper-Pearson, Student-t, bootstrap), the
+  masked/tolerable/SDC/critical outcome taxonomy, adaptive
+  (confidence-bounded) campaign plans and Neyman stratified allocation.
 * :mod:`repro.core.results` — result records and serialisation.
 """
 
@@ -31,6 +35,7 @@ from repro.core.strategies import (
     PerMACUnitSweep,
     PerMultiplierPositionSweep,
     RandomMultipliers,
+    StratifiedSampling,
     StrategyTrial,
 )
 from repro.core.results import CampaignResult, TrialRecord
@@ -39,7 +44,21 @@ from repro.core.analysis import (
     accuracy_drop_boxplots,
     heatmap_matrix,
     scenario_boxplots,
+    stratum_sensitivity,
     summarize_by_group,
+)
+from repro.core.stats import (
+    AdaptiveCampaignPlan,
+    ConfidenceInterval,
+    Outcome,
+    OutcomeThresholds,
+    bootstrap_mean_interval,
+    classify_record,
+    clopper_pearson_interval,
+    mean_t_interval,
+    neyman_allocation,
+    outcome_counts,
+    wilson_interval,
 )
 from repro.core.sweep import (
     ExperimentSpec,
@@ -68,13 +87,26 @@ __all__ = [
     "ExhaustiveSingleSite",
     "PerMACUnitSweep",
     "PerMultiplierPositionSweep",
+    "StratifiedSampling",
     "CampaignResult",
     "TrialRecord",
     "BoxPlotSeries",
     "accuracy_drop_boxplots",
     "heatmap_matrix",
     "scenario_boxplots",
+    "stratum_sensitivity",
     "summarize_by_group",
+    "AdaptiveCampaignPlan",
+    "ConfidenceInterval",
+    "Outcome",
+    "OutcomeThresholds",
+    "bootstrap_mean_interval",
+    "classify_record",
+    "clopper_pearson_interval",
+    "mean_t_interval",
+    "neyman_allocation",
+    "outcome_counts",
+    "wilson_interval",
     "ExperimentSpec",
     "ModelAxis",
     "FaultAxis",

@@ -112,8 +112,54 @@ def most_sensitive_site(result: CampaignResult, injected_value: int | None = Non
         and (injected_value is None or r.injected_value == injected_value)
     ]
     if not candidates:
-        raise ValueError("result contains no single-site trials")
+        filter_context = (
+            "" if injected_value is None else f" with injected_value={injected_value}"
+        )
+        raise ValueError(
+            f"result contains no single-site trials{filter_context} "
+            f"({len(result.records)} record(s) in campaign "
+            f"{result.strategy or '<unnamed>'!r}; single-site trials need both "
+            "mac_unit and multiplier coordinates)"
+        )
     return max(candidates, key=lambda r: r.accuracy_drop)
+
+
+def stratum_sensitivity(
+    result: CampaignResult, confidence: float = 0.95
+) -> list[dict]:
+    """Per-stratum sensitivity ranking of a stratified campaign.
+
+    Groups the records by their stratum label (``metadata["stratum"]``,
+    falling back to ``mac_unit``) and returns one entry per stratum with
+    the mean accuracy drop and its Student-t confidence interval, ranked
+    most-sensitive first (ties broken by stratum label for determinism).
+    Records with no stratum information are skipped; an empty list means
+    the campaign carried none.
+    """
+    from repro.core import stats
+
+    grouped: dict[int, list[float]] = {}
+    for record in result.records:
+        stratum = record.metadata.get("stratum", record.mac_unit)
+        if stratum is None:
+            continue
+        grouped.setdefault(int(stratum), []).append(record.accuracy_drop)
+    ranking = []
+    for stratum, drops in grouped.items():
+        interval = (
+            stats.mean_t_interval(drops, confidence).to_dict() if len(drops) >= 2 else None
+        )
+        ranking.append(
+            {
+                "stratum": stratum,
+                "count": len(drops),
+                "mean_drop": float(np.mean(drops)),
+                "max_drop": float(np.max(drops)),
+                "ci": interval,
+            }
+        )
+    ranking.sort(key=lambda entry: (-entry["mean_drop"], entry["stratum"]))
+    return ranking
 
 
 def scenario_boxplots(

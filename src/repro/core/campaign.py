@@ -54,12 +54,17 @@ class FaultInjectionCampaign:
         *,
         checkpoint: Path | str | None = None,
         resume: bool = False,
+        plan=None,
     ):
         self.platform = platform
         self.strategy = strategy
         self.config = config or CampaignConfig()
         self.checkpoint = checkpoint
         self.resume = resume
+        #: Optional :class:`~repro.core.stats.AdaptiveCampaignPlan`: execute
+        #: the strategy's trial index space in fixed-size rounds and stop as
+        #: soon as the tracked metric's confidence interval is tight enough.
+        self.plan = plan
 
     def run(self, images: np.ndarray, labels: np.ndarray) -> CampaignResult:
         """Execute all trials of the strategy and return the campaign result."""
@@ -72,5 +77,6 @@ class FaultInjectionCampaign:
             workers=1,
             checkpoint=self.checkpoint,
             resume=self.resume,
+            plan=self.plan,
         )
         return runner.run(images, labels)

@@ -50,6 +50,7 @@ import numpy as np
 from repro.core.campaign import CampaignConfig
 from repro.core.platform import EmulationPlatform, PlatformConfig
 from repro.core.results import CampaignResult, TrialRecord
+from repro.core.stats import AdaptiveCampaignPlan
 from repro.core.strategies import InjectionStrategy, StrategyTrial
 from repro.faults.sites import FaultUniverse
 from repro.utils.logging import get_logger
@@ -220,6 +221,46 @@ def _shard_worker(
         results.put(("error", worker_id, traceback.format_exc()))
 
 
+def _round_worker(
+    worker_id: int,
+    spec: PlatformSpec,
+    strategy: InjectionStrategy,
+    config: CampaignConfig,
+    images: np.ndarray,
+    labels: np.ndarray,
+    tasks: mp.Queue,
+    results: mp.Queue,
+) -> None:
+    """Persistent worker for adaptive campaigns: evaluates rounds on demand.
+
+    Unlike :func:`_shard_worker` (whole shard known up front), an adaptive
+    campaign decides after every round whether more trials are needed, so
+    workers stay alive between rounds: build the platform once, then serve
+    index batches from ``tasks`` until the ``None`` sentinel arrives.  The
+    ``round-done`` message is the parent's per-round barrier.
+    """
+    try:
+        platform = spec.build()
+        platform.reset_caches()
+        baseline = platform.baseline_accuracy(images, labels, batch_size=config.batch_size)
+        results.put(("meta", worker_id, (baseline, platform.inferences_per_second())))
+        rng = SeededRNG(config.seed)
+        while True:
+            indices = tasks.get()
+            if indices is None:
+                break
+            for index in indices:
+                trial = strategy.trial_at(platform.universe, rng, index)
+                record = _record_for_trial(
+                    platform, trial, index, baseline, images, labels, config.batch_size
+                )
+                results.put(("record", worker_id, record))
+            results.put(("round-done", worker_id, None))
+        results.put(("done", worker_id, None))
+    except Exception:  # pragma: no cover - exercised via the parent's error path
+        results.put(("error", worker_id, traceback.format_exc()))
+
+
 # ----------------------------------------------------------------------
 # The runner
 # ----------------------------------------------------------------------
@@ -257,6 +298,7 @@ class ParallelCampaignRunner:
         checkpoint: Path | str | None = None,
         resume: bool = False,
         start_method: str | None = None,
+        plan: AdaptiveCampaignPlan | None = None,
     ):
         if isinstance(platform_or_spec, PlatformSpec):
             self.spec: PlatformSpec | None = platform_or_spec
@@ -282,6 +324,12 @@ class ParallelCampaignRunner:
             )
         if resume and checkpoint is None:
             raise ValueError("resume=True requires a checkpoint path")
+        if plan is not None and not strategy.supports_random_access:
+            raise TypeError(
+                f"adaptive campaigns evaluate the trial index space in rounds; "
+                f"strategy {strategy.name!r} must implement trial_at()/expected_trials()"
+            )
+        self.plan = plan
         self.strategy = strategy
         self.config = config or CampaignConfig()
         self.workers = workers
@@ -305,7 +353,12 @@ class ParallelCampaignRunner:
 
         header, completed = self._load_resume_state(len(labels))
         start = time.perf_counter()
-        if self.workers == 1:
+        if self.plan is not None:
+            if self.workers == 1:
+                result = self._run_serial_adaptive(images, labels, header, completed)
+            else:
+                result = self._run_parallel_adaptive(images, labels, header, completed)
+        elif self.workers == 1:
             result = self._run_serial(images, labels, header, completed)
         else:
             result = self._run_parallel(images, labels, header, completed)
@@ -355,8 +408,15 @@ class ParallelCampaignRunner:
             "num_images": num_images,
             "total_trials": self._total_trials(),
             "batch_size": self.config.batch_size,
+            # The adaptive plan is campaign identity: it decides *which*
+            # trials get evaluated (the stopping round), so resuming under a
+            # different plan — or resuming a fixed-budget checkpoint
+            # adaptively — would yield records a one-shot run of this
+            # campaign could never produce.  Legacy checkpoints carry no
+            # "plan" key, which get() maps to None = fixed-budget.
+            "plan": self.plan.to_dict() if self.plan is not None else None,
         }
-        for key in _HEADER_IDENTITY:
+        for key in (*_HEADER_IDENTITY, "plan"):
             if key == "batch_size" and key not in header:
                 # Legacy checkpoint written before batch_size joined the
                 # identity (i.e. before cycle-dependent fault models existed,
@@ -398,22 +458,20 @@ class ParallelCampaignRunner:
     ) -> None:
         if writer is None:
             return
-        writer.write(
-            json.dumps(
-                {
-                    "kind": "header",
-                    "version": CHECKPOINT_VERSION,
-                    "strategy": self.strategy.name,
-                    "seed": self.config.seed,
-                    "num_images": num_images,
-                    "total_trials": self._total_trials(),
-                    "batch_size": self.config.batch_size,
-                    "baseline_accuracy": baseline,
-                    "emulated_inferences_per_second": ips,
-                }
-            )
-            + "\n"
-        )
+        payload = {
+            "kind": "header",
+            "version": CHECKPOINT_VERSION,
+            "strategy": self.strategy.name,
+            "seed": self.config.seed,
+            "num_images": num_images,
+            "total_trials": self._total_trials(),
+            "batch_size": self.config.batch_size,
+            "baseline_accuracy": baseline,
+            "emulated_inferences_per_second": ips,
+        }
+        if self.plan is not None:
+            payload["plan"] = self.plan.to_dict()
+        writer.write(json.dumps(payload) + "\n")
         writer.flush()
 
     @staticmethod
@@ -601,6 +659,239 @@ class ParallelCampaignRunner:
         )
         result.records = [records[i] for i in sorted(records)]
         return result
+
+    # ------------------------------------------------------------------
+    # Adaptive (confidence-bounded) execution
+    # ------------------------------------------------------------------
+    def _adaptive_progress(
+        self, bounds: list[tuple[int, int]], records: dict[int, TrialRecord]
+    ) -> tuple[int, int, bool]:
+        """Replay the stopping rule over rounds already present in ``records``.
+
+        Returns ``(completed_rounds, stop_end, stopped)``: how many leading
+        rounds are fully evaluated, the trial-index bound of the campaign so
+        far, and whether the plan's stopping rule already fired.  Because
+        the rule is a pure function of the completed rounds' records, a
+        resumed campaign reaches the exact stopping round of an
+        uninterrupted one.
+        """
+        completed_rounds = 0
+        stop_end = 0
+        for start, end in bounds:
+            if not all(index in records for index in range(start, end)):
+                break
+            completed_rounds += 1
+            stop_end = end
+            round_records = [records[index] for index in range(end)]
+            if self.plan.should_stop(completed_rounds, round_records):
+                return completed_rounds, end, True
+        return completed_rounds, stop_end, False
+
+    def _adaptive_result(
+        self,
+        baseline: float,
+        ips: float | None,
+        num_images: int,
+        records: dict[int, TrialRecord],
+        budget: int,
+        rounds_completed: int,
+        stop_end: int,
+    ) -> CampaignResult:
+        """Assemble the campaign result of the rounds up to ``stop_end``."""
+        result = CampaignResult(
+            baseline_accuracy=baseline,
+            strategy=self.strategy.name,
+            num_images=num_images,
+            seed=self.config.seed,
+            emulated_inferences_per_second=ips,
+        )
+        result.records = [records[index] for index in range(stop_end)]
+        interval = self.plan.interval(result.records)
+        result.adaptive = {
+            "plan": self.plan.to_dict(),
+            "budget": budget,
+            "rounds_completed": rounds_completed,
+            "trials_evaluated": stop_end,
+            "stopped_early": stop_end < budget,
+            "final_half_width": interval.half_width if interval is not None else None,
+            "final_interval": interval.to_dict() if interval is not None else None,
+        }
+        return result
+
+    def _run_serial_adaptive(
+        self,
+        images: np.ndarray,
+        labels: np.ndarray,
+        header: dict | None,
+        completed: dict[int, TrialRecord],
+    ) -> CampaignResult:
+        cfg = self.config
+        plan = self.plan
+        platform = self.platform if self.platform is not None else self.spec.build()
+        platform.reset_caches()
+        baseline = platform.baseline_accuracy(images, labels, batch_size=cfg.batch_size)
+        if header is not None:
+            self._check_baseline(baseline, header["baseline_accuracy"], "the checkpoint header")
+        ips = platform.inferences_per_second()
+        budget = plan.budget(self.strategy.expected_trials(platform.universe))
+        bounds = plan.round_bounds(budget)
+        records = dict(completed)
+        writer = self._open_checkpoint(fresh=header is None)
+        try:
+            if header is None:
+                self._write_header(writer, baseline, ips, len(labels))
+            completed_rounds, stop_end, stopped = self._adaptive_progress(bounds, records)
+            rng = SeededRNG(cfg.seed)
+            for round_number in range(completed_rounds, len(bounds) if not stopped else 0):
+                start, end = bounds[round_number]
+                for index in range(start, end):
+                    if index in records:
+                        continue
+                    trial = self.strategy.trial_at(platform.universe, rng, index)
+                    record = _record_for_trial(
+                        platform, trial, index, baseline, images, labels, cfg.batch_size
+                    )
+                    records[index] = record
+                    self._write_record(writer, record)
+                completed_rounds = round_number + 1
+                stop_end = end
+                round_records = [records[index] for index in range(end)]
+                if cfg.log_every:
+                    interval = plan.interval(round_records)
+                    logger.info(
+                        "round %d (%d/%d trials): half-width %s (target %g)",
+                        completed_rounds,
+                        end,
+                        budget,
+                        "n/a" if interval is None else f"{interval.half_width:.4f}",
+                        plan.target_half_width,
+                    )
+                if plan.should_stop(completed_rounds, round_records):
+                    break
+        finally:
+            if writer is not None:
+                writer.close()
+        return self._adaptive_result(
+            baseline, ips, len(labels), records, budget, completed_rounds, stop_end
+        )
+
+    def _run_parallel_adaptive(
+        self,
+        images: np.ndarray,
+        labels: np.ndarray,
+        header: dict | None,
+        completed: dict[int, TrialRecord],
+    ) -> CampaignResult:
+        cfg = self.config
+        plan = self.plan
+        budget = plan.budget(self.strategy.expected_trials(self._universe()))
+        bounds = plan.round_bounds(budget)
+        records = dict(completed)
+        completed_rounds, stop_end, stopped = self._adaptive_progress(bounds, records)
+        if stopped or completed_rounds == len(bounds):
+            # The checkpoint alone decides the campaign (resume after a
+            # finished run): no trial needs evaluating, so don't pay for a
+            # worker pool — but the baseline must come from somewhere.
+            if header is None:
+                return self._run_serial_adaptive(images, labels, header, completed)
+            return self._adaptive_result(
+                header["baseline_accuracy"],
+                header.get("emulated_inferences_per_second"),
+                len(labels),
+                records,
+                budget,
+                completed_rounds,
+                stop_end,
+            )
+
+        baseline: float | None = None
+        ips: float | None = None
+        if header is not None:
+            baseline = header["baseline_accuracy"]
+            ips = header.get("emulated_inferences_per_second")
+
+        method = self.start_method or (
+            "fork"
+            if sys.platform == "linux" and "fork" in mp.get_all_start_methods()
+            else "spawn"
+        )
+        ctx = mp.get_context(method)
+        results: mp.Queue = ctx.Queue()
+        task_queues: list[mp.Queue] = [ctx.Queue() for _ in range(self.workers)]
+        procs = [
+            ctx.Process(
+                target=_round_worker,
+                args=(w, self.spec, self.strategy, cfg, images, labels, task_queues[w], results),
+                daemon=True,
+            )
+            for w in range(self.workers)
+        ]
+        writer = self._open_checkpoint(fresh=header is None)
+        header_written = header is not None
+        try:
+            for proc in procs:
+                proc.start()
+
+            def collect(barrier: int) -> None:
+                nonlocal baseline, ips, header_written
+                while barrier:
+                    try:
+                        kind, worker_id, payload = results.get(timeout=1.0)
+                    except queue_module.Empty:
+                        self._check_workers_alive(procs)
+                        continue
+                    if kind == "error":
+                        raise RuntimeError(f"campaign worker {worker_id} failed:\n{payload}")
+                    if kind == "meta":
+                        worker_baseline, worker_ips = payload
+                        if baseline is None:
+                            baseline, ips = worker_baseline, worker_ips
+                        else:
+                            self._check_baseline(worker_baseline, baseline, f"worker {worker_id}")
+                        if not header_written:
+                            self._write_header(writer, baseline, ips, len(labels))
+                            header_written = True
+                    elif kind == "record":
+                        records[payload.trial_index] = payload
+                        self._write_record(writer, payload)
+                    elif kind in ("round-done", "done"):
+                        barrier -= 1
+
+            for round_number in range(completed_rounds, len(bounds)):
+                start, end = bounds[round_number]
+                pending = [index for index in range(start, end) if index not in records]
+                shards = shard_indices(pending, self.workers) if pending else []
+                # Every worker gets a (possibly empty) batch and answers
+                # with round-done: the barrier that makes the stopping
+                # decision independent of scheduling order.
+                for w, queue in enumerate(task_queues):
+                    queue.put(shards[w] if w < len(shards) else [])
+                collect(len(task_queues))
+                completed_rounds = round_number + 1
+                stop_end = end
+                round_records = [records[index] for index in range(end)]
+                if cfg.log_every:
+                    logger.info("completed round %d: %d/%d trials", completed_rounds, end, budget)
+                if plan.should_stop(completed_rounds, round_records):
+                    break
+            for queue in task_queues:
+                queue.put(None)
+            collect(len(procs))
+            for proc in procs:
+                proc.join()
+        finally:
+            for proc in procs:
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join()
+            if writer is not None:
+                writer.close()
+
+        if baseline is None:  # pragma: no cover - every entered round runs workers
+            raise RuntimeError("campaign finished without establishing a baseline accuracy")
+        return self._adaptive_result(
+            baseline, ips, len(labels), records, budget, completed_rounds, stop_end
+        )
 
     @staticmethod
     def _check_workers_alive(procs: list) -> None:

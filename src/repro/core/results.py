@@ -15,6 +15,8 @@ import json
 from dataclasses import dataclass, field, fields, asdict
 from typing import Sequence
 
+import numpy as np
+
 
 @dataclass(frozen=True)
 class TrialRecord:
@@ -76,6 +78,11 @@ class CampaignResult:
     seed: int = 0
     wall_seconds: float = 0.0
     emulated_inferences_per_second: float | None = None
+    #: Adaptive-stopping provenance (plan parameters, rounds completed,
+    #: whether the campaign stopped early) when the campaign ran under an
+    #: :class:`~repro.core.stats.AdaptiveCampaignPlan`; ``None`` for
+    #: fixed-budget campaigns.
+    adaptive: dict | None = None
 
     def add(self, record: TrialRecord) -> None:
         self.records.append(record)
@@ -100,7 +107,11 @@ class CampaignResult:
     def worst_record(self) -> TrialRecord:
         """The trial with the largest accuracy drop."""
         if not self.records:
-            raise ValueError("campaign has no records")
+            raise ValueError(
+                f"campaign {self.strategy or '<unnamed>'!r} has no trial records; "
+                "run the campaign (or check the records were not filtered away) "
+                "before asking for the worst record"
+            )
         return max(self.records, key=lambda r: r.accuracy_drop)
 
     def mean_accuracy_drop(self) -> float:
@@ -108,13 +119,47 @@ class CampaignResult:
             return 0.0
         return sum(r.accuracy_drop for r in self.records) / len(self.records)
 
-    def summary(self) -> dict:
-        """Campaign-level summary statistics as a JSON-compatible dict."""
+    def summary(
+        self,
+        confidence: float = 0.95,
+        thresholds=None,
+        bootstrap_resamples: int = 1000,
+    ) -> dict:
+        """Campaign-level summary statistics as a JSON-compatible dict.
+
+        Alongside the historical point estimates (whose keys are stable for
+        existing consumers), the summary reports dispersion (std and the
+        5/50/95 accuracy-drop percentiles), confidence intervals for the
+        mean drop (Student-t and percentile bootstrap, seeded off the
+        campaign seed so the summary is reproducible bit-for-bit) and for
+        the SDC rate (Wilson and Clopper-Pearson), plus the outcome
+        taxonomy breakdown.  Interval entries are ``None`` while the sample
+        is too small to carry them (< 2 records for means, 0 for rates).
+        """
+        from repro.core import stats
+
+        thresholds = thresholds or stats.DEFAULT_THRESHOLDS
         drops = [r.accuracy_drop for r in self.records]
+        arr = np.asarray(drops, dtype=np.float64)
+        n = len(drops)
+        if n:
+            p5, p50, p95 = (float(p) for p in np.percentile(arr, [5.0, 50.0, 95.0]))
+        else:
+            p5 = p50 = p95 = 0.0
+        mean_ci = stats.mean_t_interval(drops, confidence).to_dict() if n >= 2 else None
+        boot_ci = (
+            stats.bootstrap_mean_interval(
+                drops, confidence, n_resamples=bootstrap_resamples, seed=self.seed
+            ).to_dict()
+            if n >= 2
+            else None
+        )
+        outcomes = stats.outcome_counts(self.records, thresholds)
+        corrupting = stats.sdc_count(outcomes)
         return {
             "strategy": self.strategy,
             "seed": self.seed,
-            "num_trials": len(self.records),
+            "num_trials": n,
             "num_images": self.num_images,
             "baseline_accuracy": self.baseline_accuracy,
             "mean_accuracy_drop": self.mean_accuracy_drop(),
@@ -123,6 +168,25 @@ class CampaignResult:
             "worst_trial_index": self.worst_record().trial_index if drops else None,
             "wall_seconds": self.wall_seconds,
             "emulated_inferences_per_second": self.emulated_inferences_per_second,
+            "std_accuracy_drop": float(arr.std(ddof=1)) if n >= 2 else 0.0,
+            "p5_accuracy_drop": p5,
+            "p50_accuracy_drop": p50,
+            "p95_accuracy_drop": p95,
+            "confidence": confidence,
+            "mean_drop_ci": mean_ci,
+            "mean_drop_ci_bootstrap": boot_ci,
+            "outcomes": outcomes,
+            "outcome_thresholds": thresholds.to_dict(),
+            "sdc_rate": (corrupting / n) if n else 0.0,
+            "sdc_rate_ci": (
+                stats.wilson_interval(corrupting, n, confidence).to_dict() if n else None
+            ),
+            "sdc_rate_ci_exact": (
+                stats.clopper_pearson_interval(corrupting, n, confidence).to_dict()
+                if n
+                else None
+            ),
+            "adaptive": self.adaptive,
         }
 
     # ------------------------------------------------------------------
@@ -151,6 +215,7 @@ class CampaignResult:
             num_images=first.num_images,
             seed=first.seed,
             emulated_inferences_per_second=first.emulated_inferences_per_second,
+            adaptive=first.adaptive,
         )
         for part in parts:
             identity = (part.baseline_accuracy, part.strategy, part.num_images, part.seed)
@@ -175,7 +240,7 @@ class CampaignResult:
     # Serialisation
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
-        return {
+        out = {
             "baseline_accuracy": self.baseline_accuracy,
             "strategy": self.strategy,
             "num_images": self.num_images,
@@ -184,6 +249,9 @@ class CampaignResult:
             "emulated_inferences_per_second": self.emulated_inferences_per_second,
             "records": [record.to_dict() for record in self.records],
         }
+        if self.adaptive is not None:
+            out["adaptive"] = self.adaptive
+        return out
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)
@@ -197,6 +265,7 @@ class CampaignResult:
             seed=data.get("seed", 0),
             wall_seconds=data.get("wall_seconds", 0.0),
             emulated_inferences_per_second=data.get("emulated_inferences_per_second"),
+            adaptive=data.get("adaptive"),
         )
         for record in data.get("records", []):
             result.add(TrialRecord.from_dict(record))

@@ -301,6 +301,114 @@ class PerMultiplierPositionSweep(InjectionStrategy):
 
 
 @dataclass
+class StratifiedSampling(InjectionStrategy):
+    """Stratified single-site sampling over the fault universe.
+
+    The fault universe is partitioned into strata along the platform's two
+    structural axes: the datapath **stage** the fault models attack (chosen
+    by the model family: multiplier product bus vs MAC accumulator bus) and
+    the **MAC unit** (the "layer" of the array the site lives in).  Stratum
+    ``h`` is MAC unit ``h`` at the family's stage; ``allocation[h]`` trials
+    draw a site uniformly from that stratum, so rare-but-sensitive strata
+    can be oversampled instead of hoping uniform sampling hits them.
+
+    The intended workflow is two deterministic campaigns:
+
+    1. a **pilot** round (:meth:`pilot`, uniform allocation) estimates the
+       per-stratum accuracy-drop spread;
+    2. :func:`~repro.core.stats.neyman_allocation` converts the pilot's
+       result into variance-minimising per-stratum counts, and a second
+       :class:`StratifiedSampling` campaign runs that allocation.
+
+    Keeping the allocation an explicit constructor argument (rather than
+    deriving it inside the strategy) is what preserves the indexable-trial
+    protocol: ``trial_at`` stays a pure function of ``(universe, seed,
+    index)``, so stratified campaigns shard and resume like any other.
+
+    Every trial records its stratum in ``metadata["stratum"]`` (and
+    ``mac_unit``), which the report's per-stratum sensitivity ranking and
+    :func:`~repro.core.stats.neyman_allocation` both read.
+    """
+
+    #: Trials per stratum; must have one entry per MAC unit of the universe.
+    allocation: tuple[int, ...] = ()
+    values: tuple[int, ...] = (0,)
+    name: str = "stratified"
+    #: Optional explicit fault-model sweep; overrides ``values``.
+    models: tuple[FaultModel, ...] | None = None
+
+    @classmethod
+    def pilot(
+        cls,
+        num_strata: int,
+        trials_per_stratum: int,
+        *,
+        values: tuple[int, ...] = (0,),
+        models: tuple[FaultModel, ...] | None = None,
+        name: str = "stratified-pilot",
+    ) -> "StratifiedSampling":
+        """Uniform pilot allocation: ``trials_per_stratum`` per stratum."""
+        if num_strata < 1 or trials_per_stratum < 1:
+            raise ValueError("pilot needs >= 1 stratum and >= 1 trial per stratum")
+        return cls(
+            allocation=(trials_per_stratum,) * num_strata,
+            values=values,
+            models=models,
+            name=name,
+        )
+
+    def _check_allocation(self, universe: FaultUniverse) -> None:
+        if not self.allocation:
+            raise ValueError(f"strategy {self.name!r} has an empty stratum allocation")
+        if len(self.allocation) != universe.num_macs:
+            raise ValueError(
+                f"strategy {self.name!r} allocates {len(self.allocation)} strata but "
+                f"the universe has {universe.num_macs} MAC units (one stratum per MAC)"
+            )
+        if any(count < 0 for count in self.allocation):
+            raise ValueError(f"strategy {self.name!r} has negative stratum counts")
+
+    def expected_trials(self, universe: FaultUniverse) -> int:
+        self._check_allocation(universe)
+        return len(self._resolved_models()) * sum(self.allocation)
+
+    def trial_at(self, universe: FaultUniverse, rng: SeededRNG, index: int) -> StrategyTrial:
+        models = self._resolved_models()
+        stage = self._models_stage(models)
+        self._check_allocation(universe)
+        per_model = sum(self.allocation)
+        self._check_index(index, len(models) * per_model)
+        model = models[index // per_model]
+        offset = index % per_model
+        stratum, trial = 0, offset
+        for stratum, count in enumerate(self.allocation):
+            if trial < count:
+                break
+            trial -= count
+        # One child stream per (model, stratum, trial): trial i's site draw
+        # depends only on its own coordinates, never on iteration order.
+        tag: int | str = (
+            self.values[index // per_model] if self.models is None else model.label()
+        )
+        stream = rng.child("stratified", tag, stratum, trial).generator()
+        if stage == "accumulator":
+            site = FaultSite(stratum, 0)
+        else:
+            site = FaultSite(stratum, int(stream.integers(universe.muls_per_mac)))
+        metadata: dict = {"stratum": stratum, "trial": trial}
+        if self.models is not None:
+            metadata["model"] = model.label()
+        return StrategyTrial(
+            config=InjectionConfig.single(site, model),
+            num_faults=1,
+            injected_value=model.constant_override(),
+            mac_unit=stratum,
+            multiplier=None if stage == "accumulator" else site.multiplier,
+            metadata=metadata,
+        )
+
+
+@dataclass
 class FixedConfigurations(InjectionStrategy):
     """Run an explicit, user-supplied list of configurations (power users)."""
 

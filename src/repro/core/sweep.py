@@ -49,6 +49,10 @@ Specs are plain dicts and can be loaded from JSON or TOML files::
     counts = [1, 2]
     trials = 2
 
+    [adaptive]               # optional: confidence-bounded stopping per scenario
+    target_half_width = 0.03
+    round_size = 8
+
 Artifacts (under ``--sweep-dir``)::
 
     scenarios/<model>/<fault>/<strategy>/<platform>.jsonl   per-scenario checkpoint
@@ -74,12 +78,14 @@ from repro.core.campaign import CampaignConfig
 from repro.core.parallel import ParallelCampaignRunner, PlatformSpec
 from repro.core.platform import PlatformConfig
 from repro.core.results import CampaignResult
+from repro.core.stats import AdaptiveCampaignPlan
 from repro.core.strategies import (
     ExhaustiveSingleSite,
     InjectionStrategy,
     PerMACUnitSweep,
     PerMultiplierPositionSweep,
     RandomMultipliers,
+    StratifiedSampling,
 )
 from repro.faults.models import (
     AccumulatorStuckAt,
@@ -274,10 +280,19 @@ class StrategyAxis(_NamedAxis):
                     "lanes and cannot sweep accumulator-stage fault families"
                 )
             strategy = PerMultiplierPositionSweep(models=models, name=name)
+        elif self.kind == "stratified":
+            allocation = tuple(int(c) for c in params.pop("allocation", ()))
+            if not allocation:
+                raise ValueError(
+                    f"strategy axis {self.name!r} (stratified) needs an explicit "
+                    "'allocation' list of per-stratum trial counts (one per MAC "
+                    "unit; e.g. a Neyman allocation computed from a pilot round)"
+                )
+            strategy = StratifiedSampling(allocation=allocation, models=models, name=name)
         else:
             raise ValueError(
                 f"strategy axis {self.name!r}: unknown kind {self.kind!r}; expected "
-                "one of random, exhaustive, per-mac, per-position"
+                "one of random, exhaustive, per-mac, per-position, stratified"
             )
         if params:
             raise ValueError(
@@ -367,6 +382,10 @@ class ExperimentSpec:
     #: each trial derives its stream from its own coordinates).
     seed: int = 0
     batch_size: int = 64
+    #: Optional adaptive-stopping plan applied to every scenario's campaign
+    #: (an ``[adaptive]`` table in the spec file; see
+    #: :class:`~repro.core.stats.AdaptiveCampaignPlan`).
+    adaptive: AdaptiveCampaignPlan | None = None
 
     def __post_init__(self) -> None:
         for axis_name, axis in (
@@ -392,6 +411,9 @@ class ExperimentSpec:
         for key in ("images", "seed", "batch_size"):
             if key in data:
                 kwargs[key] = int(data.pop(key))
+        adaptive = data.pop("adaptive", None)
+        if adaptive is not None:
+            kwargs["adaptive"] = AdaptiveCampaignPlan.from_dict(adaptive)
         if data:
             raise ValueError(f"unknown sweep spec keys {sorted(data)}")
         spec = cls(**kwargs)
@@ -419,7 +441,7 @@ class ExperimentSpec:
         return cls.from_dict(data)
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "images": self.images,
             "seed": self.seed,
             "batch_size": self.batch_size,
@@ -428,6 +450,9 @@ class ExperimentSpec:
             "strategies": [s.to_dict() for s in self.strategies],
             "platforms": [p.to_dict() for p in self.platforms],
         }
+        if self.adaptive is not None:
+            out["adaptive"] = self.adaptive.to_dict()
+        return out
 
     def grid(self) -> "ScenarioGrid":
         return ScenarioGrid(self)
@@ -494,6 +519,13 @@ class ScenarioGrid:
                         # compatibility and site-domain bounds fail here,
                         # not hours into the sweep.
                         built = scenario.build_strategy()
+                        allocation = getattr(built, "allocation", None)
+                        if allocation is not None and len(allocation) != platform.num_macs:
+                            raise ValueError(
+                                f"scenario {scenario.scenario_id!r}: stratified "
+                                f"allocation covers {len(allocation)} strata but the "
+                                f"platform has {platform.num_macs} MAC units"
+                            )
                         counts = getattr(built, "fault_counts", ())
                         if fault.stage == "accumulator":
                             domain = platform.num_macs
@@ -672,6 +704,7 @@ class SweepRunner:
         batch_size: int | None = None,
         resolver: ScenarioResolver | None = None,
         cache_dir: Path | str | None = None,
+        plan: AdaptiveCampaignPlan | None = None,
     ):
         spec = grid.spec if isinstance(grid, ScenarioGrid) else None
         self.scenarios = list(grid)
@@ -685,6 +718,7 @@ class SweepRunner:
         self.batch_size = (
             batch_size if batch_size is not None else (spec.batch_size if spec else 64)
         )
+        self.plan = plan if plan is not None else (spec.adaptive if spec else None)
         self.resolver = resolver or self._zoo_resolver
         self.cache_dir = cache_dir
         self._spec = spec
@@ -732,6 +766,7 @@ class SweepRunner:
                 workers=self.workers,
                 checkpoint=self._checkpoint_path(scenario),
                 resume=self.resume,
+                plan=self.plan,
             )
             result = runner.run(images, labels)
             scenario_results.append(ScenarioResult(scenario=scenario, result=result))

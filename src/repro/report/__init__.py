@@ -1,0 +1,25 @@
+"""Reliability reporting over campaign and sweep artifacts.
+
+``repro.report`` turns the JSON artifacts the campaign and sweep runners
+write (``sweep.json``, or a single campaign's ``--output`` JSON) into two
+human-and-machine consumable forms:
+
+* :func:`~repro.report.model.build_report` — a machine-readable report
+  dict: per-scenario summaries with confidence intervals, the outcome
+  (severity) taxonomy breakdown, accuracy-drop box statistics per fault
+  count and a per-stratum sensitivity ranking where the campaign recorded
+  strata.
+* :func:`~repro.report.html.render_html` — a self-contained HTML
+  dashboard (no external assets: inline CSS and inline SVG box plots) of
+  the same report, for humans.
+
+The ``repro report`` CLI verb glues both together::
+
+    python -m repro report --input sweep-out/sweep.json \
+        --html report.html --json report.json
+"""
+
+from repro.report.model import build_report, load_results
+from repro.report.html import render_html
+
+__all__ = ["build_report", "load_results", "render_html"]

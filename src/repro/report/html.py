@@ -1,0 +1,283 @@
+"""Self-contained HTML rendering of a reliability report.
+
+One output file, zero external assets: styling is inline CSS, box plots
+are inline SVG built here from the report's box statistics.  The renderer
+consumes only the machine-readable report dict of
+:func:`~repro.report.model.build_report`, never live result objects, so
+any archived report JSON can be re-rendered later.
+"""
+
+from __future__ import annotations
+
+import html as html_module
+
+#: Severity class -> (display label, CSS colour).  Orange/red shades scale
+#: with severity; masked faults render as a calm grey-green.
+_OUTCOME_STYLE = {
+    "masked": ("masked", "#7fb48c"),
+    "tolerable": ("tolerable", "#d9c86b"),
+    "sdc": ("SDC", "#e08a4a"),
+    "critical": ("critical", "#c94f42"),
+}
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, Helvetica, Arial, sans-serif;
+       margin: 2rem auto; max-width: 75rem; padding: 0 1rem; color: #222; }
+h1 { font-size: 1.5rem; } h2 { font-size: 1.15rem; margin-top: 2rem; }
+table { border-collapse: collapse; margin: 0.75rem 0; font-size: 0.9rem; }
+th, td { border: 1px solid #ccc; padding: 0.3rem 0.6rem; text-align: right; }
+th { background: #f2f2f2; } td.name, th.name { text-align: left; font-family: monospace; }
+.tiles { display: flex; gap: 1rem; flex-wrap: wrap; margin: 1rem 0; }
+.tile { border: 1px solid #ddd; border-radius: 6px; padding: 0.75rem 1.25rem; min-width: 9rem; }
+.tile .value { font-size: 1.4rem; font-weight: 600; }
+.tile .label { font-size: 0.8rem; color: #666; }
+.sevbar { display: flex; height: 1rem; border-radius: 3px; overflow: hidden;
+          min-width: 12rem; border: 1px solid #bbb; }
+.sevbar div { height: 100%; }
+.legend { font-size: 0.8rem; color: #444; margin: 0.5rem 0; }
+.legend span { display: inline-block; width: 0.8rem; height: 0.8rem; border-radius: 2px;
+               margin: 0 0.25rem 0 0.9rem; vertical-align: middle; }
+.ci { color: #666; font-size: 0.85em; white-space: nowrap; }
+.scenario { border-top: 2px solid #eee; padding-top: 0.5rem; }
+footer { margin-top: 2.5rem; color: #888; font-size: 0.8rem; }
+svg text { font-family: inherit; }
+"""
+
+
+def _esc(value: object) -> str:
+    return html_module.escape(str(value), quote=True)
+
+
+def _fmt(value: float | None, digits: int = 3) -> str:
+    if value is None:
+        return "–"
+    return f"{value:.{digits}f}"
+
+
+def _fmt_ci(ci: dict | None, digits: int = 3) -> str:
+    if ci is None:
+        return "<span class='ci'>n/a</span>"
+    return (
+        f"<span class='ci'>[{_fmt(ci['low'], digits)}, {_fmt(ci['high'], digits)}]</span>"
+    )
+
+
+def _severity_bar(outcomes: dict[str, int]) -> str:
+    total = sum(outcomes.values())
+    if total == 0:
+        return "<span class='ci'>no trials</span>"
+    parts = []
+    for outcome, (label, colour) in _OUTCOME_STYLE.items():
+        count = outcomes.get(outcome, 0)
+        if count == 0:
+            continue
+        width = 100.0 * count / total
+        parts.append(
+            f"<div style='width:{width:.2f}%;background:{colour}' "
+            f"title='{_esc(label)}: {count}/{total}'></div>"
+        )
+    return f"<div class='sevbar'>{''.join(parts)}</div>"
+
+
+def _legend() -> str:
+    items = "".join(
+        f"<span style='background:{colour}'></span>{_esc(label)}"
+        for label, colour in _OUTCOME_STYLE.values()
+    )
+    return f"<div class='legend'>severity:{items}</div>"
+
+
+def boxplot_svg(
+    boxes: dict[str, dict], *, width: int = 520, height: int = 190, title: str = ""
+) -> str:
+    """Inline SVG box-and-whisker plot of accuracy drop per group.
+
+    ``boxes`` maps group label -> five-number summary dict (the report's
+    per-scenario ``boxes``).  Groups are ordered numerically when all
+    labels parse as numbers, lexically otherwise.
+    """
+    if not boxes:
+        return "<span class='ci'>no grouped trials</span>"
+
+    def _group_key(label: str):
+        try:
+            return (0, float(label), label)
+        except ValueError:
+            return (1, 0.0, label)
+
+    labels = sorted(boxes, key=_group_key)
+    low = min(min(boxes[l]["minimum"] for l in labels), 0.0)
+    high = max(max(boxes[l]["maximum"] for l in labels), 1e-9)
+    span = high - low or 1.0
+    margin_left, margin_bottom, margin_top = 46, 26, 12
+    plot_w = width - margin_left - 10
+    plot_h = height - margin_bottom - margin_top
+
+    def y(value: float) -> float:
+        return margin_top + plot_h * (1.0 - (value - low) / span)
+
+    slot = plot_w / len(labels)
+    box_w = min(34.0, slot * 0.5)
+    parts = [
+        f"<svg viewBox='0 0 {width} {height}' width='{width}' height='{height}' "
+        "role='img' xmlns='http://www.w3.org/2000/svg'>"
+    ]
+    if title:
+        parts.append(
+            f"<title>{_esc(title)}</title>"
+        )
+    # y axis: zero line + min/max ticks
+    for value in (low, 0.0, high):
+        parts.append(
+            f"<line x1='{margin_left}' y1='{y(value):.1f}' x2='{width - 10}' "
+            f"y2='{y(value):.1f}' stroke='#ddd' stroke-width='1'/>"
+            f"<text x='{margin_left - 4}' y='{y(value) + 3:.1f}' font-size='9' "
+            f"text-anchor='end' fill='#666'>{value:.2f}</text>"
+        )
+    for index, label in enumerate(labels):
+        box = boxes[label]
+        cx = margin_left + slot * (index + 0.5)
+        x0, x1 = cx - box_w / 2, cx + box_w / 2
+        # whiskers
+        parts.append(
+            f"<line x1='{cx:.1f}' y1='{y(box['minimum']):.1f}' x2='{cx:.1f}' "
+            f"y2='{y(box['q1']):.1f}' stroke='#555'/>"
+            f"<line x1='{cx:.1f}' y1='{y(box['q3']):.1f}' x2='{cx:.1f}' "
+            f"y2='{y(box['maximum']):.1f}' stroke='#555'/>"
+            f"<line x1='{x0:.1f}' y1='{y(box['minimum']):.1f}' x2='{x1:.1f}' "
+            f"y2='{y(box['minimum']):.1f}' stroke='#555'/>"
+            f"<line x1='{x0:.1f}' y1='{y(box['maximum']):.1f}' x2='{x1:.1f}' "
+            f"y2='{y(box['maximum']):.1f}' stroke='#555'/>"
+        )
+        # interquartile box + median + mean dot
+        box_top, box_bottom = y(box["q3"]), y(box["q1"])
+        parts.append(
+            f"<rect x='{x0:.1f}' y='{box_top:.1f}' width='{box_w:.1f}' "
+            f"height='{max(box_bottom - box_top, 1.0):.1f}' fill='#9ec5e8' "
+            f"stroke='#37648f'><title>{_esc(label)}: median {box['median']:.3f}, "
+            f"mean {box['mean']:.3f}, n={box['count']}</title></rect>"
+            f"<line x1='{x0:.1f}' y1='{y(box['median']):.1f}' x2='{x1:.1f}' "
+            f"y2='{y(box['median']):.1f}' stroke='#1d3a56' stroke-width='2'/>"
+            f"<circle cx='{cx:.1f}' cy='{y(box['mean']):.1f}' r='2.4' fill='#c94f42'/>"
+        )
+        parts.append(
+            f"<text x='{cx:.1f}' y='{height - 10}' font-size='10' text-anchor='middle' "
+            f"fill='#444'>{_esc(label)}</text>"
+        )
+    parts.append(
+        f"<text x='{margin_left + plot_w / 2:.1f}' y='{height - 0.5}' font-size='9' "
+        "text-anchor='middle' fill='#888'>armed fault sites</text></svg>"
+    )
+    return "".join(parts)
+
+
+def _scenario_section(entry: dict, confidence: float) -> str:
+    summary = entry["summary"]
+    rows = [
+        ("trials", str(summary["num_trials"])),
+        ("baseline accuracy", _fmt(summary["baseline_accuracy"])),
+        (
+            "mean accuracy drop",
+            f"{_fmt(summary['mean_accuracy_drop'])} {_fmt_ci(summary['mean_drop_ci'])}",
+        ),
+        (
+            "mean drop (bootstrap CI)",
+            f"{_fmt(summary['mean_accuracy_drop'])} "
+            f"{_fmt_ci(summary['mean_drop_ci_bootstrap'])}",
+        ),
+        (
+            "drop p5 / median / p95",
+            f"{_fmt(summary['p5_accuracy_drop'])} / {_fmt(summary['p50_accuracy_drop'])} "
+            f"/ {_fmt(summary['p95_accuracy_drop'])}",
+        ),
+        ("max drop", _fmt(summary["max_accuracy_drop"])),
+        (
+            "SDC rate (Wilson)",
+            f"{_fmt(summary['sdc_rate'])} {_fmt_ci(summary['sdc_rate_ci'])}",
+        ),
+    ]
+    adaptive = summary.get("adaptive")
+    if adaptive:
+        rows.append(
+            (
+                "adaptive stopping",
+                f"{adaptive['trials_evaluated']}/{adaptive['budget']} trials "
+                f"({adaptive['rounds_completed']} rounds"
+                + (", stopped early)" if adaptive["stopped_early"] else ", ran to budget)"),
+            )
+        )
+    detail_rows = "".join(
+        f"<tr><td class='name'>{_esc(key)}</td><td>{value}</td></tr>" for key, value in rows
+    )
+    strata_html = ""
+    if entry["strata"]:
+        strata_rows = "".join(
+            f"<tr><td class='name'>MAC {s['stratum'] + 1}</td><td>{s['count']}</td>"
+            f"<td>{_fmt(s['mean_drop'])} {_fmt_ci(s['ci'])}</td>"
+            f"<td>{_fmt(s['max_drop'])}</td></tr>"
+            for s in entry["strata"]
+        )
+        strata_html = (
+            "<h3>Per-stratum sensitivity (most sensitive first)</h3>"
+            "<table><tr><th class='name'>stratum</th><th>trials</th>"
+            f"<th>mean drop ({confidence:.0%} CI)</th><th>max drop</th></tr>"
+            f"{strata_rows}</table>"
+        )
+    return (
+        f"<section class='scenario'><h2>{_esc(entry['scenario'])}</h2>"
+        f"{_severity_bar(summary['outcomes'])}"
+        f"<table>{detail_rows}</table>"
+        f"{boxplot_svg(entry['boxes'], title=entry['scenario'])}"
+        f"{strata_html}</section>"
+    )
+
+
+def render_html(report: dict, *, title: str = "repro reliability report") -> str:
+    """Render the report dict into one self-contained HTML document."""
+    confidence = report["confidence"]
+    reliability = report["reliability"]
+    sdc_ci = reliability["sdc_rate_ci"]
+    tiles = [
+        ("scenarios", str(report["num_scenarios"])),
+        ("trials", str(reliability["total_trials"])),
+        (
+            f"SDC rate ({confidence:.0%} CI)",
+            f"{_fmt(reliability['sdc_rate'])} {_fmt_ci(sdc_ci)}",
+        ),
+        ("critical outcomes", str(reliability["outcomes"]["critical"])),
+    ]
+    if "adaptive_savings" in reliability:
+        tiles.append(
+            (
+                "adaptive savings",
+                f"{reliability['adaptive_savings']:.0%} "
+                f"({reliability['adaptive_trials_evaluated']}/"
+                f"{reliability['adaptive_trial_budget']} trials)",
+            )
+        )
+    if "most_fragile_scenario" in reliability:
+        tiles.append(("most fragile", _esc(reliability["most_fragile_scenario"])))
+    tile_html = "".join(
+        f"<div class='tile'><div class='value'>{value}</div>"
+        f"<div class='label'>{_esc(label)}</div></div>"
+        for label, value in tiles
+    )
+    sections = "".join(
+        _scenario_section(entry, confidence) for entry in report["scenarios"]
+    )
+    thresholds = report["thresholds"]
+    return (
+        "<!DOCTYPE html><html lang='en'><head><meta charset='utf-8'>"
+        f"<title>{_esc(title)}</title><style>{_CSS}</style></head><body>"
+        f"<h1>{_esc(title)}</h1>"
+        f"<p class='ci'>source: <code>{_esc(report['source'])}</code> · "
+        f"confidence {confidence:.0%} · tolerable drop ≥ "
+        f"{thresholds['tolerable_drop']:g} · critical drop ≥ "
+        f"{thresholds['critical_drop']:g}</p>"
+        f"<div class='tiles'>{tile_html}</div>"
+        f"{_legend()}"
+        f"{sections}"
+        "<footer>generated by <code>repro report</code> (deterministic: no "
+        "timestamps; re-rendering the same artifact yields the same bytes)"
+        "</footer></body></html>"
+    )

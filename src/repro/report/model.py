@@ -1,0 +1,152 @@
+"""The machine-readable reliability report: loading and aggregation.
+
+A report is a plain JSON-compatible dict built from one or more
+:class:`~repro.core.results.CampaignResult` objects.  The loader accepts
+either artifact format the runners produce:
+
+* **sweep** — ``sweep.json`` written by
+  :class:`~repro.core.sweep.SweepRunner` (``{"scenarios": [{"scenario":
+  id, "result": {...}}, ...]}``);
+* **campaign** — a single campaign's JSON (``CampaignResult.to_dict()``
+  shape: ``{"baseline_accuracy": ..., "records": [...]}``), e.g. the
+  ``repro campaign --output`` file.
+
+Everything statistical is recomputed from the raw trial records through
+:mod:`repro.core.stats`, so a report rendered from an old artifact always
+reflects the current methodology (and the confidence level / thresholds
+the caller asked for, not whatever the campaign happened to log).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+from repro.core import stats
+from repro.core.analysis import stratum_sensitivity, summarize_by_group
+from repro.core.results import CampaignResult
+
+#: Report schema version (bumped on breaking shape changes).
+REPORT_VERSION = 1
+
+
+def load_results(path: Path | str) -> tuple[str, dict[str, CampaignResult]]:
+    """Load campaign results from a sweep or campaign JSON artifact.
+
+    Returns ``(kind, results_by_id)`` where ``kind`` is ``"sweep"`` or
+    ``"campaign"``; a campaign artifact yields a single entry keyed by its
+    strategy name.
+    """
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(
+            f"{path} is not valid JSON: {exc} (expected a sweep.json or a "
+            "campaign JSON; the JSONL checkpoint/merged-record files are not "
+            "report inputs)"
+        ) from None
+    if not isinstance(data, dict):
+        raise ValueError(f"{path} holds a JSON {type(data).__name__}, not an object")
+    if "scenarios" in data:
+        results: dict[str, CampaignResult] = {}
+        for entry in data["scenarios"]:
+            if "scenario" not in entry or "result" not in entry:
+                raise ValueError(
+                    f"{path}: sweep scenario entries need 'scenario' and 'result' keys"
+                )
+            results[entry["scenario"]] = CampaignResult.from_dict(entry["result"])
+        if not results:
+            raise ValueError(f"{path}: sweep artifact contains no scenarios")
+        return "sweep", results
+    if "records" in data and "baseline_accuracy" in data:
+        result = CampaignResult.from_dict(data)
+        return "campaign", {result.strategy or "campaign": result}
+    raise ValueError(
+        f"{path} is neither a sweep artifact (needs 'scenarios') nor a campaign "
+        "JSON (needs 'records' and 'baseline_accuracy')"
+    )
+
+
+def _scenario_entry(
+    scenario_id: str,
+    result: CampaignResult,
+    confidence: float,
+    thresholds: stats.OutcomeThresholds,
+) -> dict:
+    boxes = summarize_by_group(result, group_by="num_faults") if result.records else {}
+    return {
+        "scenario": scenario_id,
+        "summary": result.summary(confidence=confidence, thresholds=thresholds),
+        # Box statistics per armed-fault count (string keys: JSON objects
+        # cannot carry integer keys, and groups may be non-numeric).
+        "boxes": {str(group): dataclasses.asdict(box) for group, box in boxes.items()},
+        "strata": stratum_sensitivity(result, confidence),
+    }
+
+
+def build_report(
+    results_by_id: dict[str, CampaignResult],
+    *,
+    kind: str = "sweep",
+    source: str = "",
+    confidence: float = 0.95,
+    thresholds: stats.OutcomeThresholds | None = None,
+) -> dict:
+    """Aggregate campaign results into the machine-readable report dict.
+
+    The report is deliberately timestamp-free: building it twice from the
+    same artifact yields byte-identical JSON, so reports can be diffed and
+    golden-tested like any other deterministic output.
+    """
+    thresholds = thresholds or stats.DEFAULT_THRESHOLDS
+    scenarios = []
+    total_outcomes = {outcome.value: 0 for outcome in stats.OUTCOME_ORDER}
+    total_trials = 0
+    for scenario_id in sorted(results_by_id):
+        result = results_by_id[scenario_id]
+        entry = _scenario_entry(scenario_id, result, confidence, thresholds)
+        scenarios.append(entry)
+        for outcome, count in entry["summary"]["outcomes"].items():
+            total_outcomes[outcome] += count
+        total_trials += entry["summary"]["num_trials"]
+
+    corrupting = stats.sdc_count(total_outcomes)
+    reliability = {
+        "total_trials": total_trials,
+        "outcomes": total_outcomes,
+        "sdc_rate": (corrupting / total_trials) if total_trials else 0.0,
+        "sdc_rate_ci": (
+            stats.wilson_interval(corrupting, total_trials, confidence).to_dict()
+            if total_trials
+            else None
+        ),
+        "sdc_rate_ci_exact": (
+            stats.clopper_pearson_interval(corrupting, total_trials, confidence).to_dict()
+            if total_trials
+            else None
+        ),
+    }
+    with_trials = [s for s in scenarios if s["summary"]["num_trials"]]
+    if with_trials:
+        worst = max(with_trials, key=lambda s: s["summary"]["mean_accuracy_drop"])
+        reliability["most_fragile_scenario"] = worst["scenario"]
+        reliability["most_fragile_mean_drop"] = worst["summary"]["mean_accuracy_drop"]
+        adaptive = [s for s in scenarios if s["summary"].get("adaptive")]
+        if adaptive:
+            budget = sum(s["summary"]["adaptive"]["budget"] for s in adaptive)
+            spent = sum(s["summary"]["adaptive"]["trials_evaluated"] for s in adaptive)
+            reliability["adaptive_trials_evaluated"] = spent
+            reliability["adaptive_trial_budget"] = budget
+            reliability["adaptive_savings"] = (1.0 - spent / budget) if budget else 0.0
+    return {
+        "version": REPORT_VERSION,
+        "kind": kind,
+        "source": str(source),
+        "confidence": confidence,
+        "thresholds": thresholds.to_dict(),
+        "num_scenarios": len(scenarios),
+        "scenarios": scenarios,
+        "reliability": reliability,
+    }

@@ -1,0 +1,326 @@
+"""Determinism suite for confidence-bounded (adaptive) campaigns.
+
+The load-bearing invariant extends the parallel runner's: an adaptive
+campaign's records *and its stopping round* are identical for any worker
+count and across kill + resume, because the stopping decision is a pure
+function of the completed rounds' records — never of scheduling order.
+The stratified-sampling strategy rides on the same indexable protocol and
+is checked for the same order-independence.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.campaign import CampaignConfig, FaultInjectionCampaign
+from repro.core.parallel import ParallelCampaignRunner
+from repro.core.stats import AdaptiveCampaignPlan, neyman_allocation
+from repro.core.strategies import RandomMultipliers, StratifiedSampling
+from repro.core.sweep import ExperimentSpec, SweepRunner
+from repro.faults.sites import FaultUniverse
+from repro.utils.rng import SeededRNG
+
+
+#: 2 values x 2 counts x 4 reps = 16 trials; rounds of 4 give the stopping
+#: rule four decision points.
+STRATEGY = RandomMultipliers(values=(0, -1), fault_counts=(1, 3), trials_per_point=4)
+
+CONFIG = CampaignConfig(batch_size=16, seed=5, max_images=16)
+
+#: A target so loose the campaign always stops right at min_rounds — the
+#: stopping round is then known a priori, independent of the trained model.
+LOOSE_PLAN = AdaptiveCampaignPlan(target_half_width=10.0, round_size=4, min_rounds=2)
+
+#: A target no Wilson interval on 16 trials can reach — the campaign always
+#: runs to its full budget (the interval half-width is strictly positive).
+STRICT_PLAN = AdaptiveCampaignPlan(
+    target_half_width=1e-9, round_size=4, min_rounds=2, metric="sdc_rate"
+)
+
+
+def run_adaptive(spec, dataset, workers, plan, checkpoint=None, resume=False, strategy=STRATEGY):
+    runner = ParallelCampaignRunner(
+        spec, strategy, CONFIG, workers=workers, plan=plan,
+        checkpoint=checkpoint, resume=resume,
+    )
+    return runner.run(dataset.test_images, dataset.test_labels)
+
+
+class TestAdaptiveDeterminism:
+    def test_loose_target_stops_at_min_rounds(self, tiny_platform_spec, tiny_dataset):
+        result = run_adaptive(tiny_platform_spec, tiny_dataset, 1, LOOSE_PLAN)
+        info = result.adaptive
+        assert len(result.records) == LOOSE_PLAN.min_rounds * LOOSE_PLAN.round_size
+        assert info["rounds_completed"] == LOOSE_PLAN.min_rounds
+        assert info["stopped_early"] is True
+        assert info["budget"] == 16
+        assert info["final_half_width"] <= LOOSE_PLAN.target_half_width
+        json.dumps(info)  # JSON-compatible provenance
+
+    def test_workers_1_2_4_identical_records_and_stopping(
+        self, tiny_platform_spec, tiny_dataset
+    ):
+        results = {
+            workers: run_adaptive(tiny_platform_spec, tiny_dataset, workers, LOOSE_PLAN)
+            for workers in (1, 2, 4)
+        }
+        assert results[1].records == results[2].records == results[4].records
+        assert results[1].adaptive == results[2].adaptive == results[4].adaptive
+        assert (
+            results[1].baseline_accuracy
+            == results[2].baseline_accuracy
+            == results[4].baseline_accuracy
+        )
+
+    def test_strict_target_runs_to_budget_and_matches_fixed(
+        self, tiny_platform_spec, tiny_dataset
+    ):
+        adaptive = run_adaptive(tiny_platform_spec, tiny_dataset, 2, STRICT_PLAN)
+        fixed = ParallelCampaignRunner(
+            tiny_platform_spec, STRATEGY, CONFIG, workers=2
+        ).run(tiny_dataset.test_images, tiny_dataset.test_labels)
+        assert adaptive.adaptive["stopped_early"] is False
+        assert adaptive.adaptive["rounds_completed"] == 4
+        # The adaptive run that exhausts its budget evaluates exactly the
+        # fixed campaign's trials.
+        assert adaptive.records == fixed.records
+        assert fixed.adaptive is None
+
+    def test_max_trials_caps_budget(self, tiny_platform_spec, tiny_dataset):
+        capped = AdaptiveCampaignPlan(
+            target_half_width=1e-9, round_size=4, min_rounds=1,
+            metric="sdc_rate", max_trials=6,
+        )
+        result = run_adaptive(tiny_platform_spec, tiny_dataset, 2, capped)
+        assert result.adaptive["budget"] == 6
+        assert [r.trial_index for r in result.records] == list(range(6))
+
+    def test_serial_campaign_front_door_accepts_plan(
+        self, tiny_platform, tiny_dataset
+    ):
+        campaign = FaultInjectionCampaign(
+            tiny_platform, STRATEGY, CONFIG, plan=LOOSE_PLAN
+        )
+        serial = campaign.run(tiny_dataset.test_images, tiny_dataset.test_labels)
+        assert serial.adaptive is not None
+        assert len(serial.records) == 8
+
+
+class TestAdaptiveResume:
+    def _truncate_after(self, checkpoint, keep_records):
+        lines = checkpoint.read_text().splitlines()
+        header, records = lines[0], lines[1:]
+        kept = records[:keep_records]
+        torn = records[keep_records][: len(records[keep_records]) // 2]
+        checkpoint.write_text("\n".join([header, *kept, torn]))
+
+    def test_killed_then_resumed_matches_uninterrupted(
+        self, tiny_platform_spec, tiny_dataset, tmp_path
+    ):
+        uninterrupted = run_adaptive(tiny_platform_spec, tiny_dataset, 2, LOOSE_PLAN)
+
+        checkpoint = tmp_path / "adaptive.jsonl"
+        run_adaptive(tiny_platform_spec, tiny_dataset, 2, LOOSE_PLAN, checkpoint=checkpoint)
+        self._truncate_after(checkpoint, keep_records=3)
+
+        resumed = run_adaptive(
+            tiny_platform_spec, tiny_dataset, 2, LOOSE_PLAN,
+            checkpoint=checkpoint, resume=True,
+        )
+        assert resumed.records == uninterrupted.records
+        assert resumed.adaptive == uninterrupted.adaptive
+
+    def test_resume_of_finished_run_reevaluates_nothing(
+        self, tiny_platform, tiny_dataset, tmp_path, monkeypatch
+    ):
+        checkpoint = tmp_path / "finished.jsonl"
+        campaign = FaultInjectionCampaign(
+            tiny_platform, STRATEGY, CONFIG, checkpoint=checkpoint, plan=LOOSE_PLAN
+        )
+        full = campaign.run(tiny_dataset.test_images, tiny_dataset.test_labels)
+
+        def forbidden(*args, **kwargs):
+            raise AssertionError("accuracy_with_faults called during no-op resume")
+
+        monkeypatch.setattr(tiny_platform, "accuracy_with_faults", forbidden)
+        resumed = FaultInjectionCampaign(
+            tiny_platform, STRATEGY, CONFIG,
+            checkpoint=checkpoint, resume=True, plan=LOOSE_PLAN,
+        ).run(tiny_dataset.test_images, tiny_dataset.test_labels)
+        assert resumed.records == full.records
+        assert resumed.adaptive == full.adaptive
+
+    def test_parallel_resume_of_finished_run_spawns_no_workers(
+        self, tiny_platform_spec, tiny_dataset, tmp_path, monkeypatch
+    ):
+        checkpoint = tmp_path / "finished-parallel.jsonl"
+        full = run_adaptive(
+            tiny_platform_spec, tiny_dataset, 2, LOOSE_PLAN, checkpoint=checkpoint
+        )
+        import multiprocessing
+
+        def forbidden(*args, **kwargs):
+            raise AssertionError("worker processes spawned during no-op resume")
+
+        monkeypatch.setattr(multiprocessing.get_context("fork"), "Process", forbidden)
+        monkeypatch.setattr(multiprocessing.get_context("spawn"), "Process", forbidden)
+        resumed = run_adaptive(
+            tiny_platform_spec, tiny_dataset, 4, LOOSE_PLAN,
+            checkpoint=checkpoint, resume=True,
+        )
+        assert resumed.records == full.records
+
+    def test_resume_rejects_different_plan(
+        self, tiny_platform_spec, tiny_dataset, tmp_path
+    ):
+        checkpoint = tmp_path / "planned.jsonl"
+        run_adaptive(tiny_platform_spec, tiny_dataset, 1, LOOSE_PLAN, checkpoint=checkpoint)
+        other = AdaptiveCampaignPlan(target_half_width=5.0, round_size=4, min_rounds=2)
+        with pytest.raises(ValueError, match="different campaign"):
+            run_adaptive(
+                tiny_platform_spec, tiny_dataset, 1, other,
+                checkpoint=checkpoint, resume=True,
+            )
+
+    def test_fixed_checkpoint_cannot_resume_adaptively_and_vice_versa(
+        self, tiny_platform_spec, tiny_dataset, tmp_path
+    ):
+        fixed_ck = tmp_path / "fixed.jsonl"
+        ParallelCampaignRunner(
+            tiny_platform_spec, STRATEGY, CONFIG, workers=1, checkpoint=fixed_ck
+        ).run(tiny_dataset.test_images, tiny_dataset.test_labels)
+        with pytest.raises(ValueError, match="different campaign"):
+            run_adaptive(
+                tiny_platform_spec, tiny_dataset, 1, LOOSE_PLAN,
+                checkpoint=fixed_ck, resume=True,
+            )
+        adaptive_ck = tmp_path / "adaptive.jsonl"
+        run_adaptive(tiny_platform_spec, tiny_dataset, 1, LOOSE_PLAN, checkpoint=adaptive_ck)
+        with pytest.raises(ValueError, match="different campaign"):
+            ParallelCampaignRunner(
+                tiny_platform_spec, STRATEGY, CONFIG, workers=1,
+                checkpoint=adaptive_ck, resume=True,
+            ).run(tiny_dataset.test_images, tiny_dataset.test_labels)
+
+
+class TestAdaptiveProtocol:
+    def test_plan_requires_indexable_strategy(self, tiny_platform):
+        from repro.core.strategies import InjectionStrategy
+
+        class SequentialOnly(InjectionStrategy):
+            name = "sequential-only"
+
+            def trials(self, universe, rng):  # pragma: no cover - never run
+                return iter(())
+
+        with pytest.raises(TypeError, match="trial_at"):
+            ParallelCampaignRunner(
+                tiny_platform, SequentialOnly(), CONFIG, plan=LOOSE_PLAN
+            )
+
+
+class TestAdaptiveSweep:
+    def test_sweep_applies_plan_and_stays_deterministic(
+        self, tiny_platform_spec, tiny_dataset
+    ):
+        spec = ExperimentSpec.from_dict(
+            {
+                "images": 16,
+                "seed": 0,
+                "models": [{"name": "tiny"}],
+                "faults": [{"name": "const0", "kind": "const", "values": [0]}],
+                "strategies": [
+                    {"name": "random", "kind": "random", "counts": [1, 2], "trials": 4}
+                ],
+                "adaptive": {
+                    "target_half_width": 10.0,
+                    "round_size": 2,
+                    "min_rounds": 2,
+                },
+            }
+        )
+
+        def resolver(scenario):
+            return (
+                tiny_platform_spec,
+                tiny_dataset.test_images[:16],
+                tiny_dataset.test_labels[:16],
+            )
+
+        sweeps = {
+            workers: SweepRunner(spec.grid(), workers=workers, resolver=resolver).run()
+            for workers in (1, 2)
+        }
+        assert sweeps[1].merged_jsonl_text() == sweeps[2].merged_jsonl_text()
+        result = sweeps[1].scenario_results[0].result
+        assert result.adaptive is not None
+        assert len(result.records) == 4  # 2 rounds of 2 out of the 8-trial grid
+        assert result.adaptive["stopped_early"] is True
+
+
+class TestStratifiedSampling:
+    def test_trial_at_replays_iterator_and_is_order_independent(self):
+        universe = FaultUniverse()
+        strategy = StratifiedSampling.pilot(universe.num_macs, 2, values=(0, -1))
+        iterated = [t.config.describe() for t in strategy.trials(universe, SeededRNG(9))]
+        replayed = [
+            strategy.trial_at(universe, SeededRNG(9), i).config.describe()
+            for i in range(len(iterated))
+        ]
+        backward = [
+            strategy.trial_at(universe, SeededRNG(9), i).config.describe()
+            for i in reversed(range(len(iterated)))
+        ]
+        assert iterated == replayed == list(reversed(backward))
+        assert len(iterated) == 2 * 8 * 2  # values x strata x per-stratum
+
+    def test_sites_stay_inside_their_stratum(self):
+        universe = FaultUniverse()
+        strategy = StratifiedSampling(allocation=(3, 0, 1, 0, 0, 2, 0, 1))
+        rng = SeededRNG(4)
+        for index in range(strategy.expected_trials(universe)):
+            trial = strategy.trial_at(universe, rng, index)
+            assert trial.mac_unit == trial.metadata["stratum"]
+            (site,) = trial.config.sites
+            assert site.mac_unit == trial.metadata["stratum"]
+
+    def test_allocation_must_match_universe(self):
+        strategy = StratifiedSampling(allocation=(1, 1))
+        with pytest.raises(ValueError, match="8 MAC units"):
+            strategy.expected_trials(FaultUniverse())
+        with pytest.raises(ValueError, match="empty stratum allocation"):
+            StratifiedSampling().expected_trials(FaultUniverse())
+
+    def test_pilot_then_neyman_campaign_end_to_end(
+        self, tiny_platform_spec, tiny_dataset
+    ):
+        universe = tiny_platform_spec.universe()
+        pilot_strategy = StratifiedSampling.pilot(universe.num_macs, 2)
+        pilot = run_adaptive(
+            tiny_platform_spec, tiny_dataset, 1, plan=None, strategy=pilot_strategy
+        )
+        allocation = neyman_allocation(
+            pilot, total_trials=16, num_strata=universe.num_macs
+        )
+        assert sum(allocation) == 16
+        main = StratifiedSampling(allocation=allocation, name="stratified-main")
+        serial = run_adaptive(
+            tiny_platform_spec, tiny_dataset, 1, plan=None, strategy=main
+        )
+        parallel = run_adaptive(
+            tiny_platform_spec, tiny_dataset, 2, plan=None, strategy=main
+        )
+        assert serial.records == parallel.records
+        per_stratum = [0] * universe.num_macs
+        for record in serial.records:
+            per_stratum[record.metadata["stratum"]] += 1
+        assert tuple(per_stratum) == allocation
+
+        from repro.core.analysis import stratum_sensitivity
+
+        ranking = stratum_sensitivity(serial)
+        assert {entry["stratum"] for entry in ranking} == set(range(universe.num_macs))
+        means = [entry["mean_drop"] for entry in ranking]
+        assert means == sorted(means, reverse=True)

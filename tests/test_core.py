@@ -209,6 +209,68 @@ class TestAnalysis:
         assert monotonicity_score(series) == 0.0
 
 
+class TestAnalysisEdgeCases:
+    """Empty / degenerate inputs must degrade cleanly, never crash bare."""
+
+    def test_scenario_boxplots_empty_sweep(self):
+        from repro.core.analysis import scenario_boxplots
+
+        assert scenario_boxplots({}) == {}
+
+    def test_scenario_boxplots_single_scenario(self):
+        from repro.core.analysis import scenario_boxplots
+
+        result = CampaignResult(baseline_accuracy=0.9, strategy="solo")
+        result.add(TrialRecord(0, "a", 2, accuracy=0.8, accuracy_drop=0.1))
+        series = scenario_boxplots({"m/f/s/p": result})
+        assert list(series) == ["m/f/s/p"]
+        assert series["m/f/s/p"].positions() == [2]
+        assert series["m/f/s/p"].boxes[2].count == 1
+
+    def test_scenario_boxplots_scenario_with_no_records(self):
+        from repro.core.analysis import scenario_boxplots
+
+        series = scenario_boxplots({"empty": CampaignResult(baseline_accuracy=0.9)})
+        assert series["empty"].boxes == {}
+        assert series["empty"].positions() == []
+
+    def test_summarize_by_group_empty_result(self):
+        assert summarize_by_group(CampaignResult(baseline_accuracy=0.9)) == {}
+
+    def test_summarize_by_group_single_record_per_group(self):
+        result = CampaignResult(baseline_accuracy=0.9)
+        result.add(TrialRecord(0, "a", 1, accuracy=0.8, accuracy_drop=0.1))
+        result.add(TrialRecord(1, "b", 2, accuracy=0.7, accuracy_drop=0.2))
+        summary = summarize_by_group(result, group_by="num_faults")
+        assert set(summary) == {1, 2}
+        for group, box in summary.items():
+            assert box.count == 1
+            assert box.minimum == box.median == box.maximum
+
+    def test_worst_record_error_carries_strategy_context(self):
+        with pytest.raises(ValueError, match="'fig2-random'.*no trial records"):
+            CampaignResult(baseline_accuracy=0.9, strategy="fig2-random").worst_record()
+
+    def test_most_sensitive_site_error_carries_filter_context(self):
+        result = CampaignResult(baseline_accuracy=1.0, strategy="heat")
+        result.add(TrialRecord(0, "a", 1, accuracy=0.9, accuracy_drop=0.1,
+                               injected_value=0, mac_unit=0, multiplier=0))
+        # Records exist, but the value filter matches none of them: the
+        # error must say which filter emptied the candidate set.
+        with pytest.raises(ValueError, match="injected_value=1") as excinfo:
+            most_sensitive_site(result, injected_value=1)
+        assert "1 record(s)" in str(excinfo.value)
+        with pytest.raises(ValueError, match="0 record"):
+            most_sensitive_site(CampaignResult(baseline_accuracy=1.0))
+
+    def test_stratum_sensitivity_without_labels_is_empty(self):
+        from repro.core.analysis import stratum_sensitivity
+
+        result = CampaignResult(baseline_accuracy=0.9)
+        result.add(TrialRecord(0, "a", 1, accuracy=0.8, accuracy_drop=0.1))
+        assert stratum_sensitivity(result) == []
+
+
 class TestCampaign:
     def test_small_campaign_end_to_end(self, tiny_platform, tiny_dataset):
         strategy = RandomMultipliers(values=(0,), fault_counts=(1, 4), trials_per_point=2)

@@ -1,0 +1,236 @@
+"""Tests for the reliability-report subsystem (`repro.report`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.results import CampaignResult, TrialRecord
+from repro.core.stats import OutcomeThresholds
+from repro.report import build_report, load_results, render_html
+from repro.report.html import boxplot_svg
+
+
+def make_campaign(strategy, drops, *, seed=0, strata=False, counts=None):
+    result = CampaignResult(
+        baseline_accuracy=0.8, strategy=strategy, num_images=32, seed=seed
+    )
+    for index, drop in enumerate(drops):
+        metadata = {"stratum": index % 4} if strata else {}
+        result.add(
+            TrialRecord(
+                trial_index=index,
+                description=f"<site {index}> & co",
+                num_faults=counts[index] if counts else 1 + index % 3,
+                accuracy=0.8 - drop,
+                accuracy_drop=drop,
+                injected_value=0,
+                mac_unit=index % 4 if strata else None,
+                metadata=metadata,
+            )
+        )
+    return result
+
+
+DROPS = [0.0, 0.005, 0.02, 0.05, 0.3, 0.0, 0.12, 0.01]
+
+
+@pytest.fixture
+def sweep_artifact(tmp_path):
+    sweep = {
+        "scenarios": [
+            {
+                "scenario": "m/const0/random/8x8",
+                "result": make_campaign("random", DROPS).to_dict(),
+            },
+            {
+                "scenario": "m/const0/strat/8x8",
+                "result": make_campaign("stratified", DROPS, seed=1, strata=True).to_dict(),
+            },
+        ]
+    }
+    path = tmp_path / "sweep.json"
+    path.write_text(json.dumps(sweep))
+    return path
+
+
+class TestLoadResults:
+    def test_loads_sweep_and_campaign(self, sweep_artifact, tmp_path):
+        kind, results = load_results(sweep_artifact)
+        assert kind == "sweep"
+        assert sorted(results) == ["m/const0/random/8x8", "m/const0/strat/8x8"]
+
+        campaign_path = tmp_path / "campaign.json"
+        campaign_path.write_text(make_campaign("random", DROPS).to_json())
+        kind, results = load_results(campaign_path)
+        assert kind == "campaign"
+        assert list(results) == ["random"]
+        assert len(results["random"].records) == len(DROPS)
+
+    def test_rejects_other_shapes(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"something": 1}))
+        with pytest.raises(ValueError, match="neither a sweep artifact"):
+            load_results(bad)
+        bad.write_text("[1, 2]")
+        with pytest.raises(ValueError, match="JSON list, not an object"):
+            load_results(bad)
+        bad.write_text('{"kind": "header"}\n{"kind": "record"}\n')
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_results(bad)
+
+
+class TestBuildReport:
+    def test_report_shape_and_aggregation(self, sweep_artifact):
+        kind, results = load_results(sweep_artifact)
+        report = build_report(results, kind=kind, source=str(sweep_artifact))
+        assert report["version"] == 1
+        assert report["num_scenarios"] == 2
+        assert [s["scenario"] for s in report["scenarios"]] == sorted(results)
+        reliability = report["reliability"]
+        assert reliability["total_trials"] == 16
+        # Per-scenario outcome counts add up to the dashboard totals.
+        summed = {}
+        for scenario in report["scenarios"]:
+            for outcome, count in scenario["summary"]["outcomes"].items():
+                summed[outcome] = summed.get(outcome, 0) + count
+        assert summed == reliability["outcomes"]
+        assert reliability["sdc_rate_ci"]["method"] == "wilson"
+        assert reliability["most_fragile_scenario"] in results
+        json.dumps(report)  # fully JSON-compatible
+
+    def test_report_is_deterministic(self, sweep_artifact):
+        kind, results = load_results(sweep_artifact)
+        a = json.dumps(build_report(results, kind=kind), sort_keys=True)
+        b = json.dumps(build_report(results, kind=kind), sort_keys=True)
+        assert a == b
+
+    def test_strata_ranking_present_only_when_recorded(self, sweep_artifact):
+        kind, results = load_results(sweep_artifact)
+        report = build_report(results, kind=kind)
+        by_id = {s["scenario"]: s for s in report["scenarios"]}
+        assert by_id["m/const0/strat/8x8"]["strata"]
+        # mac_unit was set on stratified records only.
+        assert by_id["m/const0/random/8x8"]["strata"] == []
+
+    def test_custom_thresholds_change_outcomes(self, sweep_artifact):
+        kind, results = load_results(sweep_artifact)
+        strict = build_report(
+            results, kind=kind,
+            thresholds=OutcomeThresholds(tolerable_drop=0.001, critical_drop=0.01),
+        )
+        default = build_report(results, kind=kind)
+        assert (
+            strict["reliability"]["outcomes"]["critical"]
+            > default["reliability"]["outcomes"]["critical"]
+        )
+
+    def test_empty_campaign_report(self):
+        report = build_report(
+            {"empty": CampaignResult(baseline_accuracy=0.8, strategy="empty")},
+            kind="campaign",
+        )
+        assert report["reliability"]["total_trials"] == 0
+        assert report["reliability"]["sdc_rate_ci"] is None
+        assert "most_fragile_scenario" not in report["reliability"]
+        html = render_html(report)
+        assert "no trials" in html
+
+    def test_adaptive_savings_rollup(self):
+        campaign = make_campaign("adaptive", DROPS)
+        campaign.adaptive = {
+            "plan": {"target_half_width": 0.05},
+            "budget": 32,
+            "rounds_completed": 2,
+            "trials_evaluated": 8,
+            "stopped_early": True,
+            "final_half_width": 0.04,
+            "final_interval": None,
+        }
+        report = build_report({"a": campaign}, kind="campaign")
+        reliability = report["reliability"]
+        assert reliability["adaptive_trials_evaluated"] == 8
+        assert reliability["adaptive_trial_budget"] == 32
+        assert reliability["adaptive_savings"] == pytest.approx(0.75)
+        assert "adaptive savings" in render_html(report)
+
+
+class TestRenderHtml:
+    def test_contains_scenarios_svg_and_escapes(self, sweep_artifact):
+        kind, results = load_results(sweep_artifact)
+        report = build_report(results, kind=kind, source="<sweep> & co.json")
+        html = render_html(report)
+        assert html.startswith("<!DOCTYPE html>")
+        assert "m/const0/random/8x8" in html
+        assert "<svg" in html and "</svg>" in html
+        assert "Per-stratum sensitivity" in html
+        # Source strings are escaped, never raw.
+        assert "<sweep>" not in html
+        assert "&lt;sweep&gt;" in html
+        assert html == render_html(report)  # byte-deterministic
+
+    def test_boxplot_svg_edge_cases(self):
+        assert "no grouped trials" in boxplot_svg({})
+        box = {
+            "minimum": 0.0, "q1": 0.0, "median": 0.0, "q3": 0.0,
+            "maximum": 0.0, "mean": 0.0, "count": 1,
+        }
+        svg = boxplot_svg({"1": box})  # all-zero degenerate box still renders
+        assert svg.startswith("<svg") and svg.endswith("</svg>")
+        # numeric labels sort numerically, not lexically
+        boxes = {str(k): dict(box, mean=k / 10) for k in (1, 2, 10)}
+        svg = boxplot_svg(boxes)
+        assert svg.index(">1<") < svg.index(">2<") < svg.index(">10<")
+
+
+class TestReportCli:
+    def test_cli_end_to_end_sweep(self, sweep_artifact, tmp_path, capsys):
+        html_path = tmp_path / "report.html"
+        json_path = tmp_path / "report.json"
+        rc = main([
+            "report", "--input", str(sweep_artifact),
+            "--html", str(html_path), "--json", str(json_path),
+        ])
+        assert rc == 0
+        assert html_path.read_text().startswith("<!DOCTYPE html>")
+        payload = json.loads(json_path.read_text())
+        assert payload["num_scenarios"] == 2
+        out = capsys.readouterr().out
+        assert "SDC rate" in out and str(html_path) in out
+
+    def test_cli_accepts_zero_tolerable_drop(self, tmp_path):
+        """--tolerable-drop 0: every measurable degradation counts as SDC;
+        the hidden masked_epsilon is clamped instead of rejecting the run."""
+        campaign_path = tmp_path / "campaign.json"
+        campaign_path.write_text(make_campaign("random", DROPS).to_json())
+        json_path = tmp_path / "z.json"
+        rc = main([
+            "report", "--input", str(campaign_path),
+            "--html", str(tmp_path / "z.html"), "--json", str(json_path),
+            "--tolerable-drop", "0",
+        ])
+        assert rc == 0
+        payload = json.loads(json_path.read_text())
+        outcomes = payload["reliability"]["outcomes"]
+        # Exactly the zero-drop trials stay masked; everything else is
+        # SDC or critical, nothing is merely tolerable.
+        assert outcomes["masked"] == sum(1 for d in DROPS if d <= 0)
+        assert outcomes["tolerable"] == 0
+
+    def test_cli_campaign_input_with_thresholds(self, tmp_path):
+        campaign_path = tmp_path / "campaign.json"
+        campaign_path.write_text(make_campaign("random", DROPS).to_json())
+        html_path = tmp_path / "c.html"
+        json_path = tmp_path / "c.json"
+        rc = main([
+            "report", "--input", str(campaign_path),
+            "--html", str(html_path), "--json", str(json_path),
+            "--confidence", "0.9", "--tolerable-drop", "0.02",
+            "--critical-drop", "0.1",
+        ])
+        assert rc == 0
+        payload = json.loads(json_path.read_text())
+        assert payload["confidence"] == 0.9
+        assert payload["thresholds"]["tolerable_drop"] == 0.02
