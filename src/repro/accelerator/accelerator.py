@@ -14,11 +14,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.accelerator.csb import ConfigSpaceBus
-from repro.accelerator.engine import CleanAccumulatorCache, VectorisedEngine
+from repro.accelerator.engine import CleanAccumulatorCache, VectorisedEngine, config_fusable
 from repro.accelerator.geometry import ArrayGeometry, PAPER_GEOMETRY
 from repro.accelerator.pdp import PDP
 from repro.accelerator.reference import ScalarReferenceEngine
 from repro.accelerator.sdp import SDP
+from repro.accelerator.tape import CleanForwardTape, arrays_match
 from repro.accelerator.timing import TimingModel, TimingReport
 from repro.compiler.loadable import Loadable
 from repro.compiler.ops import ConvOp, EltwiseAddOp, FullyConnectedOp, GlobalAvgPoolOp, PoolOp
@@ -26,6 +27,7 @@ from repro.faults.injector import InjectionConfig
 from repro.faults.registers import FaultInjectionRegisterFile
 from repro.faults.sites import FaultUniverse
 from repro.quant.qlayers import QAdd, QConv, QGlobalAvgPool, QLinear, QMaxPool
+from repro.utils.profiling import PROFILER
 
 
 class NVDLAAccelerator:
@@ -46,6 +48,12 @@ class NVDLAAccelerator:
         configurations reuse each layer's im2col buffer and clean GEMM and
         pay only the correction-term cost; results are bit-identical either
         way.  Ignored by the scalar reference engine.
+    tape_bytes:
+        Byte budget of the clean-activation tape (0 disables it).  The tape
+        records the whole clean forward per batch chunk during the baseline
+        pass; trials then re-execute only the network suffix that diverges
+        from the clean run (see :mod:`repro.accelerator.tape`).  Ignored by
+        the scalar reference engine.
     """
 
     def __init__(
@@ -54,12 +62,14 @@ class NVDLAAccelerator:
         engine: str = "vectorised",
         seed: int = 0,
         cache_entries: int = 0,
+        tape_bytes: int = 0,
     ):
         self.geometry = geometry
         rng = np.random.default_rng(seed)
         if engine == "vectorised":
             cache = CleanAccumulatorCache(cache_entries) if cache_entries > 0 else None
-            self.engine = VectorisedEngine(geometry, rng=rng, clean_cache=cache)
+            tape = CleanForwardTape(tape_bytes) if tape_bytes > 0 else None
+            self.engine = VectorisedEngine(geometry, rng=rng, clean_cache=cache, tape=tape)
         elif engine == "scalar":
             self.engine = ScalarReferenceEngine(geometry, rng=rng)
         else:
@@ -108,20 +118,79 @@ class NVDLAAccelerator:
         """The engine's clean-accumulator cache, if one is armed."""
         return getattr(self.engine, "clean_cache", None)
 
+    @property
+    def tape(self) -> CleanForwardTape | None:
+        """The engine's clean-activation tape, if one is armed."""
+        return getattr(self.engine, "tape", None)
+
     def reset_caches(self) -> None:
         """Drop cached clean accumulators (e.g. between unrelated campaigns)."""
         cache = self.clean_cache
         if cache is not None:
             cache.clear()
+        tape = self.tape
+        if tape is not None:
+            tape.clear()
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def _program_op(self, op, node) -> None:
+        """Program one operation over the CSB (shared by both execute paths)."""
+        if isinstance(op, ConvOp):
+            self.csb.program_operation(
+                op.name,
+                {
+                    "D_DATAIN_CHANNEL": node.in_channels,
+                    "D_DATAOUT_CHANNEL": node.out_channels,
+                    "D_KERNEL_SIZE": node.kernel_size,
+                    "D_STRIDE": node.stride,
+                    "D_PAD": node.padding,
+                },
+            )
+        elif isinstance(op, FullyConnectedOp):
+            self.csb.program_operation(
+                op.name,
+                {"D_IN_FEATURES": node.in_features, "D_OUT_FEATURES": node.out_features},
+            )
+        elif isinstance(op, PoolOp):
+            self.csb.program_operation(
+                op.name, {"D_POOL_KERNEL": op.kernel, "D_POOL_STRIDE": op.stride}
+            )
+        elif isinstance(op, GlobalAvgPoolOp):
+            self.csb.program_operation(op.name, {"D_POOL_SPATIAL": op.spatial_size})
+        elif isinstance(op, EltwiseAddOp):
+            self.csb.program_operation(op.name, {"D_EW_RELU": int(op.relu)})
+        else:
+            raise TypeError(f"cannot execute op type {type(op).__name__}")
+        self.csb.ring_doorbell()
+
+    def _tape_context(self, qinput: np.ndarray, chunk_key: tuple | None):
+        """``(segment, recording, qinput)`` for one chunk execution.
+
+        During the fault-free baseline pass a fresh segment is recorded;
+        during trials the verified segment of the chunk (or ``None``) is
+        replayed.  On a replay hit the *taped* quantised input is handed
+        back so downstream clean-prefix checks succeed by pointer identity.
+        """
+        tape = self.tape
+        if tape is None or chunk_key is None:
+            return None, False, qinput
+        if tape.recording:
+            if self._injection.enabled:
+                return None, False, qinput
+            return tape.begin_segment(chunk_key, qinput), True, qinput
+        segment = tape.segment_for(chunk_key, qinput)
+        if segment is not None:
+            qinput = segment.qinput
+        return segment, False, qinput
+
     def execute(
         self,
         loadable: Loadable,
         images: np.ndarray,
         return_activations: bool = False,
+        chunk_key: tuple | None = None,
     ):
         """Run inference on a batch of float images.
 
@@ -130,69 +199,273 @@ class NVDLAAccelerator:
         execution plan is programmed and executed in order, and the raw
         int32/int64 logits of the final layer are returned (shape
         ``(N, num_classes)``).
+
+        ``chunk_key`` identifies the batch's position in an evaluation loop
+        (``(start, length)``) and arms the clean-activation tape: the
+        fault-free baseline pass records the clean forward of each chunk,
+        and subsequent trial passes re-execute only the suffix of the
+        network that diverges from it — an op whose inputs are still the
+        taped clean activations is skipped (conv/FC ops skip their GEMM and
+        pay only the fault-correction term), and an op whose output comes
+        out byte-identical to the clean output hands the taped object
+        downstream.  Values are only ever substituted under byte equality,
+        so the logits are bit-identical to a full execution.
         """
         model = loadable.model
-        qinput = model.input_node
-        activations: dict[str, np.ndarray] = {qinput.name: qinput.quantize(images)}
+        input_node = model.input_node
+        qinput = input_node.quantize(images)
+        segment, recording, qinput = self._tape_context(qinput, chunk_key)
+        replaying = segment is not None and not recording
+        activations: dict[str, np.ndarray] = {input_node.name: qinput}
         self.csb.reset()
+        # The delta trial engine (tape armed) routes post-processing through
+        # the in-place SDP variants; tape-less platforms keep the reference
+        # chain so the PR 2 execution path stays reproducible for
+        # differential tests and benchmarks.
+        fast = self.tape is not None
+        conv_post = self.sdp.conv_post_owned if fast else self.sdp.conv_post
+        if fast:
+            self.engine.tape_segment = segment
+            self.engine.tape_chunk_active = chunk_key is not None
 
-        for op in loadable.ops:
-            node = model.node(op.name)
-            inputs = [activations[src] for src in op.inputs]
+        try:
+            for op in loadable.ops:
+                node = model.node(op.name)
+                inputs = [activations[src] for src in op.inputs]
+                self._program_op(op, node)
+                entry = segment.entry(op.name) if replaying else None
+                is_gemm_op = isinstance(op, (ConvOp, FullyConnectedOp))
 
-            if isinstance(op, ConvOp):
-                assert isinstance(node, QConv)
-                self.csb.program_operation(
-                    op.name,
-                    {
-                        "D_DATAIN_CHANNEL": node.in_channels,
-                        "D_DATAOUT_CHANNEL": node.out_channels,
-                        "D_KERNEL_SIZE": node.kernel_size,
-                        "D_STRIDE": node.stride,
-                        "D_PAD": node.padding,
-                    },
-                )
-                self.csb.ring_doorbell()
-                acc = self.engine.conv_accumulate(inputs[0], node, self._injection)
-                activations[op.name] = self.sdp.conv_post(acc, node, channel_axis=1)
+                if entry is not None and not is_gemm_op:
+                    # Non-GEMM ops carry no fault site: clean inputs imply
+                    # the clean output.  Taped outputs propagate as the same
+                    # objects, so identity is the complete check here.
+                    if all(x is ref for x, ref in zip(inputs, entry.inputs)):
+                        activations[op.name] = entry.output
+                        continue
 
-            elif isinstance(op, FullyConnectedOp):
-                assert isinstance(node, QLinear)
-                self.csb.program_operation(
-                    op.name,
-                    {"D_IN_FEATURES": node.in_features, "D_OUT_FEATURES": node.out_features},
-                )
-                self.csb.ring_doorbell()
-                acc = self.engine.linear_accumulate(inputs[0], node, self._injection)
-                activations[op.name] = self.sdp.conv_post(acc, node, channel_axis=1)
+                if isinstance(op, ConvOp):
+                    assert isinstance(node, QConv)
+                    acc = self.engine.conv_accumulate(inputs[0], node, self._injection)
+                    start = PROFILER.tick()
+                    out = conv_post(acc, node, channel_axis=1)
+                    PROFILER.tock("requant", start)
+                elif isinstance(op, FullyConnectedOp):
+                    assert isinstance(node, QLinear)
+                    acc = self.engine.linear_accumulate(inputs[0], node, self._injection)
+                    start = PROFILER.tick()
+                    out = conv_post(acc, node, channel_axis=1)
+                    PROFILER.tock("requant", start)
+                elif isinstance(op, PoolOp):
+                    assert isinstance(node, QMaxPool)
+                    out = self.pdp.max_pool(inputs[0], node)
+                elif isinstance(op, GlobalAvgPoolOp):
+                    assert isinstance(node, QGlobalAvgPool)
+                    out = (
+                        self.sdp.global_average_owned(inputs[0], node)
+                        if fast
+                        else self.sdp.global_average(inputs[0], node)
+                    )
+                else:
+                    assert isinstance(node, QAdd)
+                    out = (
+                        self.sdp.elementwise_add_owned(inputs[0], inputs[1], node)
+                        if fast
+                        else self.sdp.elementwise_add(inputs[0], inputs[1], node)
+                    )
 
-            elif isinstance(op, PoolOp):
-                assert isinstance(node, QMaxPool)
-                self.csb.program_operation(
-                    op.name, {"D_POOL_KERNEL": op.kernel, "D_POOL_STRIDE": op.stride}
-                )
-                self.csb.ring_doorbell()
-                activations[op.name] = self.pdp.max_pool(inputs[0], node)
-
-            elif isinstance(op, GlobalAvgPoolOp):
-                assert isinstance(node, QGlobalAvgPool)
-                self.csb.program_operation(op.name, {"D_POOL_SPATIAL": op.spatial_size})
-                self.csb.ring_doorbell()
-                activations[op.name] = self.sdp.global_average(inputs[0], node)
-
-            elif isinstance(op, EltwiseAddOp):
-                assert isinstance(node, QAdd)
-                self.csb.program_operation(op.name, {"D_EW_RELU": int(op.relu)})
-                self.csb.ring_doorbell()
-                activations[op.name] = self.sdp.elementwise_add(inputs[0], inputs[1], node)
-
-            else:
-                raise TypeError(f"cannot execute op type {type(op).__name__}")
+                if recording:
+                    segment.record(op.name, tuple(inputs), out)
+                elif entry is not None and arrays_match(out, entry.output):
+                    # Masked fault: the trial re-converged onto the clean
+                    # forward — hand the taped object downstream so the rest
+                    # of the network is skipped by identity.
+                    out = entry.output
+                activations[op.name] = out
+        finally:
+            if fast:
+                self.engine.tape_segment = None
+                self.engine.tape_chunk_active = False
+        if recording:
+            self.tape.commit_segment(segment)
 
         logits = activations[model.output_name]
         if return_activations:
             return logits, activations
         return logits
+
+    @staticmethod
+    def _to_stack(state: tuple[str, np.ndarray], groups: int) -> np.ndarray:
+        """Materialise a per-trial stack from a clean/stacked activation state."""
+        kind, array = state
+        if kind == "stack":
+            return array
+        reps = (groups,) + (1,) * (array.ndim - 1)
+        return np.tile(array, reps)
+
+    def execute_fused(
+        self,
+        loadable: Loadable,
+        images: np.ndarray,
+        configs: list[InjectionConfig],
+        chunk_key: tuple | None = None,
+    ) -> np.ndarray:
+        """Run ``len(configs)`` fault trials over one batch in a single pass.
+
+        The trials share the clean input batch, so their forward passes are
+        identical until the first diverging layer.  Per-op activations are
+        tracked as either *clean* (one shared array — all trials still equal
+        the fault-free forward) or a *stack* of per-trial arrays
+        ``(G*N, ...)``:
+
+        * a conv/FC op on a clean input evaluates the clean GEMM once (from
+          the tape when available) and applies each trial's correction term
+          to its slice of the stacked accumulator;
+        * a conv/FC op on diverged inputs runs **one** stacked im2col + GEMM
+          for the whole group instead of G per-trial passes — the per-trial
+          Python and BLAS dispatch overhead is paid once;
+        * non-GEMM ops on clean inputs are skipped outright; on stacks they
+          execute once over the whole stack (requant, pooling and additions
+          are per-sample, so slices equal the per-trial results bit for
+          bit);
+        * when every trial's output of an op equals the taped clean output,
+          the state collapses back to clean and the suffix is skipped again.
+
+        Returns the stacked logits ``(G*N, num_classes)`` where slice ``g``
+        is bit-identical to ``execute`` with ``configs[g]`` armed.
+
+        Requires the vectorised engine, no injection armed on the
+        accelerator itself, and only fusable fault models (see
+        :func:`~repro.accelerator.engine.config_fusable`).
+        """
+        if self.engine_name != "vectorised":
+            raise NotImplementedError("fused multi-trial execution needs the vectorised engine")
+        if self._injection.enabled:
+            raise RuntimeError(
+                "fused execution evaluates explicit per-trial configurations; "
+                "disarm the accelerator-level injection first"
+            )
+        if not configs:
+            raise ValueError("execute_fused needs at least one configuration")
+        unfusable = [c.describe() for c in configs if not config_fusable(c)]
+        if unfusable:
+            raise ValueError(
+                f"configuration(s) {unfusable} arm RNG-dependent fault models "
+                "and cannot be fused; evaluate them one at a time"
+            )
+
+        groups = len(configs)
+        per_trial = len(images)
+        model = loadable.model
+        input_node = model.input_node
+        qinput = input_node.quantize(images)
+        segment, _, qinput = self._tape_context(qinput, chunk_key)
+        if self.tape is not None and self.tape.recording:
+            segment = None  # never record from a faulty pass
+
+        states: dict[str, tuple[str, np.ndarray]] = {input_node.name: ("clean", qinput)}
+        self.csb.reset()
+        if self.tape is not None:
+            # Chunk-keyed fused runs must not hash one-shot activations into
+            # the digest cache when the chunk's segment is missing.
+            self.engine.tape_chunk_active = chunk_key is not None
+
+        try:
+            return self._execute_fused_ops(
+                loadable, segment, states, configs, per_trial
+            )
+        finally:
+            if self.tape is not None:
+                self.engine.tape_chunk_active = False
+
+    def _execute_fused_ops(
+        self, loadable, segment, states, configs, per_trial
+    ) -> np.ndarray:
+        groups = len(configs)
+        model = loadable.model
+        for op in loadable.ops:
+            node = model.node(op.name)
+            in_states = [states[src] for src in op.inputs]
+            all_clean = all(kind == "clean" for kind, _ in in_states)
+            entry = segment.entry(op.name) if segment is not None else None
+            self._program_op(op, node)
+
+            if isinstance(op, (ConvOp, FullyConnectedOp)):
+                fused = (
+                    self.engine.conv_accumulate_fused
+                    if isinstance(op, ConvOp)
+                    else self.engine.linear_accumulate_fused
+                )
+                if all_clean:
+                    x_clean = in_states[0][1]
+                    if (
+                        entry is not None
+                        and entry.acc is not None
+                        and arrays_match(x_clean, entry.inputs[0])
+                    ):
+                        acc_stack = fused(node, configs, per_trial, clean_entry=entry)
+                    else:
+                        acc_stack = fused(node, configs, per_trial, x_clean=x_clean)
+                else:
+                    x_stack = self._to_stack(in_states[0], groups)
+                    acc_stack = fused(node, configs, per_trial, x_stack=x_stack)
+                start = PROFILER.tick()
+                out = self.sdp.conv_post_owned(acc_stack, node, channel_axis=1)
+                PROFILER.tock("requant", start)
+                states[op.name] = self._collapsed(out, entry, groups, per_trial)
+                continue
+
+            if all_clean:
+                # No fault site lives in pooling/addition: clean inputs give
+                # the clean output, computed once (or taken from the tape).
+                inputs = [arr for _, arr in in_states]
+                if entry is not None and all(
+                    arrays_match(x, ref) for x, ref in zip(inputs, entry.inputs)
+                ):
+                    states[op.name] = ("clean", entry.output)
+                    continue
+                out = self._run_simple_op(op, node, inputs)
+                states[op.name] = ("clean", out)
+                continue
+
+            stacked = [self._to_stack(state, groups) for state in in_states]
+            out = self._run_simple_op(op, node, stacked)
+            states[op.name] = self._collapsed(out, entry, groups, per_trial)
+
+        kind, logits = states[model.output_name]
+        if kind == "clean":
+            logits = self._to_stack((kind, logits), groups)
+        return logits
+
+    def _run_simple_op(self, op, node, inputs: list[np.ndarray]) -> np.ndarray:
+        """Execute one non-GEMM op on the given activations (owned SDP chain)."""
+        if isinstance(op, PoolOp):
+            assert isinstance(node, QMaxPool)
+            return self.pdp.max_pool(inputs[0], node)
+        if isinstance(op, GlobalAvgPoolOp):
+            assert isinstance(node, QGlobalAvgPool)
+            return self.sdp.global_average_owned(inputs[0], node)
+        assert isinstance(node, QAdd)
+        return self.sdp.elementwise_add_owned(inputs[0], inputs[1], node)
+
+    @staticmethod
+    def _collapsed(
+        stack: np.ndarray, entry, groups: int, per_trial: int
+    ) -> tuple[str, np.ndarray]:
+        """Collapse a trial stack back to the clean state when possible.
+
+        Every trial slice must be byte-identical to the taped clean output
+        (all faults masked so far); the comparison bails out on the first
+        diverging trial, so the common (diverged) case costs one slice
+        compare.
+        """
+        if entry is None or entry.output.shape[0] != per_trial:
+            return ("stack", stack)
+        reference = entry.output
+        for g in range(groups):
+            if not np.array_equal(stack[g * per_trial:(g + 1) * per_trial], reference):
+                return ("stack", stack)
+        return ("clean", reference)
 
     def classify(self, loadable: Loadable, images: np.ndarray) -> np.ndarray:
         """Return predicted class indices for a batch of float images."""

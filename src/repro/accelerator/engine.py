@@ -56,6 +56,7 @@ from collections import OrderedDict
 import numpy as np
 
 from repro.accelerator.geometry import ArrayGeometry, PAPER_GEOMETRY
+from repro.accelerator.tape import CleanForwardTape, TapeOpEntry, TapeSegment, arrays_match
 from repro.faults.injector import InjectionConfig
 from repro.faults.models import FaultModel
 from repro.faults.sites import FaultSite
@@ -63,6 +64,20 @@ from repro.nn.functional import conv_output_size, im2col
 from repro.quant.qlayers import QConv, QLinear
 from repro.runtime.gemm import exact_matmul
 from repro.utils.bitops import ACCUMULATOR_WIDTH, saturate
+from repro.utils.profiling import PROFILER
+
+
+def config_fusable(config: InjectionConfig) -> bool:
+    """True when a configuration can join a fused multi-trial evaluation.
+
+    Fused evaluation computes several trials' correction terms inside one
+    engine pass, so every armed model must be a pure function of its inputs
+    (and, for cycle-dependent models, of the schedule's cycle indices).
+    Models that consume the engine's RNG stream (``rng_free = False``, e.g.
+    :class:`~repro.faults.models.TransientPulse`) would observe a different
+    draw order under fusion; such trials are evaluated one at a time.
+    """
+    return all(getattr(model, "rng_free", False) for model in config.faults.values())
 
 
 class CleanAccumulatorCache:
@@ -188,32 +203,93 @@ class VectorisedEngine:
         geometry: ArrayGeometry = PAPER_GEOMETRY,
         rng: np.random.Generator | None = None,
         clean_cache: CleanAccumulatorCache | None = None,
+        tape: CleanForwardTape | None = None,
     ):
         self.geometry = geometry
         self.rng = rng or np.random.default_rng(0)
         #: Optional clean-accumulator reuse across fault trials (off for a
         #: bare engine; campaigns enable it through the platform config).
         self.clean_cache = clean_cache
+        #: Optional clean-activation tape (the delta-propagation engine's
+        #: generalisation of the cache); owned by the accelerator.
+        self.tape = tape
+        #: The tape segment of the batch chunk currently executing, set by
+        #: the accelerator around each chunk.
+        self.tape_segment: TapeSegment | None = None
+        #: True while a chunk-keyed execution is in flight on a tape-armed
+        #: platform.  A missing segment then means "tape evicted/unverified
+        #: for this chunk" — the layer recomputes directly instead of
+        #: falling through to the digest cache, which would SHA-1-hash and
+        #: insert one-shot faulty activations on every trial.  Chunk-less
+        #: (ad-hoc) executions leave this False and keep using the cache.
+        self.tape_chunk_active: bool = False
 
     # ------------------------------------------------------------------
     # Clean GEMM (shared by conv and FC)
     # ------------------------------------------------------------------
     def _clean_accumulate(
         self, name: str, x_q: np.ndarray, w_mat: np.ndarray, make_cols
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Return ``(cols, clean acc)``, via the cache when one is armed."""
+    ) -> tuple[np.ndarray, np.ndarray, bool]:
+        """Return ``(cols, clean acc, acc owned)``, via the tape or cache.
+
+        With a tape segment active the lookup is a pointer-identity check
+        against the segment's recorded clean input (byte comparison as a
+        backstop) — no content hashing anywhere.  A miss means the trial
+        diverged upstream of this layer: the suffix is recomputed directly,
+        bypassing the digest cache (hashing a one-shot faulty activation
+        would be pure overhead).
+
+        The ``owned`` flag tells the caller whether the accumulator is a
+        freshly computed buffer it may mutate in place (suffix GEMMs) or a
+        shared tape/cache entry that fault corrections must copy first.
+        """
+        tape = self.tape
+        segment = self.tape_segment
+        if tape is not None and segment is None and self.tape_chunk_active:
+            # Tape-armed chunk whose segment was evicted or failed
+            # verification: recompute the layer directly.
+            tape.layer_misses += 1
+            start = PROFILER.tick()
+            cols = make_cols()
+            acc = exact_matmul(w_mat, cols)
+            PROFILER.tock("suffix_forward", start)
+            return cols, acc, True
+        if tape is not None and segment is not None:
+            if tape.recording:
+                start = PROFILER.tick()
+                cols = make_cols()
+                acc = exact_matmul(w_mat, cols)
+                PROFILER.tock("tape_build", start)
+                segment.stash_gemm(name, cols, acc)
+                # The stashed buffer becomes tape state the moment the
+                # accelerator records the op: treat it as shared already.
+                return cols, acc, False
+            entry = segment.entry(name)
+            if (
+                entry is not None
+                and entry.acc is not None
+                and arrays_match(x_q, entry.inputs[0])
+            ):
+                tape.layer_hits += 1
+                return entry.cols, entry.acc, False
+            tape.layer_misses += 1
+            start = PROFILER.tick()
+            cols = make_cols()
+            acc = exact_matmul(w_mat, cols)
+            PROFILER.tock("suffix_forward", start)
+            return cols, acc, True
         cache = self.clean_cache
         if cache is None:
             cols = make_cols()
-            return cols, exact_matmul(w_mat, cols)
+            return cols, exact_matmul(w_mat, cols), True
         key = cache.key(name, x_q)
         entry = cache.get(key)
         if entry is not None:
-            return entry
+            return entry[0], entry[1], False
         cols = make_cols()
         acc = exact_matmul(w_mat, cols)
         cache.put(key, cols, acc)
-        return cols, acc
+        return cols, acc, False
 
     # ------------------------------------------------------------------
     # Convolution
@@ -236,7 +312,7 @@ class VectorisedEngine:
         out_w = conv_output_size(w, k, node.stride, node.padding)
 
         w_mat = node.weight.reshape(oc, -1)  # int8, (OC, IC*K*K)
-        cols, acc = self._clean_accumulate(
+        cols, acc, owned = self._clean_accumulate(
             node.name,
             x_q,
             w_mat,
@@ -245,10 +321,16 @@ class VectorisedEngine:
         )
 
         if config.enabled:
-            acc = self._apply_faults_conv(acc, cols, w_mat, node, config)
+            acc = self._apply_faults_conv(acc, cols, w_mat, node, config, owned)
+            owned = True
 
-        acc = saturate(acc, ACCUMULATOR_WIDTH)
+        acc = self._saturated(acc, owned)
         return acc.reshape(n, oc, out_h, out_w)
+
+    @staticmethod
+    def _saturated(acc: np.ndarray, owned: bool) -> np.ndarray:
+        """34-bit accumulator saturation, in place when the buffer is owned."""
+        return saturate(acc, ACCUMULATOR_WIDTH, out=acc if owned else None)
 
     def _apply_faults_conv(
         self,
@@ -257,22 +339,46 @@ class VectorisedEngine:
         w_mat: np.ndarray,
         node: QConv,
         config: InjectionConfig,
+        owned: bool = False,
     ) -> np.ndarray:
-        oc, _ = w_mat.shape
-        ic = node.in_channels
-        k = node.kernel_size
         self._validate_stage_combination(config)
-        acc = acc.copy()
+        if not owned:
+            # Shared tape/cache entry: corrections must not leak into it.
+            acc = acc.copy()
+        self._apply_config(
+            acc, cols, w_mat, node.out_channels, node.in_channels,
+            node.kernel_size ** 2, config,
+        )
+        return acc
+
+    def _apply_config(
+        self,
+        acc_view: np.ndarray,
+        cols: np.ndarray,
+        w_mat: np.ndarray,
+        out_channels: int,
+        in_channels: int,
+        kernel_elems: int,
+        config: InjectionConfig,
+    ) -> None:
+        """Add one configuration's correction terms to ``acc_view`` in place.
+
+        ``acc_view`` must be writable (a fresh copy or a slice of a fused
+        accumulator stack) and hold the *clean* accumulator of the samples
+        that ``cols`` describes.  Shared by the single-trial path and the
+        fused multi-trial path, so both produce bit-identical corrections.
+        """
+        start = PROFILER.tick()
         for site, model in config.faults.items():
             site.validate(self.geometry.num_macs, self.geometry.muls_per_mac)
             correction = self._site_correction(
-                cols, w_mat, oc, ic, k * k, site, model
+                cols, w_mat, out_channels, in_channels, kernel_elems, site, model
             )
             if correction is None:
                 continue
             oc_sel, delta = correction
-            acc[:, oc_sel, :] += delta
-        return acc
+            acc_view[:, oc_sel, :] += delta
+        PROFILER.tock("correction", start)
 
     @staticmethod
     def _validate_stage_combination(config: InjectionConfig) -> None:
@@ -542,25 +648,215 @@ class VectorisedEngine:
         # An FC layer is a 1x1 convolution over a 1x1 feature map on this
         # datapath; reuse the convolution fault arithmetic with P == 1.
         w_mat = node.weight  # int8, (OUT, IN)
-        cols, acc = self._clean_accumulate(
+        cols, acc, owned = self._clean_accumulate(
             node.name, x_q, w_mat, lambda: x_q.reshape(n, in_features, 1)
         )
 
         if config.enabled:
             self._validate_stage_combination(config)
-            acc = acc.copy()
-            for site, model in config.faults.items():
-                site.validate(self.geometry.num_macs, self.geometry.muls_per_mac)
-                correction = self._site_correction(
-                    cols, w_mat, out_features, in_features, 1, site, model
-                )
-                if correction is None:
-                    continue
-                oc_sel, delta = correction
-                acc[:, oc_sel, :] += delta
+            if not owned:
+                acc = acc.copy()
+            self._apply_config(acc, cols, w_mat, out_features, in_features, 1, config)
+            owned = True
 
-        acc = saturate(acc, ACCUMULATOR_WIDTH)
+        acc = self._saturated(acc, owned)
         return acc.reshape(n, out_features)
+
+    # ------------------------------------------------------------------
+    # Fused multi-trial evaluation
+    # ------------------------------------------------------------------
+    def _fused_clean_parts(
+        self,
+        name: str,
+        x_shared: np.ndarray | None,
+        make_cols,
+        w_mat: np.ndarray,
+        clean_entry: TapeOpEntry | None,
+    ) -> tuple[np.ndarray, np.ndarray, bool]:
+        """``(cols, clean acc, acc owned)`` for a fused layer evaluation.
+
+        ``clean_entry`` (all trials still on the clean prefix) serves the
+        taped parts without any compute; a shared clean input without taped
+        parts goes through :meth:`_clean_accumulate` (one GEMM for the whole
+        group, cache-aware); a diverged trial stack runs one stacked GEMM.
+        """
+        if clean_entry is not None and clean_entry.acc is not None:
+            if self.tape is not None:
+                self.tape.layer_hits += 1
+            return clean_entry.cols, clean_entry.acc, False
+        if x_shared is not None:
+            return self._clean_accumulate(name, x_shared, w_mat, make_cols)
+        if self.tape is not None:
+            self.tape.layer_misses += 1
+        start = PROFILER.tick()
+        cols = make_cols()
+        acc = exact_matmul(w_mat, cols)
+        PROFILER.tock("suffix_forward", start)
+        return cols, acc, True
+
+    def _fused_corrections(
+        self,
+        cols: np.ndarray,
+        clean_acc: np.ndarray,
+        w_mat: np.ndarray,
+        out_channels: int,
+        in_channels: int,
+        kernel_elems: int,
+        configs: list[InjectionConfig],
+        per_trial: int,
+        shared_cols: bool,
+        acc_owned: bool = False,
+    ) -> np.ndarray:
+        """Stack of per-trial faulty accumulators, shape ``(G*N, OC, P)``.
+
+        ``shared_cols`` means every trial sees the same clean input (cols
+        has ``per_trial`` samples and the clean accumulator is broadcast
+        across the group); otherwise ``cols``/``clean_acc`` hold the whole
+        stack and trial ``g`` corrects its own ``[g*N, (g+1)*N)`` slice.
+        Each trial's correction is computed exactly as the single-trial
+        path computes it — same cols, same cycle indices (per-slice sample
+        indices restart at 0) — so the stack is bit-identical to evaluating
+        the group one configuration at a time.
+        """
+        groups = len(configs)
+        if shared_cols:
+            acc_stack = np.tile(clean_acc, (groups, 1, 1))
+        elif acc_owned:
+            acc_stack = clean_acc
+        else:
+            acc_stack = clean_acc.copy()
+        for g, config in enumerate(configs):
+            if not config.enabled:
+                continue
+            self._validate_stage_combination(config)
+            trial_cols = cols if shared_cols else cols[g * per_trial:(g + 1) * per_trial]
+            acc_view = acc_stack[g * per_trial:(g + 1) * per_trial]
+            self._apply_config(
+                acc_view, trial_cols, w_mat, out_channels, in_channels,
+                kernel_elems, config,
+            )
+        return acc_stack
+
+    def conv_accumulate_fused(
+        self,
+        node: QConv,
+        configs: list[InjectionConfig],
+        per_trial: int,
+        x_stack: np.ndarray | None = None,
+        x_clean: np.ndarray | None = None,
+        clean_entry: TapeOpEntry | None = None,
+    ) -> np.ndarray:
+        """Convolution accumulators of ``len(configs)`` trials in one pass.
+
+        Exactly one input form must describe the clean prefix state:
+
+        * ``clean_entry`` — all trials' inputs equal the taped clean input;
+          the taped cols/accumulator are reused and only the per-trial
+          correction terms are evaluated.
+        * ``x_clean`` — shared clean input ``(N, C, H, W)`` with no taped
+          parts available; the clean GEMM runs once for the whole group.
+        * ``x_stack`` — diverged inputs stacked as ``(G*N, C, H, W)``; one
+          stacked im2col + GEMM replaces G per-trial passes.
+
+        Returns the saturated accumulator stack ``(G*N, OC, OH, OW)``,
+        bit-identical to concatenating G single-trial ``conv_accumulate``
+        calls.
+        """
+        sources = [x_stack, x_clean, clean_entry]
+        if sum(s is not None for s in sources) != 1:
+            raise ValueError("provide exactly one of x_stack, x_clean, clean_entry")
+        groups = len(configs)
+        if clean_entry is not None:
+            x_ref = clean_entry.inputs[0]
+        elif x_clean is not None:
+            x_ref = x_clean
+        else:
+            x_ref = x_stack
+            if x_ref.shape[0] != groups * per_trial:
+                raise ValueError(
+                    f"stack of {x_ref.shape[0]} samples does not hold "
+                    f"{groups} trials x {per_trial} images"
+                )
+        if x_ref.dtype != np.int8:
+            raise TypeError(f"expected int8 activations, got {x_ref.dtype}")
+        _, ic, h, w = x_ref.shape
+        oc, ic_w, k, _ = node.weight.shape
+        if ic != ic_w:
+            raise ValueError(f"{node.name}: input channels {ic} != weight channels {ic_w}")
+        out_h = conv_output_size(h, k, node.stride, node.padding)
+        out_w = conv_output_size(w, k, node.stride, node.padding)
+        w_mat = node.weight.reshape(oc, -1)
+
+        shared = x_stack is None
+        source = x_ref if x_stack is None else x_stack
+        cols, clean_acc, acc_owned = self._fused_clean_parts(
+            node.name,
+            source if shared else None,
+            lambda: im2col(source, k, node.stride, node.padding),
+            w_mat,
+            clean_entry,
+        )
+        acc_stack = self._fused_corrections(
+            cols, clean_acc, w_mat, oc, ic, k * k, configs, per_trial, shared,
+            acc_owned=acc_owned and not shared,
+        )
+        # The stack is always freshly tiled/copied, so saturate in place.
+        saturate(acc_stack, ACCUMULATOR_WIDTH, out=acc_stack)
+        return acc_stack.reshape(groups * per_trial, oc, out_h, out_w)
+
+    def linear_accumulate_fused(
+        self,
+        node: QLinear,
+        configs: list[InjectionConfig],
+        per_trial: int,
+        x_stack: np.ndarray | None = None,
+        x_clean: np.ndarray | None = None,
+        clean_entry: TapeOpEntry | None = None,
+    ) -> np.ndarray:
+        """Fully-connected accumulators of ``len(configs)`` trials at once.
+
+        Same contract as :meth:`conv_accumulate_fused`; returns the stack
+        ``(G*N, OUT)``.
+        """
+        sources = [x_stack, x_clean, clean_entry]
+        if sum(s is not None for s in sources) != 1:
+            raise ValueError("provide exactly one of x_stack, x_clean, clean_entry")
+        groups = len(configs)
+        if clean_entry is not None:
+            x_ref = clean_entry.inputs[0]
+        else:
+            x_ref = x_clean if x_clean is not None else x_stack
+        if x_stack is not None and x_stack.shape[0] != groups * per_trial:
+            raise ValueError(
+                f"stack of {x_stack.shape[0]} samples does not hold "
+                f"{groups} trials x {per_trial} images"
+            )
+        if x_ref.dtype != np.int8:
+            raise TypeError(f"expected int8 activations, got {x_ref.dtype}")
+        if x_ref.ndim != 2:
+            raise ValueError(f"linear input must be (N, features), got shape {x_ref.shape}")
+        in_features = x_ref.shape[1]
+        out_features, in_w = node.weight.shape
+        if in_features != in_w:
+            raise ValueError(f"{node.name}: input features {in_features} != weight {in_w}")
+        w_mat = node.weight
+
+        shared = x_stack is None
+        source = x_ref if x_stack is None else x_stack
+        cols, clean_acc, acc_owned = self._fused_clean_parts(
+            node.name,
+            source if shared else None,
+            lambda: source.reshape(source.shape[0], in_features, 1),
+            w_mat,
+            clean_entry,
+        )
+        acc_stack = self._fused_corrections(
+            cols, clean_acc, w_mat, out_features, in_features, 1,
+            configs, per_trial, shared,
+            acc_owned=acc_owned and not shared,
+        )
+        saturate(acc_stack, ACCUMULATOR_WIDTH, out=acc_stack)
+        return acc_stack.reshape(groups * per_trial, out_features)
 
     # ------------------------------------------------------------------
     # Introspection helpers

@@ -13,12 +13,23 @@ from __future__ import annotations
 import numpy as np
 
 from repro.quant.qlayers import QAdd, QConv, QGlobalAvgPool, QLinear
-from repro.quant.qscheme import INT8_MAX, INT8_MIN, requantize
+from repro.quant.qscheme import INT8_MAX, INT8_MIN, requantize, requantize_owned
 from repro.utils.bitops import ACCUMULATOR_WIDTH, saturate
 
 
 class SDP:
-    """Stateless post-processor; every method maps integer arrays to int8."""
+    """Stateless post-processor; every method maps integer arrays to int8.
+
+    Each operation exists in two bit-identical flavours: the reference
+    methods (``conv_post``, ``elementwise_add``, ``global_average``) map
+    fresh arrays through the seed-era requantisation chain, and the
+    ``*_owned`` variants are the delta trial engine's hot path — they may
+    mutate their accumulator argument in place and route through
+    :func:`~repro.quant.qscheme.requantize_owned`, shaving the temporary
+    allocations a campaign pays per layer per trial.  Callers of the owned
+    variants must pass accumulators they own (the engine's are always
+    freshly computed or freshly corrected).
+    """
 
     def bias_add(self, accumulator: np.ndarray, bias: np.ndarray, channel_axis: int = 1) -> np.ndarray:
         """Add the per-channel int32 bias to raw accumulator values."""
@@ -58,3 +69,43 @@ class SDP:
         """Global average pooling: integer spatial sum then requantisation."""
         acc = np.asarray(x, dtype=np.int64).sum(axis=(2, 3))
         return requantize(acc, node.requant, channel_axis=1, relu=False)
+
+    # ------------------------------------------------------------------
+    # Owned (in-place) variants — the delta trial engine's hot path
+    # ------------------------------------------------------------------
+    def conv_post_owned(
+        self, accumulator: np.ndarray, node: QConv | QLinear, channel_axis: int = 1
+    ) -> np.ndarray:
+        """:meth:`conv_post` for an int64 accumulator the caller owns.
+
+        The bias addition and 34-bit saturation mutate ``accumulator`` in
+        place; the result is bit-identical to the reference method.
+        """
+        acc = accumulator
+        if acc.dtype != np.int64 or not acc.flags.writeable:
+            acc = acc.astype(np.int64)
+        bias = node.bias.astype(np.int64, copy=False)
+        shape = [1] * acc.ndim
+        shape[channel_axis] = -1
+        np.add(acc, bias.reshape(shape), out=acc)
+        saturate(acc, ACCUMULATOR_WIDTH, out=acc)
+        if isinstance(node, QLinear) and node.requant is None:
+            return acc
+        return requantize_owned(acc, node.requant, channel_axis=channel_axis, relu=node.relu)
+
+    def elementwise_add_owned(self, a: np.ndarray, b: np.ndarray, node: QAdd) -> np.ndarray:
+        """:meth:`elementwise_add` through the in-place requantise chain."""
+        if a.shape != b.shape:
+            raise ValueError(f"elementwise add shapes differ: {a.shape} vs {b.shape}")
+        a_scaled = requantize_owned(a, node.requant_a, channel_axis=1, saturate_to_int8=False)
+        b_scaled = requantize_owned(b, node.requant_b, channel_axis=1, saturate_to_int8=False)
+        np.add(a_scaled, b_scaled, out=a_scaled)
+        if node.relu:
+            np.maximum(a_scaled, 0, out=a_scaled)
+        np.clip(a_scaled, INT8_MIN, INT8_MAX, out=a_scaled)
+        return a_scaled.astype(np.int8)
+
+    def global_average_owned(self, x: np.ndarray, node: QGlobalAvgPool) -> np.ndarray:
+        """:meth:`global_average` through the in-place requantise chain."""
+        acc = np.asarray(x, dtype=np.int64).sum(axis=(2, 3))
+        return requantize_owned(acc, node.requant, channel_axis=1, relu=False)

@@ -95,6 +95,28 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_profile(result, checkpoint: str, default: str) -> Path:
+    """Persist a campaign's per-stage wall-time breakdown as JSON.
+
+    The file lands next to the checkpoint (``<checkpoint>.profile.json``)
+    when one is in use, else under ``default`` in the working directory.
+    """
+    stats = result.runtime_stats or {}
+    payload = {
+        "profile": stats.get("profile"),
+        "gemm": stats.get("gemm"),
+        "tape": stats.get("tape"),
+        "clean_cache": stats.get("clean_cache"),
+        "processes": stats.get("processes"),
+        "workers": stats.get("workers"),
+        "wall_seconds": result.wall_seconds,
+        "num_trials": len(result),
+    }
+    path = Path(checkpoint + ".profile.json") if checkpoint else Path(default)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     platform_spec, case = case_study_platform_spec(_case_spec(args))
     if args.strategy == "random":
@@ -139,7 +161,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     runner = ParallelCampaignRunner(
         platform_spec,
         strategy,
-        CampaignConfig(seed=args.campaign_seed),
+        CampaignConfig(
+            seed=args.campaign_seed,
+            fused_trials=args.fused_trials,
+            profile=args.profile,
+        ),
         workers=args.workers,
         checkpoint=args.checkpoint or None,
         resume=args.resume,
@@ -150,6 +176,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     print(f"baseline accuracy: {result.baseline_accuracy:.3f}; "
           f"{len(result)} injections in {result.wall_seconds:.1f}s "
           f"({args.workers} worker{'s' if args.workers != 1 else ''})")
+    if args.profile:
+        profile_path = _write_profile(result, args.checkpoint, default="campaign.profile.json")
+        print(f"stage profile written to {profile_path}")
     if result.adaptive is not None:
         info = result.adaptive
         half_width = info["final_half_width"]
@@ -188,6 +217,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         workers=args.workers,
         sweep_dir=args.sweep_dir,
         resume=args.resume,
+        fused_trials=args.fused_trials,
+        profile=args.profile,
     )
     sweep = runner.run()
 
@@ -217,6 +248,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(f"structure digest: {sweep.structure_digest()}")
     if args.sweep_dir:
         print(f"artifacts written to {args.sweep_dir}/sweep.jsonl and sweep.json")
+        if args.profile:
+            print(f"stage profile written to {args.sweep_dir}/profile.json")
     return 0
 
 
@@ -326,6 +359,13 @@ def build_parser() -> argparse.ArgumentParser:
                           help="JSONL file streaming one record per finished trial")
     campaign.add_argument("--resume", action="store_true",
                           help="skip trials already present in --checkpoint")
+    campaign.add_argument("--fused-trials", type=int, default=8,
+                          help="trials evaluated per fused engine pass (1 disables "
+                               "fusion; records are bit-identical for any value)")
+    campaign.add_argument("--profile", action="store_true",
+                          help="write a per-stage wall-time breakdown (tape build, "
+                               "correction, suffix forward, requant) as JSON next "
+                               "to the checkpoint")
     campaign.add_argument("--adaptive-target", type=float, default=None,
                           help="adaptive stopping: stop once the CI half-width of the "
                                "tracked metric is at or below this target")
@@ -365,6 +405,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="override the spec's campaign seed")
     sweep.add_argument("--list", action="store_true",
                        help="print the scenario ids of the grid and exit")
+    sweep.add_argument("--fused-trials", type=int, default=8,
+                       help="trials evaluated per fused engine pass inside each "
+                            "scenario (1 disables fusion)")
+    sweep.add_argument("--profile", action="store_true",
+                       help="write per-scenario stage profiles to "
+                            "<sweep-dir>/profile.json")
     sweep.set_defaults(func=_cmd_sweep)
 
     report = subparsers.add_parser(

@@ -23,7 +23,12 @@ logger = get_logger(__name__)
 
 @dataclass
 class CampaignConfig:
-    """Parameters of one campaign run."""
+    """Parameters of one campaign run.
+
+    None of these knobs changes campaign *records* — fused evaluation,
+    shared batches and profiling are execution details certified
+    bit-identical to the plain per-trial path.
+    """
 
     batch_size: int = 64
     seed: int = 0
@@ -31,6 +36,18 @@ class CampaignConfig:
     max_images: int | None = None
     #: Log progress every N trials (0 disables).
     log_every: int = 0
+    #: Trials evaluated per fused engine pass (1 disables fusion).  A group
+    #: shares every clean-prefix layer's taped GEMM and runs the diverged
+    #: suffix as one stacked pass, amortising per-trial dispatch overhead.
+    #: Records are bit-identical for any value.
+    fused_trials: int = 8
+    #: Map the evaluation images/labels into worker processes via
+    #: ``multiprocessing.shared_memory`` instead of pickling one private
+    #: copy per worker (ignored for serial runs).
+    shared_batches: bool = True
+    #: Collect a per-stage wall-time breakdown (tape build, correction,
+    #: suffix forward, requant) into ``CampaignResult.runtime_stats``.
+    profile: bool = False
 
 
 class FaultInjectionCampaign:

@@ -50,10 +50,13 @@ import numpy as np
 from repro.core.campaign import CampaignConfig
 from repro.core.platform import EmulationPlatform, PlatformConfig
 from repro.core.results import CampaignResult, TrialRecord
+from repro.core.shm import SharedBatch, release_batch, resolve_batch
 from repro.core.stats import AdaptiveCampaignPlan
 from repro.core.strategies import InjectionStrategy, StrategyTrial
 from repro.faults.sites import FaultUniverse
+from repro.runtime.gemm import GEMM_STATS
 from repro.utils.logging import get_logger
+from repro.utils.profiling import PROFILER, StageProfiler
 from repro.utils.rng import SeededRNG
 
 logger = get_logger(__name__)
@@ -166,17 +169,9 @@ def shard_indices(indices: Sequence[int], workers: int) -> list[list[int]]:
     return [shard for shard in shards if shard]
 
 
-def _record_for_trial(
-    platform: EmulationPlatform,
-    trial: StrategyTrial,
-    index: int,
-    baseline: float,
-    images: np.ndarray,
-    labels: np.ndarray,
-    batch_size: int,
+def _build_record(
+    trial: StrategyTrial, index: int, baseline: float, accuracy: float
 ) -> TrialRecord:
-    """Evaluate one trial and build its record (shared by serial + workers)."""
-    accuracy = platform.accuracy_with_faults(trial.config, images, labels, batch_size=batch_size)
     return TrialRecord(
         trial_index=index,
         description=trial.config.describe(),
@@ -190,35 +185,108 @@ def _record_for_trial(
     )
 
 
+def _record_for_trial(
+    platform: EmulationPlatform,
+    trial: StrategyTrial,
+    index: int,
+    baseline: float,
+    images: np.ndarray,
+    labels: np.ndarray,
+    batch_size: int,
+) -> TrialRecord:
+    """Evaluate one trial and build its record (shared by serial + workers)."""
+    accuracy = platform.accuracy_with_faults(trial.config, images, labels, batch_size=batch_size)
+    return _build_record(trial, index, baseline, accuracy)
+
+
+def _records_for_pairs(
+    platform: EmulationPlatform,
+    pairs: Sequence[tuple[int, StrategyTrial]],
+    baseline: float,
+    images: np.ndarray,
+    labels: np.ndarray,
+    config: CampaignConfig,
+):
+    """Yield records for ``(index, trial)`` pairs, fusing groups of trials.
+
+    Consecutive pairs are evaluated ``config.fused_trials`` at a time
+    through :meth:`EmulationPlatform.accuracies_with_faults`, which runs
+    fusable configurations as stacked multi-trial engine passes and the
+    rest one at a time — the records are bit-identical to per-trial
+    evaluation for any group size, so sharding, resuming and fusing
+    compose freely.
+    """
+    group = max(1, config.fused_trials)
+    for start in range(0, len(pairs), group):
+        chunk = pairs[start : start + group]
+        if len(chunk) == 1:
+            index, trial = chunk[0]
+            yield _record_for_trial(
+                platform, trial, index, baseline, images, labels, config.batch_size
+            )
+            continue
+        accuracies = platform.accuracies_with_faults(
+            [trial.config for _, trial in chunk],
+            images,
+            labels,
+            batch_size=config.batch_size,
+        )
+        for (index, trial), accuracy in zip(chunk, accuracies):
+            yield _build_record(trial, index, baseline, accuracy)
+
+
+def _worker_setup(config: CampaignConfig) -> None:
+    """Reset per-process counters a forked worker inherited from the parent."""
+    GEMM_STATS.reset()
+    PROFILER.enabled = config.profile
+    PROFILER.reset()
+
+
+def _worker_stats(platform: EmulationPlatform) -> dict:
+    """Execution statistics one process ships back for aggregation."""
+    return {
+        "gemm": GEMM_STATS.as_dict(),
+        "clean_cache": platform.gemm_cache_stats(),
+        "tape": platform.tape_stats(),
+        "profile": PROFILER.as_dict() if PROFILER.enabled else None,
+    }
+
+
 def _shard_worker(
     worker_id: int,
     spec: PlatformSpec,
     strategy: InjectionStrategy,
     config: CampaignConfig,
-    images: np.ndarray,
-    labels: np.ndarray,
+    batch,
     indices: list[int],
     results: mp.Queue,
 ) -> None:
-    """Worker entry point: build the platform once, evaluate one shard."""
+    """Worker entry point: build the platform once, evaluate one shard.
+
+    ``batch`` is either a zero-copy :class:`~repro.core.shm.SharedBatch`
+    (mapped, not pickled) or a plain ``(images, labels)`` tuple.
+    """
     try:
+        _worker_setup(config)
+        images, labels = resolve_batch(batch)
         platform = spec.build()
         platform.reset_caches()
         baseline = platform.baseline_accuracy(images, labels, batch_size=config.batch_size)
         results.put(("meta", worker_id, (baseline, platform.inferences_per_second())))
         rng = SeededRNG(config.seed)
-        for index in indices:
-            trial = strategy.trial_at(platform.universe, rng, index)
-            record = _record_for_trial(
-                platform, trial, index, baseline, images, labels, config.batch_size
-            )
+        pairs = [
+            (index, strategy.trial_at(platform.universe, rng, index)) for index in indices
+        ]
+        for record in _records_for_pairs(
+            platform, pairs, baseline, images, labels, config
+        ):
             results.put(("record", worker_id, record))
-        cache_stats = platform.gemm_cache_stats()
-        if cache_stats is not None:
-            logger.debug("worker %d clean-accumulator cache: %s", worker_id, cache_stats)
+        results.put(("stats", worker_id, _worker_stats(platform)))
         results.put(("done", worker_id, None))
     except Exception:  # pragma: no cover - exercised via the parent's error path
         results.put(("error", worker_id, traceback.format_exc()))
+    finally:
+        release_batch(batch)
 
 
 def _round_worker(
@@ -226,8 +294,7 @@ def _round_worker(
     spec: PlatformSpec,
     strategy: InjectionStrategy,
     config: CampaignConfig,
-    images: np.ndarray,
-    labels: np.ndarray,
+    batch,
     tasks: mp.Queue,
     results: mp.Queue,
 ) -> None:
@@ -240,6 +307,8 @@ def _round_worker(
     ``round-done`` message is the parent's per-round barrier.
     """
     try:
+        _worker_setup(config)
+        images, labels = resolve_batch(batch)
         platform = spec.build()
         platform.reset_caches()
         baseline = platform.baseline_accuracy(images, labels, batch_size=config.batch_size)
@@ -249,16 +318,21 @@ def _round_worker(
             indices = tasks.get()
             if indices is None:
                 break
-            for index in indices:
-                trial = strategy.trial_at(platform.universe, rng, index)
-                record = _record_for_trial(
-                    platform, trial, index, baseline, images, labels, config.batch_size
-                )
+            pairs = [
+                (index, strategy.trial_at(platform.universe, rng, index))
+                for index in indices
+            ]
+            for record in _records_for_pairs(
+                platform, pairs, baseline, images, labels, config
+            ):
                 results.put(("record", worker_id, record))
             results.put(("round-done", worker_id, None))
+        results.put(("stats", worker_id, _worker_stats(platform)))
         results.put(("done", worker_id, None))
     except Exception:  # pragma: no cover - exercised via the parent's error path
         results.put(("error", worker_id, traceback.format_exc()))
+    finally:
+        release_batch(batch)
 
 
 # ----------------------------------------------------------------------
@@ -353,15 +427,23 @@ class ParallelCampaignRunner:
 
         header, completed = self._load_resume_state(len(labels))
         start = time.perf_counter()
-        if self.plan is not None:
-            if self.workers == 1:
-                result = self._run_serial_adaptive(images, labels, header, completed)
+        profiler_was_enabled = PROFILER.enabled
+        try:
+            if self.plan is not None:
+                if self.workers == 1:
+                    result = self._run_serial_adaptive(images, labels, header, completed)
+                else:
+                    result = self._run_parallel_adaptive(images, labels, header, completed)
+            elif self.workers == 1:
+                result = self._run_serial(images, labels, header, completed)
             else:
-                result = self._run_parallel_adaptive(images, labels, header, completed)
-        elif self.workers == 1:
-            result = self._run_serial(images, labels, header, completed)
-        else:
-            result = self._run_parallel(images, labels, header, completed)
+                result = self._run_parallel(images, labels, header, completed)
+        finally:
+            # The serial paths arm the process-global profiler when
+            # config.profile is set; restore it even when a run raises so
+            # later campaigns in this process don't silently pay for (and
+            # pollute) profiling state.
+            PROFILER.enabled = profiler_was_enabled
         result.wall_seconds = time.perf_counter() - start
         result.sort_records()
         return result
@@ -491,6 +573,97 @@ class ParallelCampaignRunner:
             )
 
     # ------------------------------------------------------------------
+    # Runtime statistics (observational; never part of campaign identity)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _sum_counters(parts: list[dict | None]) -> dict | None:
+        """Sum the numeric counters of per-process stats dicts.
+
+        Booleans and derived rates are dropped (they do not add); hit rates
+        are recomputed from the summed counters by the caller.
+        """
+        present = [p for p in parts if p]
+        if not present:
+            return None
+        out: dict[str, int | float] = {}
+        for part in present:
+            for key, value in part.items():
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    continue
+                if key.endswith("_rate"):
+                    continue
+                out[key] = out.get(key, 0) + value
+        return out
+
+    @classmethod
+    def _aggregate_runtime_stats(cls, parts: list[dict], workers: int) -> dict | None:
+        """Merge per-process stats payloads into ``CampaignResult.runtime_stats``.
+
+        Before this aggregation existed, everything a worker process counted
+        (GEMM kernel dispatch, cache/tape hit rates, stage profiles) was
+        silently dropped when the process exited; now each worker ships one
+        stats message and the totals land in the campaign result.
+        """
+        if not parts:
+            return None
+        gemm = cls._sum_counters([p.get("gemm") for p in parts])
+        cache = cls._sum_counters([p.get("clean_cache") for p in parts])
+        if cache is not None:
+            lookups = cache.get("hits", 0) + cache.get("misses", 0)
+            cache["hit_rate"] = (cache.get("hits", 0) / lookups) if lookups else 0.0
+        tape = cls._sum_counters([p.get("tape") for p in parts])
+        if tape is not None:
+            layers = tape.get("layer_hits", 0) + tape.get("layer_misses", 0)
+            tape["layer_hit_rate"] = (tape.get("layer_hits", 0) / layers) if layers else 0.0
+        profiles = [p.get("profile") for p in parts if p.get("profile")]
+        return {
+            "processes": len(parts),
+            "workers": workers,
+            "gemm": gemm,
+            "clean_cache": cache,
+            "tape": tape,
+            "profile": StageProfiler.merge_dicts(profiles) if profiles else None,
+        }
+
+    def _serial_stats_begin(self) -> None:
+        self._gemm_before = GEMM_STATS.as_dict()
+        self._profiler_was_enabled = PROFILER.enabled
+        if self.config.profile:
+            PROFILER.enabled = True
+            PROFILER.reset()
+
+    def _serial_stats_end(self, platform: EmulationPlatform) -> dict | None:
+        delta = {
+            key: value - self._gemm_before.get(key, 0)
+            for key, value in GEMM_STATS.as_dict().items()
+        }
+        part = {
+            "gemm": delta,
+            "clean_cache": platform.gemm_cache_stats(),
+            "tape": platform.tape_stats(),
+            "profile": PROFILER.as_dict() if self.config.profile else None,
+        }
+        PROFILER.enabled = self._profiler_was_enabled
+        return self._aggregate_runtime_stats([part], workers=1)
+
+    def _make_batch(self, images: np.ndarray, labels: np.ndarray):
+        """``(batch payload, shared handle or None)`` for worker processes.
+
+        With ``shared_batches`` the arrays live in one shared-memory block
+        that workers map instead of unpickling private copies; any failure
+        degrades to passing the arrays directly.
+        """
+        if self.config.shared_batches:
+            try:
+                shared = SharedBatch.create(images, labels)
+                return shared, shared
+            except Exception as exc:  # pragma: no cover - platform-specific
+                logger.warning(
+                    "shared-memory batch unavailable (%s); passing arrays directly", exc
+                )
+        return (images, labels), None
+
+    # ------------------------------------------------------------------
     # Serial path (workers == 1)
     # ------------------------------------------------------------------
     def _run_serial(
@@ -502,9 +675,10 @@ class ParallelCampaignRunner:
     ) -> CampaignResult:
         cfg = self.config
         platform = self.platform if self.platform is not None else self.spec.build()
-        # Fresh cache per run: deterministic memory profile, and reused
+        # Fresh cache/tape per run: deterministic memory profile, and reused
         # platforms (serial campaigns) don't carry entries across campaigns.
         platform.reset_caches()
+        self._serial_stats_begin()
         baseline = platform.baseline_accuracy(images, labels, batch_size=cfg.batch_size)
         if header is not None:
             self._check_baseline(baseline, header["baseline_accuracy"], "the checkpoint header")
@@ -525,33 +699,42 @@ class ParallelCampaignRunner:
             # but not expected_trials() still run (with indexless progress).
             expected: int | str | None = None
             rng = SeededRNG(cfg.seed)
+            pending: list[tuple[int, StrategyTrial]] = []
+            group = max(1, cfg.fused_trials)
+
+            def flush() -> None:
+                nonlocal expected
+                for record in _records_for_pairs(
+                    platform, pending, baseline, images, labels, cfg
+                ):
+                    result.add(record)
+                    self._write_record(writer, record)
+                    if cfg.log_every and (record.trial_index + 1) % cfg.log_every == 0:
+                        if expected is None:
+                            total = self._total_trials()
+                            expected = "?" if total is None else total
+                        logger.info(
+                            "trial %d/%s: %s -> accuracy %.3f (drop %.3f)",
+                            record.trial_index + 1,
+                            expected,
+                            record.description,
+                            record.accuracy,
+                            record.accuracy_drop,
+                        )
+                pending.clear()
+
             for index, trial in enumerate(self.strategy.trials(platform.universe, rng)):
                 if index in completed:
                     result.add(completed[index])
                     continue
-                record = _record_for_trial(
-                    platform, trial, index, baseline, images, labels, cfg.batch_size
-                )
-                result.add(record)
-                self._write_record(writer, record)
-                if cfg.log_every and (index + 1) % cfg.log_every == 0:
-                    if expected is None:
-                        total = self._total_trials()
-                        expected = "?" if total is None else total
-                    logger.info(
-                        "trial %d/%s: %s -> accuracy %.3f (drop %.3f)",
-                        index + 1,
-                        expected,
-                        record.description,
-                        record.accuracy,
-                        record.accuracy_drop,
-                    )
+                pending.append((index, trial))
+                if len(pending) >= group:
+                    flush()
+            flush()
         finally:
             if writer is not None:
                 writer.close()
-        cache_stats = platform.gemm_cache_stats()
-        if cache_stats is not None:
-            logger.debug("clean-accumulator cache: %s", cache_stats)
+        result.runtime_stats = self._serial_stats_end(platform)
         return result
 
     # ------------------------------------------------------------------
@@ -591,15 +774,17 @@ class ParallelCampaignRunner:
         )
         ctx = mp.get_context(method)
         results: mp.Queue = ctx.Queue()
+        batch, shared = self._make_batch(images, labels)
         procs = [
             ctx.Process(
                 target=_shard_worker,
-                args=(w, self.spec, self.strategy, cfg, images, labels, shard, results),
+                args=(w, self.spec, self.strategy, cfg, batch, shard, results),
                 daemon=True,
             )
             for w, shard in enumerate(shards)
         ]
         writer = self._open_checkpoint(fresh=header is None)
+        stats_parts: list[dict] = []
         try:
             for proc in procs:
                 proc.start()
@@ -633,6 +818,8 @@ class ParallelCampaignRunner:
                     self._write_record(writer, payload)
                     if cfg.log_every and len(records) % cfg.log_every == 0:
                         logger.info("completed %d/%d trials", len(records), total)
+                elif kind == "stats":
+                    stats_parts.append(payload)
                 elif kind == "done":
                     remaining -= 1
             for proc in procs:
@@ -644,6 +831,8 @@ class ParallelCampaignRunner:
                     proc.join()
             if writer is not None:
                 writer.close()
+            if shared is not None:
+                shared.unlink()
 
         if baseline is None:
             # No workers ran (everything was already in the checkpoint) and
@@ -658,6 +847,7 @@ class ParallelCampaignRunner:
             emulated_inferences_per_second=ips,
         )
         result.records = [records[i] for i in sorted(records)]
+        result.runtime_stats = self._aggregate_runtime_stats(stats_parts, len(procs))
         return result
 
     # ------------------------------------------------------------------
@@ -729,6 +919,7 @@ class ParallelCampaignRunner:
         plan = self.plan
         platform = self.platform if self.platform is not None else self.spec.build()
         platform.reset_caches()
+        self._serial_stats_begin()
         baseline = platform.baseline_accuracy(images, labels, batch_size=cfg.batch_size)
         if header is not None:
             self._check_baseline(baseline, header["baseline_accuracy"], "the checkpoint header")
@@ -744,14 +935,15 @@ class ParallelCampaignRunner:
             rng = SeededRNG(cfg.seed)
             for round_number in range(completed_rounds, len(bounds) if not stopped else 0):
                 start, end = bounds[round_number]
-                for index in range(start, end):
-                    if index in records:
-                        continue
-                    trial = self.strategy.trial_at(platform.universe, rng, index)
-                    record = _record_for_trial(
-                        platform, trial, index, baseline, images, labels, cfg.batch_size
-                    )
-                    records[index] = record
+                pairs = [
+                    (index, self.strategy.trial_at(platform.universe, rng, index))
+                    for index in range(start, end)
+                    if index not in records
+                ]
+                for record in _records_for_pairs(
+                    platform, pairs, baseline, images, labels, cfg
+                ):
+                    records[record.trial_index] = record
                     self._write_record(writer, record)
                 completed_rounds = round_number + 1
                 stop_end = end
@@ -771,9 +963,11 @@ class ParallelCampaignRunner:
         finally:
             if writer is not None:
                 writer.close()
-        return self._adaptive_result(
+        result = self._adaptive_result(
             baseline, ips, len(labels), records, budget, completed_rounds, stop_end
         )
+        result.runtime_stats = self._serial_stats_end(platform)
+        return result
 
     def _run_parallel_adaptive(
         self,
@@ -818,16 +1012,18 @@ class ParallelCampaignRunner:
         ctx = mp.get_context(method)
         results: mp.Queue = ctx.Queue()
         task_queues: list[mp.Queue] = [ctx.Queue() for _ in range(self.workers)]
+        batch, shared = self._make_batch(images, labels)
         procs = [
             ctx.Process(
                 target=_round_worker,
-                args=(w, self.spec, self.strategy, cfg, images, labels, task_queues[w], results),
+                args=(w, self.spec, self.strategy, cfg, batch, task_queues[w], results),
                 daemon=True,
             )
             for w in range(self.workers)
         ]
         writer = self._open_checkpoint(fresh=header is None)
         header_written = header is not None
+        stats_parts: list[dict] = []
         try:
             for proc in procs:
                 proc.start()
@@ -854,6 +1050,8 @@ class ParallelCampaignRunner:
                     elif kind == "record":
                         records[payload.trial_index] = payload
                         self._write_record(writer, payload)
+                    elif kind == "stats":
+                        stats_parts.append(payload)
                     elif kind in ("round-done", "done"):
                         barrier -= 1
 
@@ -886,12 +1084,16 @@ class ParallelCampaignRunner:
                     proc.join()
             if writer is not None:
                 writer.close()
+            if shared is not None:
+                shared.unlink()
 
         if baseline is None:  # pragma: no cover - every entered round runs workers
             raise RuntimeError("campaign finished without establishing a baseline accuracy")
-        return self._adaptive_result(
+        result = self._adaptive_result(
             baseline, ips, len(labels), records, budget, completed_rounds, stop_end
         )
+        result.runtime_stats = self._aggregate_runtime_stats(stats_parts, len(procs))
+        return result
 
     @staticmethod
     def _check_workers_alive(procs: list) -> None:

@@ -43,7 +43,27 @@ class PlatformConfig:
     #: baseline pass primes one entry per (layer, batch chunk) and trials
     #: reuse each layer's im2col + clean GEMM, paying only the
     #: correction-term cost.  Records are bit-identical either way.
+    #: With the tape armed (``tape_bytes > 0``) the cache only serves
+    #: ad-hoc executions outside the campaign evaluation loop.
     gemm_cache_entries: int = 128
+    #: Byte budget of the clean-activation tape (0 disables it).  The tape
+    #: records the whole clean forward per evaluation-batch chunk during
+    #: the baseline pass; fault trials then re-execute only the network
+    #: suffix that diverges from it (delta propagation) and support fused
+    #: multi-trial evaluation.  Records are bit-identical either way.
+    tape_bytes: int = 256 << 20
+    #: Ceiling on the total samples (trials x batch chunk) of one fused
+    #: multi-trial engine pass.  Fusing amortises per-trial dispatch
+    #: overhead, which wins when chunks are small; past this many samples
+    #: the stacked intermediates blow the cache hierarchy and per-trial
+    #: evaluation is faster, so oversized groups are split automatically.
+    #: Purely a performance knob — records are bit-identical for any value.
+    fused_stack_samples: int = 64
+    #: Byte ceiling on the largest per-layer accumulator of one fused
+    #: stack (the quantity that actually thrashes the cache hierarchy);
+    #: measured from the tape after the baseline pass, so wider models
+    #: automatically fuse fewer trials per pass.
+    fused_stack_bytes: int = 4 << 20
 
 
 class EmulationPlatform:
@@ -71,6 +91,7 @@ class EmulationPlatform:
             engine=self.config.engine,
             seed=self.config.seed,
             cache_entries=self.config.gemm_cache_entries,
+            tape_bytes=self.config.tape_bytes,
         )
         self.runtime = Runtime(accelerator=self.accelerator)
         self.runtime.load(self.loadable)
@@ -91,13 +112,21 @@ class EmulationPlatform:
     def baseline_accuracy(self, images: np.ndarray, labels: np.ndarray, batch_size: int = 64) -> float:
         """Fault-free accuracy of the accelerator on the given dataset.
 
-        This is the pass that primes the clean-accumulator cache: only the
-        clean activations ever recur across fault trials (a fault perturbs
-        everything downstream of it), so the cache is thawed here and
-        frozen afterwards — trials reuse the primed entries but one-shot
-        faulty activations are never inserted.
+        This is the pass that builds the clean-activation tape (or primes
+        the legacy clean-accumulator cache): only the clean activations
+        ever recur across fault trials (a fault perturbs everything
+        downstream of it), so recording happens here and is frozen
+        afterwards — trials replay the clean forward but one-shot faulty
+        activations are never inserted.
         """
         self.runtime.clear_faults()
+        tape = self.accelerator.tape
+        if tape is not None:
+            tape.start_recording()
+            try:
+                return self.runtime.accuracy(images, labels, batch_size=batch_size)
+            finally:
+                tape.finish_recording()
         cache = self.accelerator.clean_cache
         if cache is not None:
             cache.thaw()
@@ -121,6 +150,67 @@ class EmulationPlatform:
         finally:
             self.runtime.clear_faults()
 
+    def accuracies_with_faults(
+        self,
+        configs: list[InjectionConfig],
+        images: np.ndarray,
+        labels: np.ndarray,
+        batch_size: int = 64,
+    ) -> list[float]:
+        """Accuracies of several fault configurations, fused when profitable.
+
+        Configurations whose fault models are all deterministic (see
+        :func:`~repro.accelerator.engine.config_fusable`) are evaluated in
+        stacked multi-trial passes per batch chunk; the rest fall back to
+        one :meth:`accuracy_with_faults` call each.  Group size is capped so
+        a fused pass never stacks more than
+        :attr:`PlatformConfig.fused_stack_samples` samples — fusing
+        amortises dispatch overhead for small chunks but thrashes the cache
+        hierarchy for large ones, and a cap of one sends every trial down
+        the serial delta path.  The returned list is aligned with
+        ``configs`` and bit-identical to evaluating every configuration on
+        its own.
+        """
+        from repro.accelerator.engine import config_fusable
+
+        if not configs:
+            return []
+        per_chunk = min(batch_size, len(images)) or 1
+        group_cap = max(1, self.config.fused_stack_samples // per_chunk)
+        tape = self.accelerator.tape
+        per_sample = (
+            tape.max_accumulator_bytes_per_sample() if tape is not None else None
+        )
+        if per_sample:
+            byte_cap = max(1, self.config.fused_stack_bytes // (per_chunk * per_sample))
+            group_cap = min(group_cap, byte_cap)
+        fusable = (
+            self.config.engine == "vectorised"
+            and group_cap > 1
+            and len(configs) > 1
+        )
+        accuracies: list[float | None] = [None] * len(configs)
+        fused_idx = [
+            i for i, c in enumerate(configs) if fusable and config_fusable(c)
+        ]
+        if len(fused_idx) > 1:
+            self.runtime.clear_faults()
+            for start in range(0, len(fused_idx), group_cap):
+                group = fused_idx[start : start + group_cap]
+                if len(group) == 1:
+                    continue  # a lone leftover goes down the serial path
+                fused_accs = self.runtime.accuracy_multi(
+                    [configs[i] for i in group], images, labels, batch_size=batch_size
+                )
+                for i, acc in zip(group, fused_accs):
+                    accuracies[i] = acc
+        for i, config in enumerate(configs):
+            if accuracies[i] is None:
+                accuracies[i] = self.accuracy_with_faults(
+                    config, images, labels, batch_size=batch_size
+                )
+        return accuracies
+
     def cpu_reference_accuracy(self, images: np.ndarray, labels: np.ndarray) -> float:
         """Accuracy of the bit-exact CPU backend (must equal the fault-free emulator)."""
         return self.cpu_backend.accuracy(self.quantized_model, images, labels)
@@ -129,13 +219,18 @@ class EmulationPlatform:
     # Cache lifecycle
     # ------------------------------------------------------------------
     def reset_caches(self) -> None:
-        """Drop cached clean accumulators (campaign runners call this up front)."""
+        """Drop cached clean state (campaign runners call this up front)."""
         self.accelerator.reset_caches()
 
     def gemm_cache_stats(self) -> dict[str, int | float] | None:
         """Hit/miss statistics of the clean-accumulator cache (None when off)."""
         cache = self.accelerator.clean_cache
         return None if cache is None else cache.stats()
+
+    def tape_stats(self) -> dict[str, int | float] | None:
+        """Segment/layer statistics of the clean-activation tape (None when off)."""
+        tape = self.accelerator.tape
+        return None if tape is None else tape.stats()
 
     # ------------------------------------------------------------------
     # Reports

@@ -83,6 +83,12 @@ class CampaignResult:
     #: :class:`~repro.core.stats.AdaptiveCampaignPlan`; ``None`` for
     #: fixed-budget campaigns.
     adaptive: dict | None = None
+    #: Execution statistics aggregated across the parent and every worker
+    #: process (GEMM kernel counters, clean-cache/tape hit rates, optional
+    #: per-stage wall-time profile).  Purely observational: two runs with
+    #: different worker counts produce identical records but different
+    #: runtime stats, so these are excluded from record-level artifacts.
+    runtime_stats: dict | None = None
 
     def add(self, record: TrialRecord) -> None:
         self.records.append(record)
@@ -187,6 +193,7 @@ class CampaignResult:
                 else None
             ),
             "adaptive": self.adaptive,
+            "runtime_stats": self.runtime_stats,
         }
 
     # ------------------------------------------------------------------
@@ -251,6 +258,8 @@ class CampaignResult:
         }
         if self.adaptive is not None:
             out["adaptive"] = self.adaptive
+        if self.runtime_stats is not None:
+            out["runtime_stats"] = self.runtime_stats
         return out
 
     def to_json(self, indent: int = 2) -> str:
@@ -266,6 +275,7 @@ class CampaignResult:
             wall_seconds=data.get("wall_seconds", 0.0),
             emulated_inferences_per_second=data.get("emulated_inferences_per_second"),
             adaptive=data.get("adaptive"),
+            runtime_stats=data.get("runtime_stats"),
         )
         for record in data.get("records", []):
             result.add(TrialRecord.from_dict(record))

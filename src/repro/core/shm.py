@@ -1,0 +1,165 @@
+"""Zero-copy evaluation batches for campaign worker processes.
+
+Campaign workers all evaluate the *same* frozen image/label arrays.  Under
+the ``spawn`` start method (and for any queue-borne payload) those arrays
+are pickled once per worker — for paper-scale evaluation sets that is both
+wall-clock (serialisation) and memory (one private copy per worker).
+
+:class:`SharedBatch` places the arrays in POSIX shared memory instead: the
+parent copies each array into one :class:`multiprocessing.shared_memory`
+block, and what crosses the process boundary is a few hundred bytes of
+metadata (block name, per-array shape/dtype/offset).  Workers map the block
+and reconstruct read-only ndarray views — the same physical pages for every
+worker, no pickling, no copies.
+
+Ownership protocol:
+
+* the parent calls :meth:`SharedBatch.create` and later :meth:`unlink`
+  (in a ``finally``) once all workers have exited;
+* each worker calls :meth:`arrays` to get its views and :meth:`close` when
+  done (the worker entry points do this in a ``finally``).
+
+Views are marked read-only: the evaluation batch is part of campaign
+identity, and a stray in-place write through a mapped view would corrupt
+every other worker's data silently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+try:  # pragma: no cover - stdlib, but keep the import failure explicit
+    from multiprocessing import shared_memory
+except ImportError:  # pragma: no cover
+    shared_memory = None
+
+
+@dataclass(frozen=True)
+class _ArraySpec:
+    """Layout of one array inside the shared block."""
+
+    shape: tuple
+    dtype: str
+    offset: int
+    nbytes: int
+
+
+class SharedBatch:
+    """A picklable handle to evaluation arrays living in shared memory."""
+
+    def __init__(self, block_name: str, specs: tuple[_ArraySpec, ...]):
+        self._block_name = block_name
+        self._specs = specs
+        self._shm: "shared_memory.SharedMemory | None" = None
+        self._owner = False
+
+    # ------------------------------------------------------------------
+    # Parent side
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, *arrays: np.ndarray) -> "SharedBatch":
+        """Copy ``arrays`` into one fresh shared-memory block."""
+        if shared_memory is None:  # pragma: no cover - py<3.8 only
+            raise RuntimeError("multiprocessing.shared_memory is unavailable")
+        contiguous = [np.ascontiguousarray(a) for a in arrays]
+        total = max(1, sum(a.nbytes for a in contiguous))
+        shm = shared_memory.SharedMemory(create=True, size=total)
+        specs = []
+        offset = 0
+        for array in contiguous:
+            view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf, offset=offset)
+            view[...] = array
+            specs.append(
+                _ArraySpec(
+                    shape=tuple(array.shape),
+                    dtype=array.dtype.str,
+                    offset=offset,
+                    nbytes=array.nbytes,
+                )
+            )
+            offset += array.nbytes
+        batch = cls(shm.name, tuple(specs))
+        batch._shm = shm
+        batch._owner = True
+        return batch
+
+    def unlink(self) -> None:
+        """Destroy the block (parent only, after all workers exited)."""
+        if self._shm is not None:
+            self._shm.close()
+            if self._owner:
+                try:
+                    self._shm.unlink()
+                except FileNotFoundError:  # pragma: no cover - already gone
+                    pass
+            self._shm = None
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def _attach(self) -> "shared_memory.SharedMemory":
+        # On POSIX both fork and spawn children inherit the parent's
+        # resource-tracker fd (multiprocessing passes it in the spawn
+        # preparation data), so the attach-side registration lands in the
+        # same tracker set idempotently and the single unregister happens
+        # when the owning parent unlinks the block.  unlink() tolerates
+        # FileNotFoundError as a backstop for trackers that raced us.
+        if self._shm is None:
+            self._shm = shared_memory.SharedMemory(name=self._block_name)
+        return self._shm
+
+    def arrays(self) -> tuple[np.ndarray, ...]:
+        """Read-only ndarray views over the mapped block (attaching lazily)."""
+        shm = self._attach()
+        views = []
+        for spec in self._specs:
+            view = np.ndarray(
+                spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf, offset=spec.offset
+            )
+            view.flags.writeable = False
+            views.append(view)
+        return tuple(views)
+
+    def close(self) -> None:
+        """Drop this process's mapping (the block itself lives on)."""
+        if self._shm is not None and not self._owner:
+            self._shm.close()
+            self._shm = None
+
+    @property
+    def nbytes(self) -> int:
+        return sum(spec.nbytes for spec in self._specs)
+
+    # ------------------------------------------------------------------
+    # Pickling (only the metadata crosses the process boundary)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        return {"block_name": self._block_name, "specs": self._specs}
+
+    def __setstate__(self, state: dict) -> None:
+        self._block_name = state["block_name"]
+        self._specs = state["specs"]
+        self._shm = None
+        self._owner = False
+
+
+def resolve_batch(batch) -> tuple[np.ndarray, np.ndarray]:
+    """``(images, labels)`` from either a :class:`SharedBatch` or a tuple.
+
+    Worker entry points accept both forms so shared memory can be disabled
+    (``CampaignConfig.shared_batches=False``) or unavailable without a
+    separate code path.
+    """
+    if isinstance(batch, SharedBatch):
+        images, labels = batch.arrays()
+        return images, labels
+    images, labels = batch
+    return images, labels
+
+
+def release_batch(batch) -> None:
+    """Worker-side cleanup counterpart of :func:`resolve_batch`."""
+    if isinstance(batch, SharedBatch):
+        batch.close()

@@ -705,6 +705,8 @@ class SweepRunner:
         resolver: ScenarioResolver | None = None,
         cache_dir: Path | str | None = None,
         plan: AdaptiveCampaignPlan | None = None,
+        fused_trials: int = 8,
+        profile: bool = False,
     ):
         spec = grid.spec if isinstance(grid, ScenarioGrid) else None
         self.scenarios = list(grid)
@@ -721,6 +723,12 @@ class SweepRunner:
         self.plan = plan if plan is not None else (spec.adaptive if spec else None)
         self.resolver = resolver or self._zoo_resolver
         self.cache_dir = cache_dir
+        #: Trials per fused engine pass inside every scenario campaign
+        #: (1 disables fusion; scenario records are bit-identical either way).
+        self.fused_trials = fused_trials
+        #: Collect per-stage wall-time breakdowns and write them as
+        #: ``<sweep_dir>/profile.json`` (one entry per scenario).
+        self.profile = profile
         self._spec = spec
 
     def _zoo_resolver(self, scenario: Scenario) -> tuple[PlatformSpec, np.ndarray, np.ndarray]:
@@ -762,7 +770,12 @@ class SweepRunner:
             runner = ParallelCampaignRunner(
                 platform_spec,
                 scenario.build_strategy(),
-                CampaignConfig(batch_size=self.batch_size, seed=self.seed),
+                CampaignConfig(
+                    batch_size=self.batch_size,
+                    seed=self.seed,
+                    fused_trials=self.fused_trials,
+                    profile=self.profile,
+                ),
                 workers=self.workers,
                 checkpoint=self._checkpoint_path(scenario),
                 resume=self.resume,
@@ -788,6 +801,17 @@ class SweepRunner:
         (self.sweep_dir / "sweep.json").write_text(
             json.dumps(payload, indent=2, sort_keys=True) + "\n"
         )
+        if self.profile:
+            profile_payload = {
+                "scenarios": {
+                    sr.scenario.scenario_id: sr.result.runtime_stats
+                    for sr in sweep.scenario_results
+                },
+                "wall_seconds": sweep.wall_seconds,
+            }
+            (self.sweep_dir / "profile.json").write_text(
+                json.dumps(profile_payload, indent=2, sort_keys=True) + "\n"
+            )
         logger.info(
             "sweep artifacts written to %s (%d scenarios, %d records)",
             self.sweep_dir,

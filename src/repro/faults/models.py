@@ -77,6 +77,17 @@ class FaultModel:
     #: such models implement :meth:`apply_at` instead of :meth:`apply`.
     cycle_dependent: bool = False
 
+    #: True when :meth:`apply` never consumes the engine's RNG stream, i.e.
+    #: the faulty values are a pure function of the inputs (and, for
+    #: cycle-dependent models, the cycle indices).  Only such models can
+    #: join fused multi-trial evaluation — models that draw random numbers
+    #: (e.g. :class:`TransientPulse`) would observe a different draw order
+    #: under fusion.  The base-class default is ``False`` so a new
+    #: stochastic model is excluded from fusion unless it explicitly opts
+    #: in; silently admitting one would break the records-bit-identical
+    #: invariant between fused and per-trial evaluation.
+    rng_free: bool = False
+
     def apply(self, products: np.ndarray, rng: np.random.Generator | None = None) -> np.ndarray:
         """Return the faulty products corresponding to ``products``."""
         raise NotImplementedError
@@ -118,6 +129,7 @@ class ConstantValue(FaultModel):
     value: int
     value_dependent: bool = False
     persistent: bool = True
+    rng_free: bool = True
 
     def __post_init__(self) -> None:
         lo = -(1 << (PRODUCT_WIDTH - 1))
@@ -147,6 +159,7 @@ class StuckAtZero(FaultModel):
 
     value_dependent: bool = False
     persistent: bool = True
+    rng_free: bool = True
 
     def apply(self, products: np.ndarray, rng: np.random.Generator | None = None) -> np.ndarray:
         return np.zeros_like(np.asarray(products, dtype=np.int64))
@@ -164,6 +177,7 @@ class StuckAtOne(FaultModel):
 
     value_dependent: bool = False
     persistent: bool = True
+    rng_free: bool = True
 
     def apply(self, products: np.ndarray, rng: np.random.Generator | None = None) -> np.ndarray:
         return np.full_like(np.asarray(products, dtype=np.int64), -1)
@@ -187,6 +201,7 @@ class BitFlip(FaultModel):
     bit: int
     value_dependent: bool = True
     persistent: bool = True
+    rng_free: bool = True
 
     def __post_init__(self) -> None:
         if not 0 <= self.bit < PRODUCT_WIDTH:
@@ -214,6 +229,7 @@ class TransientPulse(FaultModel):
     duty: float = 0.5
     value_dependent: bool = True  # requires the original products (to keep some)
     persistent: bool = False
+    rng_free: bool = False  # firing pattern comes from the engine RNG stream
 
     def __post_init__(self) -> None:
         lo = -(1 << (PRODUCT_WIDTH - 1))
@@ -256,6 +272,7 @@ class TransientCycleFault(FaultModel):
     value_dependent: bool = True  # untouched cycles keep the original product
     persistent: bool = False
     cycle_dependent: bool = True
+    rng_free: bool = True  # firing derives from cycle indices, not the RNG
 
     def __post_init__(self) -> None:
         lo = -(1 << (PRODUCT_WIDTH - 1))
@@ -312,6 +329,7 @@ class AccumulatorStuckAt(FaultModel):
     value_dependent: bool = True
     persistent: bool = True
     stage: str = "accumulator"
+    rng_free: bool = True
 
     def __post_init__(self) -> None:
         if not 0 <= self.bit < PARTIAL_SUM_WIDTH:

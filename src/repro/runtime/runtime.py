@@ -69,10 +69,23 @@ class RuntimeStatistics:
         self.inferences += 1
         self.images += result.batch_size
         self.wall_seconds += result.wall_seconds
-        key = self._config_key(result.injection)
+        self._count_config(result.injection, result.batch_size)
+
+    def record_fused(
+        self, injections: list[InjectionConfig], batch_size: int, wall_seconds: float
+    ) -> None:
+        """Account one fused multi-trial pass (one inference per trial)."""
+        self.inferences += len(injections)
+        self.images += len(injections) * batch_size
+        self.wall_seconds += wall_seconds
+        for injection in injections:
+            self._count_config(injection, batch_size)
+
+    def _count_config(self, injection: InjectionConfig, batch_size: int) -> None:
+        key = self._config_key(injection)
         if key not in self.per_config_images and len(self.per_config_images) >= self.max_tracked_configs:
             key = "(other)"
-        self.per_config_images[key] = self.per_config_images.get(key, 0) + result.batch_size
+        self.per_config_images[key] = self.per_config_images.get(key, 0) + batch_size
 
     @property
     def images_per_second(self) -> float:
@@ -124,11 +137,17 @@ class Runtime:
     # ------------------------------------------------------------------
     # Inference
     # ------------------------------------------------------------------
-    def infer(self, images: np.ndarray) -> InferenceResult:
-        """Run one inference job on a batch of float images."""
+    def infer(self, images: np.ndarray, chunk_key: tuple | None = None) -> InferenceResult:
+        """Run one inference job on a batch of float images.
+
+        ``chunk_key`` ties the batch to its position in an evaluation loop
+        so the accelerator's clean-activation tape can record (baseline) or
+        replay (trials) the chunk's clean forward; ad-hoc inferences leave
+        it ``None`` and execute in full.
+        """
         loadable = self._require_loadable()
         start = time.perf_counter()
-        logits = self.accelerator.execute(loadable, images)
+        logits = self.accelerator.execute(loadable, images, chunk_key=chunk_key)
         wall = time.perf_counter() - start
         result = InferenceResult(
             logits=np.asarray(logits),
@@ -147,9 +166,42 @@ class Runtime:
         total = len(labels)
         for start in range(0, total, batch_size):
             batch = images[start : start + batch_size]
-            result = self.infer(batch)
+            result = self.infer(batch, chunk_key=(start, len(batch)))
             correct += int((result.predictions == labels[start : start + batch_size]).sum())
         return correct / max(total, 1)
+
+    def accuracy_multi(
+        self,
+        configs: list[InjectionConfig],
+        images: np.ndarray,
+        labels: np.ndarray,
+        batch_size: int = 64,
+    ) -> list[float]:
+        """Top-1 accuracy of several fault configurations in fused passes.
+
+        Every batch chunk is evaluated for all configurations at once
+        through :meth:`NVDLAAccelerator.execute_fused
+        <repro.accelerator.accelerator.NVDLAAccelerator.execute_fused>`;
+        entry ``g`` of the returned list is bit-identical to arming
+        ``configs[g]`` and calling :meth:`accuracy`.
+        """
+        loadable = self._require_loadable()
+        groups = len(configs)
+        total = len(labels)
+        correct = np.zeros(groups, dtype=np.int64)
+        for start in range(0, total, batch_size):
+            batch = images[start : start + batch_size]
+            chunk_labels = np.asarray(labels[start : start + batch_size])
+            t0 = time.perf_counter()
+            logits = self.accelerator.execute_fused(
+                loadable, batch, configs, chunk_key=(start, len(batch))
+            )
+            wall = time.perf_counter() - t0
+            predictions = np.asarray(logits).argmax(axis=-1).reshape(groups, len(batch))
+            correct += (predictions == chunk_labels[None, :]).sum(axis=1)
+            self.stats.record_fused(configs, len(batch), wall)
+        self.stats.fi_reconfigurations += groups
+        return [int(c) / max(total, 1) for c in correct]
 
     # ------------------------------------------------------------------
     # Timing

@@ -82,8 +82,14 @@ def clamp(value: int | float | np.ndarray, lo: int | float, hi: int | float):
     return max(lo, min(hi, value))
 
 
-def saturate(value: int | np.ndarray, width: int) -> int | np.ndarray:
+def saturate(
+    value: int | np.ndarray, width: int, out: np.ndarray | None = None
+) -> int | np.ndarray:
     """Saturate a signed integer to the representable range of ``width`` bits.
+
+    Pass ``out`` (typically the input array itself) to clamp a buffer the
+    caller owns in place instead of allocating — the single definition of
+    the accumulator clamp shared by the reference and delta engine paths.
 
     >>> saturate(300, 8)
     127
@@ -92,6 +98,8 @@ def saturate(value: int | np.ndarray, width: int) -> int | np.ndarray:
     """
     lo = -(1 << (width - 1))
     hi = (1 << (width - 1)) - 1
+    if out is not None:
+        return np.clip(value, lo, hi, out=out)
     return clamp(value, lo, hi)
 
 

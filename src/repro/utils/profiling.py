@@ -1,0 +1,71 @@
+"""Lightweight per-stage wall-time profiling for the trial engine.
+
+``repro campaign --profile`` / ``repro sweep --profile`` need a breakdown of
+where trial wall-clock goes (tape build, correction terms, suffix forward,
+requantisation) without taxing the hot path when profiling is off.  The
+:class:`StageProfiler` here is deliberately minimal: a ``tick``/``tock``
+pair costs one attribute check when disabled, and stage accounting is two
+dict updates when enabled.
+
+Each process has one module-level :data:`PROFILER`; campaign workers ship
+their profile back to the parent in their final stats message and the
+runner merges the dicts (seconds and call counts add across processes).
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class StageProfiler:
+    """Accumulates wall seconds and call counts per named stage."""
+
+    __slots__ = ("enabled", "seconds", "calls")
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self.seconds: dict[str, float] = {}
+        self.calls: dict[str, int] = {}
+
+    def tick(self) -> float:
+        """Start a measurement (0.0 when profiling is off)."""
+        return time.perf_counter() if self.enabled else 0.0
+
+    def tock(self, stage: str, start: float) -> None:
+        """Finish a measurement started by :meth:`tick`."""
+        if not self.enabled:
+            return
+        self.seconds[stage] = self.seconds.get(stage, 0.0) + (time.perf_counter() - start)
+        self.calls[stage] = self.calls.get(stage, 0) + 1
+
+    def add(self, stage: str, seconds: float, calls: int = 1) -> None:
+        if not self.enabled:
+            return
+        self.seconds[stage] = self.seconds.get(stage, 0.0) + seconds
+        self.calls[stage] = self.calls.get(stage, 0) + calls
+
+    def reset(self) -> None:
+        self.seconds.clear()
+        self.calls.clear()
+
+    def as_dict(self) -> dict[str, dict[str, float | int]]:
+        """JSON-compatible ``{stage: {"seconds": ..., "calls": ...}}``."""
+        return {
+            stage: {"seconds": self.seconds[stage], "calls": self.calls.get(stage, 0)}
+            for stage in sorted(self.seconds)
+        }
+
+    @staticmethod
+    def merge_dicts(parts: list[dict]) -> dict[str, dict[str, float | int]]:
+        """Merge :meth:`as_dict` payloads from several processes."""
+        merged: dict[str, dict[str, float | int]] = {}
+        for part in parts:
+            for stage, entry in (part or {}).items():
+                slot = merged.setdefault(stage, {"seconds": 0.0, "calls": 0})
+                slot["seconds"] += entry.get("seconds", 0.0)
+                slot["calls"] += entry.get("calls", 0)
+        return merged
+
+
+#: Process-global profiler (disabled by default; ``--profile`` arms it).
+PROFILER = StageProfiler()

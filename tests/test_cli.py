@@ -54,6 +54,19 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep"])
 
+    def test_profile_and_fused_flags(self):
+        args = build_parser().parse_args(
+            ["campaign", "--profile", "--fused-trials", "4"]
+        )
+        assert args.profile is True
+        assert args.fused_trials == 4
+        args = build_parser().parse_args(["campaign"])
+        assert args.profile is False and args.fused_trials == 8
+        args = build_parser().parse_args(
+            ["sweep", "--spec", "grid.toml", "--profile", "--fused-trials", "2"]
+        )
+        assert args.profile is True and args.fused_trials == 2
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["bogus"])
@@ -82,6 +95,7 @@ class TestEndToEnd:
 
         monkeypatch.setattr(zoo, "DEFAULT_CACHE_DIR", tmp_path)
         campaign_out = tmp_path / "campaign.json"
+        checkpoint = tmp_path / "campaign.jsonl"
         code = main([
             "campaign", *TINY_MODEL_ARGS,
             "--values", "0",
@@ -89,12 +103,19 @@ class TestEndToEnd:
             "--trials", "1",
             "--images", "16",
             "--output", str(campaign_out),
+            "--checkpoint", str(checkpoint),
+            "--profile",
         ])
         assert code == 0
         records = json.loads(campaign_out.read_text())
         assert len(records["records"]) == 2
         out = capsys.readouterr().out
         assert "baseline accuracy" in out
+        assert "stage profile written" in out
+        profile = json.loads((tmp_path / "campaign.jsonl.profile.json").read_text())
+        assert profile["num_trials"] == 2
+        assert "correction" in profile["profile"]
+        assert profile["gemm"]["float32_calls"] > 0
 
         heatmap_out = tmp_path / "heatmap.json"
         code = main([

@@ -1,0 +1,459 @@
+"""Certification suite of the delta-propagation trial engine.
+
+The engine's contract is absolute: every execution shortcut — taped clean
+activations, suffix-only re-execution, fused multi-trial correction stacks,
+the in-place SDP chain — must produce logits **bit-identical** to a plain
+full forward pass.  These tests certify that contract over random
+geometries and every fault-model family (constants, bit flips,
+accumulator-stage stuck-ats, deterministic per-cycle transients), plus the
+bookkeeping that makes the tape safe (byte budgets, read-only entries,
+segment verification) and the regression the PR 2 cache needed
+(``put()`` overwrite byte accounting).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.accelerator.engine import (
+    CleanAccumulatorCache,
+    VectorisedEngine,
+    config_fusable,
+)
+from repro.accelerator.geometry import PAPER_GEOMETRY
+from repro.accelerator.tape import CleanForwardTape, TapeSegment, arrays_match
+from repro.core.platform import EmulationPlatform, PlatformConfig
+from repro.faults.injector import InjectionConfig
+from repro.faults.models import (
+    AccumulatorStuckAt,
+    BitFlip,
+    ConstantValue,
+    StuckAtOne,
+    StuckAtZero,
+    TransientCycleFault,
+    TransientPulse,
+)
+from repro.faults.sites import FaultSite
+from repro.quant.qscheme import (
+    RequantParams,
+    requantize,
+    requantize_owned,
+)
+
+from tests.conftest import make_qconv, make_qlinear, random_int8
+
+
+#: One representative per fused-compatible fault-model family.
+FAMILIES = [
+    ConstantValue(0),
+    ConstantValue(-3),
+    StuckAtZero(),
+    StuckAtOne(),
+    BitFlip(5),
+    AccumulatorStuckAt(bit=20, stuck=1),
+    TransientCycleFault(value=7, duty=0.4, salt=3),
+]
+
+
+def _site_for(model, mac: int, mul: int) -> FaultSite:
+    if model.stage == "accumulator":
+        return FaultSite(mac, 0)
+    return FaultSite(mac, mul)
+
+
+# ----------------------------------------------------------------------
+# Fused multi-trial evaluation == per-trial evaluation (layer level)
+# ----------------------------------------------------------------------
+class TestFusedLayerEquivalence:
+    @pytest.mark.parametrize("model", FAMILIES, ids=lambda m: m.label())
+    def test_conv_fused_stack_matches_per_trial(self, model):
+        node = make_qconv(8, 12, 3, stride=1, padding=1, seed=11)
+        configs = [
+            InjectionConfig.single(_site_for(model, mac, mul), model)
+            for mac, mul in [(0, 0), (1, 2), (7, 7)]
+        ]
+        per_trial = 3
+        x = random_int8((per_trial, 8, 6, 6), seed=21)
+        engine = VectorisedEngine(PAPER_GEOMETRY)
+
+        # Diverged-stack form: each trial brings its own activations.
+        stack = np.concatenate([x, x, x], axis=0)
+        fused = engine.conv_accumulate_fused(node, configs, per_trial, x_stack=stack)
+        for g, config in enumerate(configs):
+            single = engine.conv_accumulate(x, node, config)
+            np.testing.assert_array_equal(
+                fused[g * per_trial : (g + 1) * per_trial], single
+            )
+
+        # Shared-clean form: one clean input for the whole group.
+        fused_clean = engine.conv_accumulate_fused(node, configs, per_trial, x_clean=x)
+        np.testing.assert_array_equal(fused_clean, fused)
+
+    @pytest.mark.parametrize("model", FAMILIES[:4], ids=lambda m: m.label())
+    def test_linear_fused_stack_matches_per_trial(self, model):
+        node = make_qlinear(24, 10, final=True, seed=5)
+        configs = [
+            InjectionConfig.single(_site_for(model, mac, mul), model)
+            for mac, mul in [(2, 1), (5, 6)]
+        ]
+        x = random_int8((4, 24), seed=9)
+        engine = VectorisedEngine(PAPER_GEOMETRY)
+        fused = engine.linear_accumulate_fused(node, configs, 4, x_clean=x)
+        for g, config in enumerate(configs):
+            single = engine.linear_accumulate(x, node, config)
+            np.testing.assert_array_equal(fused[g * 4 : (g + 1) * 4], single)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        in_channels=st.integers(3, 12),
+        out_channels=st.integers(4, 14),
+        kernel=st.sampled_from([1, 3]),
+        spatial=st.integers(3, 7),
+        batch=st.integers(1, 3),
+        mac=st.integers(0, 7),
+        mul=st.integers(0, 7),
+        model=st.sampled_from(FAMILIES),
+        seed=st.integers(0, 2**16),
+    )
+    def test_fused_equivalence_random_geometries(
+        self, in_channels, out_channels, kernel, spatial, batch, mac, mul, model, seed
+    ):
+        node = make_qconv(in_channels, out_channels, kernel, padding=kernel // 2, seed=seed)
+        x = random_int8((batch, in_channels, spatial, spatial), seed=seed + 1)
+        y = random_int8((batch, in_channels, spatial, spatial), seed=seed + 2)
+        configs = [
+            InjectionConfig.single(_site_for(model, mac, mul), model),
+            InjectionConfig.single(_site_for(model, (mac + 3) % 8, (mul + 5) % 8), model),
+        ]
+        engine = VectorisedEngine(PAPER_GEOMETRY)
+        stack = np.concatenate([x, y], axis=0)
+        fused = engine.conv_accumulate_fused(node, configs, batch, x_stack=stack)
+        np.testing.assert_array_equal(
+            fused[:batch], engine.conv_accumulate(x, node, configs[0])
+        )
+        np.testing.assert_array_equal(
+            fused[batch:], engine.conv_accumulate(y, node, configs[1])
+        )
+
+    def test_fusability_gate(self):
+        assert config_fusable(InjectionConfig.single(FaultSite(0, 0), ConstantValue(0)))
+        assert config_fusable(
+            InjectionConfig.single(FaultSite(0, 0), TransientCycleFault(value=1))
+        )
+        assert not config_fusable(
+            InjectionConfig.single(FaultSite(0, 0), TransientPulse(value=1))
+        )
+
+    def test_fused_requires_exactly_one_source(self):
+        node = make_qconv(8, 8, 1)
+        x = random_int8((2, 8, 4, 4))
+        engine = VectorisedEngine(PAPER_GEOMETRY)
+        config = [InjectionConfig.single(FaultSite(0, 0), ConstantValue(0))]
+        with pytest.raises(ValueError, match="exactly one"):
+            engine.conv_accumulate_fused(node, config, 2, x_stack=x, x_clean=x)
+        with pytest.raises(ValueError, match="exactly one"):
+            engine.conv_accumulate_fused(node, config, 2)
+
+
+# ----------------------------------------------------------------------
+# Platform level: tape + suffix execution + fused passes == plain forward
+# ----------------------------------------------------------------------
+class TestPlatformDeltaEquivalence:
+    @pytest.fixture(scope="class")
+    def platforms(self, tiny_graph, tiny_dataset):
+        """(delta platform, reference platform) built from the same graph."""
+        delta = EmulationPlatform(
+            tiny_graph,
+            tiny_dataset.calibration_batch(32),
+            config=PlatformConfig(name="delta", seed=3),
+        )
+        reference = EmulationPlatform(
+            tiny_graph,
+            tiny_dataset.calibration_batch(32),
+            config=PlatformConfig(
+                name="reference", seed=3, tape_bytes=0, gemm_cache_entries=0
+            ),
+        )
+        return delta, reference
+
+    @pytest.mark.parametrize("model", FAMILIES, ids=lambda m: m.label())
+    def test_taped_trials_bit_identical(self, platforms, tiny_dataset, model):
+        delta, reference = platforms
+        images = tiny_dataset.test_images[:24]
+        labels = tiny_dataset.test_labels[:24]
+        delta.reset_caches()
+        base_delta = delta.baseline_accuracy(images, labels, batch_size=8)
+        base_ref = reference.baseline_accuracy(images, labels, batch_size=8)
+        assert base_delta == base_ref
+        config = InjectionConfig.single(_site_for(model, 1, 2), model)
+        assert delta.accuracy_with_faults(
+            config, images, labels, batch_size=8
+        ) == reference.accuracy_with_faults(config, images, labels, batch_size=8)
+
+    def test_fused_groups_bit_identical(self, platforms, tiny_dataset):
+        delta, reference = platforms
+        images = tiny_dataset.test_images[:8]
+        labels = tiny_dataset.test_labels[:8]
+        delta.reset_caches()
+        delta.baseline_accuracy(images, labels, batch_size=8)
+        configs = [
+            InjectionConfig.single(_site_for(model, i % 8, (2 * i) % 8), model)
+            for i, model in enumerate(FAMILIES)
+        ] + [InjectionConfig.single(FaultSite(3, 3), TransientPulse(value=2, duty=1.0))]
+        fused = delta.accuracies_with_faults(configs, images, labels, batch_size=8)
+        serial = [
+            reference.accuracy_with_faults(c, images, labels, batch_size=8)
+            for c in configs
+        ]
+        assert fused == serial
+
+    def test_evicted_tape_chunks_do_not_pollute_the_cache(
+        self, tiny_graph, tiny_dataset
+    ):
+        """A tape too small to hold the clean forward must degrade to full
+        re-execution — never to hashing one-shot faulty activations into the
+        digest cache (which would churn its LRU at a 0% hit rate)."""
+        platform = EmulationPlatform(
+            tiny_graph,
+            tiny_dataset.calibration_batch(32),
+            config=PlatformConfig(
+                name="tiny-tape", seed=3, tape_bytes=1024, gemm_cache_entries=64
+            ),
+        )
+        images = tiny_dataset.test_images[:16]
+        labels = tiny_dataset.test_labels[:16]
+        baseline = platform.baseline_accuracy(images, labels, batch_size=8)
+        assert platform.tape_stats()["segments"] == 0  # everything evicted
+        config = InjectionConfig.single(FaultSite(0, 0), ConstantValue(0))
+        accuracy = platform.accuracy_with_faults(config, images, labels, batch_size=8)
+        cache = platform.accelerator.clean_cache
+        assert len(cache) == 0 and cache.hits == 0 and cache.misses == 0
+        # And the records still match a tape-less reference platform.
+        reference = EmulationPlatform(
+            tiny_graph,
+            tiny_dataset.calibration_batch(32),
+            config=PlatformConfig(name="ref", seed=3, tape_bytes=0, gemm_cache_entries=0),
+        )
+        assert baseline == reference.baseline_accuracy(images, labels, batch_size=8)
+        assert accuracy == reference.accuracy_with_faults(config, images, labels, batch_size=8)
+
+    def test_tape_stats_report_reuse(self, platforms, tiny_dataset):
+        delta, _ = platforms
+        images = tiny_dataset.test_images[:16]
+        labels = tiny_dataset.test_labels[:16]
+        delta.reset_caches()
+        delta.baseline_accuracy(images, labels, batch_size=8)
+        stats = delta.tape_stats()
+        assert stats["segments"] == 2
+        assert not stats["recording"]
+        delta.accuracy_with_faults(
+            InjectionConfig.single(FaultSite(0, 0), ConstantValue(0)),
+            images,
+            labels,
+            batch_size=8,
+        )
+        stats = delta.tape_stats()
+        assert stats["segment_hits"] == 2
+        assert stats["layer_hits"] >= 2  # at least the stem conv per chunk
+
+
+# ----------------------------------------------------------------------
+# Tape bookkeeping
+# ----------------------------------------------------------------------
+class TestCleanForwardTape:
+    def _segment(self, tape, key, nbytes=1024, seed=0):
+        qinput = random_int8((nbytes,), seed=seed)
+        segment = tape.begin_segment(key, qinput)
+        segment.record("op", (qinput,), random_int8((nbytes,), seed=seed + 1))
+        return segment
+
+    def test_byte_budget_evicts_lru_segments(self):
+        tape = CleanForwardTape(max_bytes=10_000)
+        tape.start_recording()
+        for i in range(5):
+            tape.commit_segment(self._segment(tape, (i, 64), seed=i))
+        tape.finish_recording()
+        assert tape.nbytes <= 10_000
+        assert len(tape) < 5
+        # Most recently committed chunks survive.
+        survivors = {key for key in tape._segments}
+        assert (4, 64) in survivors
+
+    def test_oversized_segment_is_discarded(self):
+        tape = CleanForwardTape(max_bytes=1000)
+        tape.start_recording()
+        tape.commit_segment(self._segment(tape, (0, 64), nbytes=4096))
+        assert len(tape) == 0
+
+    def test_segment_verification_rejects_different_input(self):
+        tape = CleanForwardTape(max_bytes=1 << 20)
+        tape.start_recording()
+        qinput = random_int8((256,), seed=1)
+        segment = tape.begin_segment((0, 4), qinput)
+        segment.record("op", (qinput,), qinput)
+        tape.commit_segment(segment)
+        tape.finish_recording()
+        assert tape.segment_for((0, 4), qinput) is segment
+        other = random_int8((256,), seed=2)
+        assert tape.segment_for((0, 4), other) is None
+        assert tape.segment_for(None, qinput) is None
+
+    def test_recording_required_for_begin_segment(self):
+        tape = CleanForwardTape(max_bytes=1 << 20)
+        with pytest.raises(RuntimeError, match="recording"):
+            tape.begin_segment((0, 1), random_int8((8,)))
+
+    def test_taped_arrays_are_read_only(self):
+        tape = CleanForwardTape(max_bytes=1 << 20)
+        tape.start_recording()
+        qinput = random_int8((64,), seed=3)
+        segment = tape.begin_segment((0, 4), qinput)
+        out = random_int8((64,), seed=4)
+        segment.record("op", (qinput,), out)
+        entry = segment.entry("op")
+        with pytest.raises(ValueError):
+            entry.output[0] = 1
+        with pytest.raises(ValueError):
+            entry.inputs[0][0] = 1
+
+    def test_arrays_match_identity_and_bytes(self):
+        a = random_int8((32,), seed=5)
+        assert arrays_match(a, a)
+        assert arrays_match(a, a.copy())
+        assert not arrays_match(a, random_int8((32,), seed=6))
+        assert not arrays_match(a, a[:16])
+
+    def test_chained_ops_intern_shared_activations(self):
+        """op k's taped output and op k+1's taped input are the same object
+        (identity is what makes replay skips O(1)), and the shared buffer is
+        charged once in the byte accounting."""
+        tape = CleanForwardTape(max_bytes=1 << 20)
+        tape.start_recording()
+        qinput = random_int8((64,), seed=11)
+        segment = tape.begin_segment((0, 4), qinput)
+        mid = random_int8((64,), seed=12)
+        out = random_int8((64,), seed=13)
+        segment.record("op1", (qinput,), mid)
+        segment.record("op2", (mid,), out)
+        e1, e2 = segment.entry("op1"), segment.entry("op2")
+        assert e2.inputs[0] is e1.output
+        assert e1.inputs[0] is segment.qinput
+        # qinput + mid + out, each counted exactly once.
+        assert segment.nbytes == qinput.nbytes + mid.nbytes + out.nbytes
+
+    def test_clean_replay_skips_by_identity(self, tiny_graph, tiny_dataset):
+        """A fault-free replay of a taped chunk must return the taped logits
+        object itself — every op of the suffix skipped by pointer identity,
+        with no recomputation of the non-GEMM ops."""
+        platform = EmulationPlatform(
+            tiny_graph,
+            tiny_dataset.calibration_batch(32),
+            config=PlatformConfig(name="identity", seed=3),
+        )
+        images = tiny_dataset.test_images[:8]
+        labels = tiny_dataset.test_labels[:8]
+        platform.baseline_accuracy(images, labels, batch_size=8)
+        accelerator = platform.accelerator
+        add_calls = []
+        original = accelerator.sdp.elementwise_add_owned
+        accelerator.sdp.elementwise_add_owned = lambda *a, **k: (
+            add_calls.append(1) or original(*a, **k)
+        )
+        try:
+            logits = accelerator.execute(platform.loadable, images, chunk_key=(0, 8))
+        finally:
+            accelerator.sdp.elementwise_add_owned = original
+        assert add_calls == []  # every residual add skipped via the tape
+        segment = accelerator.tape.segment_for((0, 8), platform.loadable.model.input_node.quantize(images))
+        assert logits is segment.entry(platform.loadable.model.output_name).output
+
+    def test_stash_joins_engine_and_accelerator_halves(self):
+        tape = CleanForwardTape(max_bytes=1 << 20)
+        tape.start_recording()
+        qinput = random_int8((16,), seed=7)
+        segment = TapeSegment((0, 2), qinput)
+        cols = random_int8((2, 4, 2), seed=8)
+        acc = np.ones((2, 3, 2), dtype=np.int64)
+        segment.stash_gemm("conv", cols, acc)
+        segment.record("conv", (qinput,), random_int8((16,), seed=9))
+        entry = segment.entry("conv")
+        np.testing.assert_array_equal(entry.cols, cols)
+        np.testing.assert_array_equal(entry.acc, acc)
+        assert segment._stash == {}
+
+
+# ----------------------------------------------------------------------
+# Requantisation fast path == reference (bit level)
+# ----------------------------------------------------------------------
+class TestRequantizeOwned:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        shift=st.integers(0, 24),
+        relu=st.booleans(),
+        saturate=st.booleans(),
+        per_channel=st.booleans(),
+        seed=st.integers(0, 2**16),
+    )
+    def test_matches_reference_over_accumulator_range(
+        self, shift, relu, saturate, per_channel, seed
+    ):
+        rng = np.random.default_rng(seed)
+        acc = rng.integers(-(1 << 33), 1 << 33, size=(3, 4, 5), dtype=np.int64)
+        # Include exact rounding-boundary values.
+        if shift:
+            acc[0, 0, 0] = 1 << (shift - 1)
+            acc[0, 0, 1] = -(1 << (shift - 1))
+        multiplier = rng.integers(1, 1 << 16, size=(4,) if per_channel else (), dtype=np.int64)
+        params = RequantParams(multiplier=multiplier, shift=shift)
+        expected = requantize(acc, params, channel_axis=1, relu=relu, saturate_to_int8=saturate)
+        actual = requantize_owned(
+            acc.copy(), params, channel_axis=1, relu=relu, saturate_to_int8=saturate
+        )
+        np.testing.assert_array_equal(actual, expected)
+        assert actual.dtype == expected.dtype
+
+    def test_input_not_mutated(self):
+        acc = np.arange(-8, 8, dtype=np.int64).reshape(2, 8)
+        saved = acc.copy()
+        params = RequantParams(multiplier=np.int64(3), shift=2)
+        requantize_owned(acc, params, channel_axis=1, relu=True)
+        np.testing.assert_array_equal(acc, saved)
+
+
+# ----------------------------------------------------------------------
+# PR 2 cache regression: put() overwrite byte accounting
+# ----------------------------------------------------------------------
+class TestCacheOverwriteAccounting:
+    def test_overwrite_releases_old_bytes_before_charging_new(self):
+        cache = CleanAccumulatorCache(max_entries=8)
+        small = np.zeros(100, dtype=np.int64)
+        large = np.zeros(400, dtype=np.int64)
+        cache.put(("k",), small, small)
+        assert cache.nbytes == 2 * small.nbytes
+        cache.put(("k",), large, large)
+        assert cache.nbytes == 2 * large.nbytes
+        cache.put(("k",), small, small)
+        assert cache.nbytes == 2 * small.nbytes
+        assert len(cache) == 1
+
+    def test_overwrite_refreshes_lru_recency(self):
+        cache = CleanAccumulatorCache(max_entries=2)
+        a = np.zeros(10, dtype=np.int64)
+        cache.put(("old",), a, a)
+        cache.put(("young",), a, a)
+        cache.put(("old",), a, a)  # overwrite moves it to the fresh end
+        cache.put(("new",), a, a)  # evicts "young", not "old"
+        assert cache.get(("old",)) is not None
+        assert cache.get(("young",)) is None
+
+    def test_budget_holds_under_repeated_overwrites(self):
+        cache = CleanAccumulatorCache(max_entries=4, max_bytes=64_000)
+        for i in range(32):
+            payload = np.zeros(1000 + i, dtype=np.int64)
+            cache.put(("k", i % 3), payload, payload)
+            assert cache.nbytes <= 64_000
+            assert cache.nbytes == sum(
+                c.nbytes + a.nbytes for c, a in cache._entries.values()
+            )

@@ -131,12 +131,20 @@ class TestDeterministicSharding:
 
 
 class TestCleanAccumulatorCacheDeterminism:
-    """The clean-accumulator cache must be invisible in campaign records."""
+    """The clean-accumulator cache must be invisible in campaign records.
+
+    These tests pin ``tape_bytes=0``: with the clean-activation tape armed
+    (the default) campaign chunks replay from the tape and the legacy
+    digest-keyed cache only serves ad-hoc executions, so exercising the
+    cache path needs the tape out of the way.
+    """
 
     def _spec_with_cache(self, spec, entries):
         import dataclasses
 
-        config = dataclasses.replace(spec.platform_config, gemm_cache_entries=entries)
+        config = dataclasses.replace(
+            spec.platform_config, gemm_cache_entries=entries, tape_bytes=0
+        )
         return dataclasses.replace(spec, platform_config=config)
 
     def test_cached_and_uncached_records_identical(self, tiny_platform_spec, tiny_dataset):
