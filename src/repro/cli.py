@@ -22,17 +22,17 @@ All subcommands use the cached case-study model (training it on first use);
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from pathlib import Path
 
 from repro.core.analysis import accuracy_drop_boxplots, heatmap_matrix, most_sensitive_site
 from repro.core.campaign import CampaignConfig, FaultInjectionCampaign
 from repro.core.parallel import ParallelCampaignRunner
+from repro.core.registry import MODELS, STRATEGIES, axis_provenance, registry_digest, registry_schema
 from repro.core.stats import AdaptiveCampaignPlan
-from repro.core.strategies import ExhaustiveSingleSite, PerMACUnitSweep, RandomMultipliers
-from repro.core.sweep import ExperimentSpec, SweepRunner
+from repro.core.sweep import ExperimentSpec, SweepRunner, load_spec_data, validate_spec_data
 from repro.runtime.perf_model import table1_performance_rows
+from repro.utils.jsonsafe import dump_json_safe
 from repro.utils.tabulate import format_heatmap, format_table
 from repro.zoo import CaseStudySpec, build_case_study_platform, case_study_platform_spec
 
@@ -113,22 +113,29 @@ def _write_profile(result, checkpoint: str, default: str) -> Path:
         "num_trials": len(result),
     }
     path = Path(checkpoint + ".profile.json") if checkpoint else Path(default)
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    path.write_text(dump_json_safe(payload, indent=2, sort_keys=True) + "\n")
     return path
+
+
+def _campaign_strategy_params(args: argparse.Namespace) -> dict:
+    """The subset of strategy flags the chosen kind's schema accepts.
+
+    The campaign parser exposes ``--counts``/``--trials`` for every
+    strategy; kinds that take no such parameters (e.g. ``per-mac``) would
+    otherwise be handed unknown params built from the flags' defaults.
+    """
+    entry = STRATEGIES.get(args.strategy, context="campaign")
+    known = {p.name for p in entry.params}
+    flags = {"counts": tuple(args.counts), "trials": args.trials}
+    return {key: value for key, value in flags.items() if key in known}
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
     platform_spec, case = case_study_platform_spec(_case_spec(args))
-    if args.strategy == "random":
-        strategy = RandomMultipliers(
-            values=tuple(args.values),
-            fault_counts=tuple(args.counts),
-            trials_per_point=args.trials,
-        )
-    elif args.strategy == "per-mac":
-        strategy = PerMACUnitSweep(values=tuple(args.values))
-    else:
-        raise ValueError(f"unknown strategy {args.strategy!r}")
+    params = _campaign_strategy_params(args)
+    strategy = STRATEGIES.build(
+        args.strategy, params, context="campaign strategy", values=tuple(args.values)
+    )
 
     plan = None
     if args.adaptive_target is not None:
@@ -172,6 +179,24 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         plan=plan,
     )
     result = runner.run(images, labels)
+    result.provenance = {
+        "registry_digest": registry_digest(),
+        "strategy": {
+            **axis_provenance(STRATEGIES, args.strategy, params),
+            "values": [int(v) for v in args.values],
+        },
+        "model": axis_provenance(
+            MODELS,
+            "case-study",
+            {
+                "width_multiplier": args.width,
+                "num_train": args.train_images,
+                "num_test": args.test_images,
+                "epochs": args.epochs,
+                "seed": args.seed,
+            },
+        ),
+    }
 
     print(f"baseline accuracy: {result.baseline_accuracy:.3f}; "
           f"{len(result)} injections in {result.wall_seconds:.1f}s "
@@ -200,7 +225,14 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    spec = ExperimentSpec.from_file(args.spec)
+    data = load_spec_data(args.spec)
+    problems = validate_spec_data(data)
+    if problems:
+        raise ValueError(
+            f"spec {args.spec} is invalid ({len(problems)} problem(s)):\n"
+            + "\n".join(f"  - {problem}" for problem in problems)
+        )
+    spec = ExperimentSpec.from_dict(data)
     if args.images is not None:
         spec.images = args.images
     if args.sweep_seed is not None:
@@ -250,6 +282,36 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"artifacts written to {args.sweep_dir}/sweep.jsonl and sweep.json")
         if args.profile:
             print(f"stage profile written to {args.sweep_dir}/profile.json")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    if not args.spec and not args.kinds:
+        raise ValueError("validate needs --spec <file> and/or --kinds")
+    if args.kinds:
+        schema = registry_schema()
+        for category in sorted(schema):
+            kinds = schema[category]
+            print(f"{category} kinds:")
+            for kind in sorted(kinds):
+                description = kinds[kind].get("description", "")
+                print(f"  {kind}" + (f" - {description}" if description else ""))
+        print(f"registry digest: {registry_digest()}")
+        if not args.spec:
+            return 0
+    data = load_spec_data(args.spec)
+    problems = validate_spec_data(data)
+    if problems:
+        print(
+            f"spec {args.spec} is invalid ({len(problems)} problem(s)):",
+            file=sys.stderr,
+        )
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    grid = ExperimentSpec.from_dict(data).grid()
+    print(f"spec {args.spec} is valid: {len(grid)} scenario(s)")
+    print(f"registry digest: {registry_digest()}")
     return 0
 
 
@@ -303,7 +365,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     print(f"HTML report written to {html_path}")
     if args.json_out:
         json_path = Path(args.json_out)
-        json_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        json_path.write_text(dump_json_safe(report, indent=2, sort_keys=True) + "\n")
         print(f"JSON report written to {json_path}")
     return 0
 
@@ -312,7 +374,9 @@ def _cmd_heatmap(args: argparse.Namespace) -> int:
     platform, case = _build_platform(args)
     images = case.dataset.test_images[: args.images]
     labels = case.dataset.test_labels[: args.images]
-    strategy = ExhaustiveSingleSite(values=(args.value,))
+    strategy = STRATEGIES.build(
+        "exhaustive", {}, context="heatmap strategy", values=(args.value,)
+    )
     campaign = FaultInjectionCampaign(platform, strategy, CampaignConfig(seed=args.campaign_seed))
     result = campaign.run(images, labels)
 
@@ -322,7 +386,7 @@ def _cmd_heatmap(args: argparse.Namespace) -> int:
     print(f"most sensitive site: MAC {worst.mac_unit + 1} / MUL {worst.multiplier + 1} "
           f"({worst.accuracy_drop * 100:.1f}% drop)")
     if args.output:
-        Path(args.output).write_text(json.dumps(
+        Path(args.output).write_text(dump_json_safe(
             {"baseline_accuracy": result.baseline_accuracy,
              "injected_value": args.value,
              "heatmap": matrix.tolist()}, indent=2))
@@ -345,7 +409,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     campaign = subparsers.add_parser("campaign", help="run a fault-injection campaign (Fig. 2 style)")
     _add_model_arguments(campaign)
-    campaign.add_argument("--strategy", choices=("random", "per-mac"), default="random")
+    campaign.add_argument("--strategy", choices=tuple(STRATEGIES.kinds()), default="random")
     campaign.add_argument("--values", type=int, nargs="+", default=[0, 1, -1])
     campaign.add_argument("--counts", type=int, nargs="+", default=[1, 2, 3, 4, 5, 6, 7])
     campaign.add_argument("--trials", type=int, default=2)
@@ -413,6 +477,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "<sweep-dir>/profile.json")
     sweep.set_defaults(func=_cmd_sweep)
 
+    validate = subparsers.add_parser(
+        "validate",
+        help="check a sweep spec against the registered kinds without running anything",
+    )
+    validate.add_argument("--spec", type=str, default="",
+                          help="JSON or TOML experiment spec file to validate")
+    validate.add_argument("--kinds", action="store_true",
+                          help="list the registered kinds of every axis registry")
+    validate.set_defaults(func=_cmd_validate)
+
     report = subparsers.add_parser(
         "report",
         help="render a sweep.json / campaign JSON into an HTML + JSON reliability report",
@@ -449,7 +523,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (ValueError, OSError) as exc:
+        # Spec/configuration mistakes are user errors: report them as one
+        # clean message on stderr instead of a traceback mid-campaign.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro

@@ -774,18 +774,27 @@ class ParallelCampaignRunner:
         )
         ctx = mp.get_context(method)
         results: mp.Queue = ctx.Queue()
-        batch, shared = self._make_batch(images, labels)
-        procs = [
-            ctx.Process(
-                target=_shard_worker,
-                args=(w, self.spec, self.strategy, cfg, batch, shard, results),
-                daemon=True,
-            )
-            for w, shard in enumerate(shards)
-        ]
-        writer = self._open_checkpoint(fresh=header is None)
         stats_parts: list[dict] = []
+        # Every resource needing parent-side reaping — the /dev/shm batch
+        # segment, the worker processes, the checkpoint writer — is
+        # allocated *inside* the try: workers release their attachment in a
+        # `finally`, but a worker killed mid-trial never runs it, so the
+        # parent's unlink below is the only thing standing between an
+        # abnormal exit and a leaked shared-memory segment.
+        shared = None
+        writer = None
+        procs: list = []
         try:
+            batch, shared = self._make_batch(images, labels)
+            procs = [
+                ctx.Process(
+                    target=_shard_worker,
+                    args=(w, self.spec, self.strategy, cfg, batch, shard, results),
+                    daemon=True,
+                )
+                for w, shard in enumerate(shards)
+            ]
+            writer = self._open_checkpoint(fresh=header is None)
             for proc in procs:
                 proc.start()
             remaining = len(procs)
@@ -1012,19 +1021,25 @@ class ParallelCampaignRunner:
         ctx = mp.get_context(method)
         results: mp.Queue = ctx.Queue()
         task_queues: list[mp.Queue] = [ctx.Queue() for _ in range(self.workers)]
-        batch, shared = self._make_batch(images, labels)
-        procs = [
-            ctx.Process(
-                target=_round_worker,
-                args=(w, self.spec, self.strategy, cfg, batch, task_queues[w], results),
-                daemon=True,
-            )
-            for w in range(self.workers)
-        ]
-        writer = self._open_checkpoint(fresh=header is None)
         header_written = header is not None
         stats_parts: list[dict] = []
+        # Allocated inside the try for the same reason as _run_parallel:
+        # the parent's finally is the only reliable reaper of the shared
+        # batch segment when a worker exits abnormally.
+        shared = None
+        writer = None
+        procs: list = []
         try:
+            batch, shared = self._make_batch(images, labels)
+            procs = [
+                ctx.Process(
+                    target=_round_worker,
+                    args=(w, self.spec, self.strategy, cfg, batch, task_queues[w], results),
+                    daemon=True,
+                )
+                for w in range(self.workers)
+            ]
+            writer = self._open_checkpoint(fresh=header is None)
             for proc in procs:
                 proc.start()
 

@@ -17,6 +17,8 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.utils.jsonsafe import dump_json_safe
+
 
 @dataclass(frozen=True)
 class TrialRecord:
@@ -89,6 +91,10 @@ class CampaignResult:
     #: different worker counts produce identical records but different
     #: runtime stats, so these are excluded from record-level artifacts.
     runtime_stats: dict | None = None
+    #: Registry provenance (registry digest + resolved ``(kind, params)``
+    #: per axis) stamped by the producing runner/CLI; ``None`` for results
+    #: built programmatically or loaded from pre-provenance artifacts.
+    provenance: dict | None = None
 
     def add(self, record: TrialRecord) -> None:
         self.records.append(record)
@@ -223,6 +229,7 @@ class CampaignResult:
             seed=first.seed,
             emulated_inferences_per_second=first.emulated_inferences_per_second,
             adaptive=first.adaptive,
+            provenance=first.provenance,
         )
         for part in parts:
             identity = (part.baseline_accuracy, part.strategy, part.num_images, part.seed)
@@ -260,10 +267,12 @@ class CampaignResult:
             out["adaptive"] = self.adaptive
         if self.runtime_stats is not None:
             out["runtime_stats"] = self.runtime_stats
+        if self.provenance is not None:
+            out["provenance"] = self.provenance
         return out
 
     def to_json(self, indent: int = 2) -> str:
-        return json.dumps(self.to_dict(), indent=indent)
+        return dump_json_safe(self.to_dict(), indent=indent)
 
     @classmethod
     def from_dict(cls, data: dict) -> "CampaignResult":
@@ -276,6 +285,7 @@ class CampaignResult:
             emulated_inferences_per_second=data.get("emulated_inferences_per_second"),
             adaptive=data.get("adaptive"),
             runtime_stats=data.get("runtime_stats"),
+            provenance=data.get("provenance"),
         )
         for record in data.get("records", []):
             result.add(TrialRecord.from_dict(record))

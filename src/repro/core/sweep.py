@@ -69,34 +69,26 @@ import re
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Iterator, Sequence
+from typing import Any, Callable, Iterator, Sequence
 
 import numpy as np
 
-from repro.accelerator.geometry import ArrayGeometry
 from repro.core.campaign import CampaignConfig
 from repro.core.parallel import ParallelCampaignRunner, PlatformSpec
 from repro.core.platform import PlatformConfig
+from repro.core.registry import (
+    FAULTS,
+    MODELS,
+    PLATFORMS,
+    STRATEGIES,
+    axis_provenance,
+    registry_digest,
+)
 from repro.core.results import CampaignResult
 from repro.core.stats import AdaptiveCampaignPlan
-from repro.core.strategies import (
-    ExhaustiveSingleSite,
-    InjectionStrategy,
-    PerMACUnitSweep,
-    PerMultiplierPositionSweep,
-    RandomMultipliers,
-    StratifiedSampling,
-)
-from repro.faults.models import (
-    AccumulatorStuckAt,
-    BitFlip,
-    ConstantValue,
-    FaultModel,
-    StuckAtOne,
-    StuckAtZero,
-    TransientCycleFault,
-)
-from repro.utils.bitops import PARTIAL_SUM_WIDTH
+from repro.core.strategies import InjectionStrategy
+from repro.faults.models import FaultModel
+from repro.utils.jsonsafe import dump_json_safe
 from repro.utils.logging import get_logger
 
 logger = get_logger(__name__)
@@ -138,48 +130,52 @@ class _NamedAxis:
 
 
 # ----------------------------------------------------------------------
-# Axes
+# Axes (kind + params resolved through repro.core.registry)
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class ModelAxis(_NamedAxis):
-    """One model cell: a zoo variant plus optional CaseStudySpec overrides."""
+    """One model cell: a registered model kind plus variant/overrides."""
 
     name: str
     variant: str | None = None
     params: dict = field(default_factory=dict)
+    kind: str = "case-study"
+
+    def _registry_params(self) -> dict:
+        params = dict(self.params)
+        if self.variant is not None:
+            params.setdefault("variant", self.variant)
+        return params
 
     def case_spec(self):
         """Resolve to the :class:`~repro.zoo.CaseStudySpec` this cell trains."""
-        from repro.zoo import CaseStudySpec, case_study_variant
-
-        base = case_study_variant(self.variant) if self.variant else CaseStudySpec()
-        if not self.params:
-            return base
-        known = {f.name for f in dataclasses.fields(CaseStudySpec)}
-        unknown = set(self.params) - known
-        if unknown:
-            raise ValueError(
-                f"model axis {self.name!r}: unknown CaseStudySpec fields {sorted(unknown)}"
-            )
-        return dataclasses.replace(base, **self.params)
+        return MODELS.build(
+            self.kind, self._registry_params(), context=f"model axis {self.name!r}"
+        )
 
     @classmethod
     def from_dict(cls, data: dict) -> "ModelAxis":
         data = dict(data)
+        kind = data.pop("kind", "case-study")
         variant = data.pop("variant", None)
         params = dict(data.pop("params", {}))
         params.update(data.pop("extra", {}))
         name = _pop_name(data, variant or "default")
-        params.update(data)  # inline keys are CaseStudySpec overrides
-        return cls(name=name, variant=variant, params=params)
+        params.update(data)  # inline keys are model-kind parameters
+        return cls(name=name, variant=variant, params=params, kind=kind)
 
     def to_dict(self) -> dict:
         out: dict = {"name": self.name}
+        if self.kind != "case-study":
+            out["kind"] = self.kind
         if self.variant:
             out["variant"] = self.variant
         if self.params:
             out["params"] = dict(self.params)
         return out
+
+    def provenance(self) -> dict:
+        return axis_provenance(MODELS, self.kind, self._registry_params())
 
 
 @dataclass(frozen=True)
@@ -191,38 +187,9 @@ class FaultAxis(_NamedAxis):
     params: dict = field(default_factory=dict)
 
     def build(self) -> tuple[FaultModel, ...]:
-        params = dict(self.params)
-        kind = self.kind
-        if kind == "const":
-            values = params.pop("values", (0,))
-            models: tuple[FaultModel, ...] = tuple(ConstantValue(int(v)) for v in values)
-        elif kind == "stuck-at-0":
-            models = (StuckAtZero(),)
-        elif kind == "stuck-at-1":
-            models = (StuckAtOne(),)
-        elif kind == "bitflip":
-            bits = params.pop("bits", (0,))
-            models = tuple(BitFlip(int(b)) for b in bits)
-        elif kind == "transient":
-            values = params.pop("values", (0,))
-            duty = float(params.pop("duty", 0.5))
-            salt = int(params.pop("salt", 0))
-            models = tuple(
-                TransientCycleFault(value=int(v), duty=duty, salt=salt) for v in values
-            )
-        elif kind == "acc-stuck":
-            bits = params.pop("bits", (PARTIAL_SUM_WIDTH - 1,))
-            stuck = int(params.pop("stuck", 0))
-            models = tuple(AccumulatorStuckAt(bit=int(b), stuck=stuck) for b in bits)
-        else:
-            raise ValueError(
-                f"fault axis {self.name!r}: unknown kind {kind!r}; expected one of "
-                "const, stuck-at-0, stuck-at-1, bitflip, transient, acc-stuck"
-            )
-        if params:
-            raise ValueError(
-                f"fault axis {self.name!r}: unknown parameters {sorted(params)}"
-            )
+        models = tuple(
+            FAULTS.build(self.kind, self.params, context=f"fault axis {self.name!r}")
+        )
         if not models:
             raise ValueError(f"fault axis {self.name!r} builds no fault models")
         return models
@@ -246,6 +213,9 @@ class FaultAxis(_NamedAxis):
     def to_dict(self) -> dict:
         return {"name": self.name, "kind": self.kind, **dict(self.params)}
 
+    def provenance(self) -> dict:
+        return axis_provenance(FAULTS, self.kind, self.params)
+
 
 @dataclass(frozen=True)
 class StrategyAxis(_NamedAxis):
@@ -256,49 +226,16 @@ class StrategyAxis(_NamedAxis):
     params: dict = field(default_factory=dict)
 
     def build(self, models: tuple[FaultModel, ...], name: str) -> InjectionStrategy:
-        params = dict(self.params)
+        context = f"strategy axis {self.name!r}"
+        entry = STRATEGIES.get(self.kind, context=context)
         stage = models[0].stage
-        if self.kind == "random":
-            counts = tuple(int(c) for c in params.pop("counts", (1, 2, 3, 4, 5, 6, 7)))
-            trials = int(params.pop("trials", 10))
-            strategy: InjectionStrategy = RandomMultipliers(
-                fault_counts=counts, trials_per_point=trials, models=models, name=name
-            )
-        elif self.kind == "exhaustive":
-            strategy = ExhaustiveSingleSite(models=models, name=name)
-        elif self.kind == "per-mac":
-            if stage != "product":
-                raise ValueError(
-                    f"strategy axis {self.name!r} (per-mac) arms whole MAC units "
-                    "and cannot sweep accumulator-stage fault families"
-                )
-            strategy = PerMACUnitSweep(models=models, name=name)
-        elif self.kind == "per-position":
-            if stage != "product":
-                raise ValueError(
-                    f"strategy axis {self.name!r} (per-position) arms multiplier "
-                    "lanes and cannot sweep accumulator-stage fault families"
-                )
-            strategy = PerMultiplierPositionSweep(models=models, name=name)
-        elif self.kind == "stratified":
-            allocation = tuple(int(c) for c in params.pop("allocation", ()))
-            if not allocation:
-                raise ValueError(
-                    f"strategy axis {self.name!r} (stratified) needs an explicit "
-                    "'allocation' list of per-stratum trial counts (one per MAC "
-                    "unit; e.g. a Neyman allocation computed from a pilot round)"
-                )
-            strategy = StratifiedSampling(allocation=allocation, models=models, name=name)
-        else:
+        if entry.stages is not None and stage not in entry.stages:
+            supported = "/".join(entry.stages)
             raise ValueError(
-                f"strategy axis {self.name!r}: unknown kind {self.kind!r}; expected "
-                "one of random, exhaustive, per-mac, per-position, stratified"
+                f"{context} ({self.kind}) supports {supported}-stage fault "
+                f"families only and cannot sweep a {stage}-stage family"
             )
-        if params:
-            raise ValueError(
-                f"strategy axis {self.name!r}: unknown parameters {sorted(params)}"
-            )
-        return strategy
+        return STRATEGIES.build(self.kind, self.params, context=context, models=models, name=name)
 
     @classmethod
     def from_dict(cls, data: dict) -> "StrategyAxis":
@@ -314,51 +251,78 @@ class StrategyAxis(_NamedAxis):
     def to_dict(self) -> dict:
         return {"name": self.name, "kind": self.kind, **dict(self.params)}
 
+    def provenance(self) -> dict:
+        return axis_provenance(STRATEGIES, self.kind, self.params)
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, init=False)
 class PlatformAxis(_NamedAxis):
-    """One platform cell: MAC-array geometry plus engine configuration."""
+    """One platform cell: a registered platform kind plus its parameters.
+
+    Historical geometry keywords (``num_macs=4, muls_per_mac=2, ...``) are
+    accepted directly and folded into ``params``, so programmatic
+    construction predating the registry keeps working unchanged.
+    """
 
     name: str
-    num_macs: int = 8
-    muls_per_mac: int = 8
-    engine: str = "vectorised"
-    gemm_cache_entries: int = 128
+    kind: str = "nvdla"
+    params: dict = field(default_factory=dict)
+
+    def __init__(self, name: str, kind: str = "nvdla", params: dict | None = None, **legacy):
+        merged = dict(params or {})
+        merged.update(legacy)
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "kind", kind)
+        object.__setattr__(self, "params", merged)
+        self.__post_init__()
 
     def config(self) -> PlatformConfig:
-        return PlatformConfig(
-            geometry=ArrayGeometry(num_macs=self.num_macs, muls_per_mac=self.muls_per_mac),
-            engine=self.engine,
-            gemm_cache_entries=self.gemm_cache_entries,
+        return PLATFORMS.build(
+            self.kind,
+            self.params,
+            context=f"platform axis {self.name!r}",
             name=self.name,
         )
+
+    @property
+    def num_macs(self) -> int:
+        return self.config().geometry.num_macs
+
+    @property
+    def muls_per_mac(self) -> int:
+        return self.config().geometry.muls_per_mac
 
     @classmethod
     def from_dict(cls, data: dict) -> "PlatformAxis":
         data = dict(data)
-        num_macs = int(data.pop("num_macs", 8))
-        muls_per_mac = int(data.pop("muls_per_mac", 8))
-        engine = data.pop("engine", "vectorised")
-        cache = int(data.pop("gemm_cache_entries", 128))
-        name = _pop_name(data, f"{num_macs}x{muls_per_mac}")
-        if data:
-            raise ValueError(f"platform axis {name!r}: unknown parameters {sorted(data)}")
-        return cls(
-            name=name,
-            num_macs=num_macs,
-            muls_per_mac=muls_per_mac,
-            engine=engine,
-            gemm_cache_entries=cache,
-        )
+        kind = data.pop("kind", "nvdla")
+        params = dict(data.pop("params", {}))
+        # Default the axis name to the resolved geometry ("8x8") when the
+        # kind's schema carries one, else to the kind itself; resolution
+        # failures fall through to validation, which reports them properly.
+        try:
+            resolved = PLATFORMS.resolve(
+                kind, {**params, **{k: v for k, v in data.items() if k != "name"}}
+            )
+        except ValueError:
+            resolved = {}
+        if "num_macs" in resolved and "muls_per_mac" in resolved:
+            default_name = f"{resolved['num_macs']}x{resolved['muls_per_mac']}"
+        else:
+            default_name = kind
+        name = _pop_name(data, default_name)
+        params.update(data)  # inline keys are platform-kind parameters
+        return cls(name=name, kind=kind, params=params)
 
     def to_dict(self) -> dict:
-        return {
-            "name": self.name,
-            "num_macs": self.num_macs,
-            "muls_per_mac": self.muls_per_mac,
-            "engine": self.engine,
-            "gemm_cache_entries": self.gemm_cache_entries,
-        }
+        try:
+            resolved = PLATFORMS.resolve(self.kind, self.params)
+        except ValueError:
+            resolved = dict(self.params)
+        return {"name": self.name, "kind": self.kind, **resolved}
+
+    def provenance(self) -> dict:
+        return axis_provenance(PLATFORMS, self.kind, self.params)
 
 
 # ----------------------------------------------------------------------
@@ -431,14 +395,7 @@ class ExperimentSpec:
     @classmethod
     def from_file(cls, path: Path | str) -> "ExperimentSpec":
         """Load a spec from a ``.toml`` or ``.json`` file."""
-        path = Path(path)
-        if path.suffix.lower() == ".toml":
-            import tomllib
-
-            data = tomllib.loads(path.read_text())
-        else:
-            data = json.loads(path.read_text())
-        return cls.from_dict(data)
+        return cls.from_dict(load_spec_data(path))
 
     def to_dict(self) -> dict:
         out = {
@@ -490,6 +447,16 @@ class Scenario:
         model, fault, strategy, platform = self.scenario_id.split("/")
         return Path(model) / fault / strategy / f"{platform}.jsonl"
 
+    def provenance(self) -> dict:
+        """Registry provenance of this cell: digest + resolved axis params."""
+        return {
+            "registry_digest": registry_digest(),
+            "model": self.model.provenance(),
+            "fault": self.fault.provenance(),
+            "strategy": self.strategy.provenance(),
+            "platform": self.platform.provenance(),
+        }
+
 
 class ScenarioGrid:
     """The deterministic cross product of an :class:`ExperimentSpec`'s axes.
@@ -503,6 +470,7 @@ class ScenarioGrid:
     def __init__(self, spec: ExperimentSpec):
         self.spec = spec
         self.scenarios: list[Scenario] = []
+        geometries = {p.name: p.config().geometry for p in spec.platforms}
         for mi, model in enumerate(spec.models):
             for fi, fault in enumerate(spec.faults):
                 for si, strategy in enumerate(spec.strategies):
@@ -519,30 +487,20 @@ class ScenarioGrid:
                         # compatibility and site-domain bounds fail here,
                         # not hours into the sweep.
                         built = scenario.build_strategy()
-                        allocation = getattr(built, "allocation", None)
-                        if allocation is not None and len(allocation) != platform.num_macs:
-                            raise ValueError(
-                                f"scenario {scenario.scenario_id!r}: stratified "
-                                f"allocation covers {len(allocation)} strata but the "
-                                f"platform has {platform.num_macs} MAC units"
-                            )
-                        counts = getattr(built, "fault_counts", ())
-                        if fault.stage == "accumulator":
-                            domain = platform.num_macs
-                            what = "MAC-unit accumulators"
-                        else:
-                            domain = platform.num_macs * platform.muls_per_mac
-                            what = "multiplier sites"
-                        if counts and max(counts) > domain:
-                            raise ValueError(
-                                f"scenario {scenario.scenario_id!r}: fault count "
-                                f"{max(counts)} exceeds the {domain} {what} "
-                                "of the platform"
-                            )
+                        problem = _cell_error(
+                            scenario.scenario_id,
+                            built,
+                            fault.stage,
+                            geometries[platform.name],
+                        )
+                        if problem is not None:
+                            raise ValueError(problem)
                         self.scenarios.append(scenario)
-        ids = [s.scenario_id for s in self.scenarios]
-        if len(ids) != len(set(ids)):
-            raise ValueError("scenario ids are not unique")  # pragma: no cover
+        # Scenario ids are unique by construction here: the spec enforces
+        # unique, slug-safe (separator-free) names per axis, and every cell
+        # of the cross product joins one name from each axis.  Hand-built
+        # scenario sequences bypass this — SweepRunner re-checks ids so no
+        # duplicate can silently share a checkpoint file.
 
     def ids(self) -> list[str]:
         return [s.scenario_id for s in self.scenarios]
@@ -552,6 +510,219 @@ class ScenarioGrid:
 
     def __len__(self) -> int:
         return len(self.scenarios)
+
+
+def _cell_error(scenario_id: str, built: InjectionStrategy, stage: str, geometry) -> str | None:
+    """Cross-axis problem of one grid cell, or ``None`` if the cell is valid.
+
+    Shared by eager grid construction (raise on first) and the validator
+    pass (collect all), so the two can never disagree on what a legal cell
+    is.
+    """
+    allocation = getattr(built, "allocation", None)
+    if allocation is not None and len(allocation) != geometry.num_macs:
+        return (
+            f"scenario {scenario_id!r}: stratified allocation covers "
+            f"{len(allocation)} strata but the platform has "
+            f"{geometry.num_macs} MAC units"
+        )
+    counts = getattr(built, "fault_counts", ())
+    if stage == "accumulator":
+        domain = geometry.num_macs
+        what = "MAC-unit accumulators"
+    else:
+        domain = geometry.num_macs * geometry.muls_per_mac
+        what = "multiplier sites"
+    if counts and max(counts) > domain:
+        return (
+            f"scenario {scenario_id!r}: fault count {max(counts)} exceeds "
+            f"the {domain} {what} of the platform"
+        )
+    return None
+
+
+# ----------------------------------------------------------------------
+# Validation (validate-before-compute)
+# ----------------------------------------------------------------------
+def load_spec_data(path: Path | str) -> dict:
+    """Parse a ``.toml``/``.json`` spec file into its raw dict.
+
+    Parse failures raise :class:`ValueError` naming the file, so the CLI
+    can surface them as clean errors instead of parser tracebacks.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise ValueError(f"cannot read spec file {path}: {exc}") from exc
+    if path.suffix.lower() == ".toml":
+        import tomllib
+
+        try:
+            data = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise ValueError(f"spec file {path} is not valid TOML: {exc}") from exc
+    else:
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"spec file {path} is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise ValueError(
+            f"spec file {path} must contain a table/object, "
+            f"got {type(data).__name__}"
+        )
+    return data
+
+
+def _dedup(errors: list[str]) -> list[str]:
+    seen: set[str] = set()
+    out: list[str] = []
+    for error in errors:
+        for line in error.splitlines():
+            if line not in seen:
+                seen.add(line)
+                out.append(line)
+    return out
+
+
+def validate_spec(spec: ExperimentSpec) -> list[str]:
+    """Every problem of an assembled spec against the live registries.
+
+    Checks run in two stages — per-axis schema validation first, then (only
+    on schema-clean axes) builds and cross-axis cell checks — and *all*
+    problems are returned at once, so one validation round fixes a whole
+    spec.  An empty list means the spec's grid will construct and every
+    scenario can start.
+    """
+    errors: list[str] = []
+    axis_specs = (
+        ("model", MODELS, spec.models),
+        ("fault", FAULTS, spec.faults),
+        ("strategy", STRATEGIES, spec.strategies),
+        ("platform", PLATFORMS, spec.platforms),
+    )
+    clean: dict[str, list] = {}
+    for label, registry, axes in axis_specs:
+        clean[label] = []
+        for axis in axes:
+            params = axis._registry_params() if isinstance(axis, ModelAxis) else axis.params
+            problems = registry.validate_params(
+                axis.kind, params, context=f"{label} axis {axis.name!r}"
+            )
+            if problems:
+                errors.extend(problems)
+            else:
+                clean[label].append(axis)
+
+    for model in clean["model"]:
+        try:
+            model.case_spec()
+        except ValueError as exc:
+            errors.append(str(exc))
+
+    fault_models: dict[str, tuple[FaultModel, ...]] = {}
+    for fault in clean["fault"]:
+        try:
+            fault_models[fault.name] = fault.build()
+        except ValueError as exc:
+            errors.append(str(exc))
+
+    geometries: dict[str, Any] = {}
+    for platform in clean["platform"]:
+        try:
+            geometries[platform.name] = platform.config().geometry
+        except ValueError as exc:
+            errors.append(str(exc))
+
+    for fault in clean["fault"]:
+        models = fault_models.get(fault.name)
+        if models is None:
+            continue
+        for strategy in clean["strategy"]:
+            try:
+                built = strategy.build(models, name=f"{strategy.name}|{fault.name}")
+            except ValueError as exc:
+                errors.append(str(exc))
+                continue
+            for platform in clean["platform"]:
+                geometry = geometries.get(platform.name)
+                if geometry is None:
+                    continue
+                scenario_id = f"*/{fault.name}/{strategy.name}/{platform.name}"
+                problem = _cell_error(scenario_id, built, fault.stage, geometry)
+                if problem is not None:
+                    errors.append(problem)
+    return _dedup(errors)
+
+
+def validate_spec_data(data: dict) -> list[str]:
+    """Every problem of a raw spec dict (as loaded from TOML/JSON).
+
+    The dict-level wrapper around :func:`validate_spec`: additionally
+    catches malformed axis entries, bad scalar knobs, an invalid
+    ``[adaptive]`` table, duplicate axis names and unknown top-level keys —
+    everything ``ExperimentSpec.from_dict`` would raise on, collected
+    instead of raised one at a time.
+    """
+    if not isinstance(data, dict):
+        return [f"sweep spec must be a table/object, got {type(data).__name__}"]
+    data = dict(data)
+    errors: list[str] = []
+    axes: dict[str, list] = {}
+    for key, axis_cls in (
+        ("models", ModelAxis),
+        ("faults", FaultAxis),
+        ("strategies", StrategyAxis),
+        ("platforms", PlatformAxis),
+    ):
+        entries = data.pop(key, [])
+        axes[key] = []
+        if not isinstance(entries, list):
+            errors.append(
+                f"{key!r} must be an array of tables, got {type(entries).__name__}"
+            )
+            continue
+        for index, entry in enumerate(entries):
+            if not isinstance(entry, dict):
+                errors.append(
+                    f"{key}[{index}] must be a table, got {type(entry).__name__}"
+                )
+                continue
+            try:
+                axes[key].append(axis_cls.from_dict(entry))
+            except ValueError as exc:
+                errors.append(str(exc))
+        names = [axis.name for axis in axes[key]]
+        if len(names) != len(set(names)):
+            errors.append(f"duplicate names in {key!r}: {sorted(names)}")
+
+    for key in ("images", "seed", "batch_size"):
+        if key in data:
+            value = data.pop(key)
+            if isinstance(value, bool) or not isinstance(value, int):
+                errors.append(
+                    f"spec key {key!r} must be an integer, "
+                    f"got {type(value).__name__} {value!r}"
+                )
+    adaptive = data.pop("adaptive", None)
+    if adaptive is not None:
+        try:
+            AdaptiveCampaignPlan.from_dict(adaptive)
+        except (TypeError, ValueError) as exc:
+            errors.append(f"invalid [adaptive] table: {exc}")
+    if data:
+        errors.append(f"unknown sweep spec keys {sorted(data)}")
+
+    # Cross-axis checks need assembled axes; run them on whatever parsed
+    # cleanly so axis-level and cell-level problems surface together.
+    probe = ExperimentSpec.__new__(ExperimentSpec)
+    probe.models = axes["models"] or [ModelAxis(name="default")]
+    probe.faults = axes["faults"] or ExperimentSpec().faults
+    probe.strategies = axes["strategies"] or ExperimentSpec().strategies
+    probe.platforms = axes["platforms"] or ExperimentSpec().platforms
+    errors.extend(validate_spec(probe))
+    return _dedup(errors)
 
 
 # ----------------------------------------------------------------------
@@ -654,6 +825,7 @@ class SweepResult:
         return {
             "wall_seconds": self.wall_seconds,
             "structure_digest": self.structure_digest(),
+            "registry_digest": registry_digest(),
             "scenarios": [
                 {
                     "scenario": sr.scenario.scenario_id,
@@ -662,6 +834,7 @@ class SweepResult:
                     "fault": sr.scenario.fault.to_dict(),
                     "strategy": sr.scenario.strategy.to_dict(),
                     "platform": sr.scenario.platform.to_dict(),
+                    "provenance": sr.scenario.provenance(),
                     "result": sr.result.to_dict(),
                 }
                 for sr in self.scenario_results
@@ -669,7 +842,7 @@ class SweepResult:
         }
 
     def to_json(self, indent: int = 2) -> str:
-        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+        return dump_json_safe(self.to_dict(), indent=indent, sort_keys=True)
 
 
 # ----------------------------------------------------------------------
@@ -712,6 +885,20 @@ class SweepRunner:
         self.scenarios = list(grid)
         if not self.scenarios:
             raise ValueError("sweep needs at least one scenario")
+        # Hand-assembled scenario sequences bypass the spec's unique-name
+        # enforcement; duplicate ids would silently share one checkpoint
+        # file (and overwrite each other's merged lines), so reject them.
+        ids = [s.scenario_id for s in self.scenarios]
+        if len(ids) != len(set(ids)):
+            duplicates = sorted({i for i in ids if ids.count(i) > 1})
+            raise ValueError(f"scenario ids are not unique: {duplicates}")
+        # Pre-flight: re-validate the spec against the live registries so a
+        # spec that slipped past grid construction (e.g. kinds unregistered
+        # since) fails here, before any trial executes.
+        if spec is not None:
+            problems = validate_spec(spec)
+            if problems:
+                raise ValueError("invalid sweep spec:\n" + "\n".join(problems))
         self.workers = workers
         self.sweep_dir = Path(sweep_dir) if sweep_dir is not None else None
         self.resume = resume
@@ -782,6 +969,7 @@ class SweepRunner:
                 plan=self.plan,
             )
             result = runner.run(images, labels)
+            result.provenance = scenario.provenance()
             scenario_results.append(ScenarioResult(scenario=scenario, result=result))
         sweep = SweepResult(
             scenario_results=scenario_results,
@@ -799,7 +987,7 @@ class SweepRunner:
         if self._spec is not None:
             payload["spec"] = self._spec.to_dict()
         (self.sweep_dir / "sweep.json").write_text(
-            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+            dump_json_safe(payload, indent=2, sort_keys=True) + "\n"
         )
         if self.profile:
             profile_payload = {

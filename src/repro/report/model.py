@@ -25,6 +25,7 @@ from pathlib import Path
 
 from repro.core import stats
 from repro.core.analysis import stratum_sensitivity, summarize_by_group
+from repro.core.registry import registry_digest
 from repro.core.results import CampaignResult
 
 #: Report schema version (bumped on breaking shape changes).
@@ -83,6 +84,10 @@ def _scenario_entry(
         # cannot carry integer keys, and groups may be non-numeric).
         "boxes": {str(group): dataclasses.asdict(box) for group, box in boxes.items()},
         "strata": stratum_sensitivity(result, confidence),
+        # Registry provenance stamped by the producing runner (None for
+        # pre-provenance artifacts) — surfaced verbatim so a report always
+        # names the (kind, params) that generated its numbers.
+        "provenance": result.provenance,
     }
 
 
@@ -146,6 +151,9 @@ def build_report(
         "source": str(source),
         "confidence": confidence,
         "thresholds": thresholds.to_dict(),
+        # Digest of the registries live at *report* time; each scenario's
+        # own stamp (under "provenance") records what was live at run time.
+        "registry_digest": registry_digest(),
         "num_scenarios": len(scenarios),
         "scenarios": scenarios,
         "reliability": reliability,

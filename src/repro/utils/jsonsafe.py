@@ -1,0 +1,64 @@
+"""Strict-JSON serialisation: non-finite floats become ``null``, counted.
+
+:func:`json.dumps` defaults to ``allow_nan=True`` and emits the bare tokens
+``NaN``/``Infinity``/``-Infinity``, which are *not* JSON — strict parsers
+(and our own artifact loaders pointed at a file from another toolchain)
+reject the whole document.  A campaign whose model diverged can legitimately
+produce non-finite accuracies, so artifact writers route through
+:func:`dump_json_safe`: every non-finite float is replaced by ``null`` and,
+when any were present, the top-level object gains an explicit
+``"non_finite_values"`` count so the substitution is visible rather than
+silent.  Artifacts without non-finite floats serialise byte-identically to
+plain ``json.dumps`` (the count key is only added when non-zero), keeping
+golden digests stable.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any
+
+#: Key added to the top-level object when non-finite floats were nulled.
+NON_FINITE_KEY = "non_finite_values"
+
+
+def sanitize_non_finite(value: Any) -> tuple[Any, int]:
+    """Copy ``value`` with non-finite floats replaced by ``None``.
+
+    Returns ``(sanitised, count)`` where ``count`` is the number of
+    replacements made anywhere in the (nested) structure.
+    """
+    if isinstance(value, float) and not math.isfinite(value):
+        return None, 1
+    if isinstance(value, dict):
+        count = 0
+        out: dict = {}
+        for key, item in value.items():
+            out[key], replaced = sanitize_non_finite(item)
+            count += replaced
+        return out, count
+    if isinstance(value, (list, tuple)):
+        count = 0
+        items = []
+        for item in value:
+            clean, replaced = sanitize_non_finite(item)
+            items.append(clean)
+            count += replaced
+        return items, count
+    return value, 0
+
+
+def dump_json_safe(payload: Any, **dumps_kwargs: Any) -> str:
+    """``json.dumps`` that always produces strictly valid JSON.
+
+    Non-finite floats are nulled; if any were, a top-level
+    ``"non_finite_values"`` count records how many (only possible when
+    ``payload`` is an object).  ``allow_nan=False`` backstops the
+    sanitisation: a non-finite float that somehow survives raises instead
+    of corrupting the artifact.
+    """
+    clean, count = sanitize_non_finite(payload)
+    if count and isinstance(clean, dict):
+        clean[NON_FINITE_KEY] = count
+    return json.dumps(clean, allow_nan=False, **dumps_kwargs)

@@ -1,6 +1,7 @@
 """Tests for the command-line interface (argument parsing and small end-to-end runs)."""
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -179,3 +180,81 @@ class TestEndToEnd:
         ])
         assert code == 0
         assert (sweep_dir / "sweep.jsonl").read_text() == merged
+
+class TestValidateAndCleanErrors:
+    """`repro validate` plus the traceback-free error path of `main()`."""
+
+    REPO_ROOT = Path(__file__).resolve().parent.parent
+    BROKEN_SPEC = str(REPO_ROOT / "tests" / "data" / "broken_sweep.toml")
+
+    GOOD_SPEC = {
+        "images": 16,
+        "faults": [{"name": "const0", "kind": "const", "values": [0]}],
+        "strategies": [
+            {"name": "random", "kind": "random", "counts": [1], "trials": 1},
+        ],
+    }
+
+    def _write_good_spec(self, tmp_path):
+        path = tmp_path / "good.json"
+        path.write_text(json.dumps(self.GOOD_SPEC))
+        return path
+
+    def test_validate_accepts_good_spec(self, tmp_path, capsys):
+        path = self._write_good_spec(tmp_path)
+        assert main(["validate", "--spec", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "is valid: 1 scenario(s)" in out
+        assert "registry digest:" in out
+
+    def test_validate_lists_registered_kinds(self, capsys):
+        assert main(["validate", "--kinds"]) == 0
+        out = capsys.readouterr().out
+        assert "fault kinds:" in out and "strategy kinds:" in out
+        assert "const" in out and "stratified" in out
+        assert "registry digest:" in out
+
+    def test_validate_requires_spec_or_kinds(self, capsys):
+        assert main(["validate"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "--spec" in err
+
+    def test_validate_reports_every_problem_in_broken_spec(self, capsys):
+        assert main(["validate", "--spec", self.BROKEN_SPEC]) == 1
+        err = capsys.readouterr().err
+        assert "5 problem(s)" in err
+        assert "spec key 'images' must be an integer" in err
+        assert "unknown sweep spec keys ['bogus_key']" in err
+        # unknown-kind errors enumerate the live registry, not a frozen list
+        assert "unknown kind 'no-such-fault'" in err
+        assert "registered fault kinds:" in err and "bitflip" in err
+        assert "parameter 'counts' must be a list of integers" in err
+        assert "unknown parameters ['typo']" in err
+        assert "Traceback" not in err
+
+    def test_example_specs_all_validate(self, capsys):
+        specs = sorted((self.REPO_ROOT / "examples").glob("*.toml"))
+        assert specs, "expected at least one example spec"
+        for spec in specs:
+            assert main(["validate", "--spec", str(spec)]) == 0, spec
+        assert "is valid" in capsys.readouterr().out
+
+    def test_sweep_rejects_broken_spec_without_traceback(self, capsys):
+        assert main(["sweep", "--spec", self.BROKEN_SPEC, "--list"]) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert "unknown kind 'no-such-fault'" in captured.err
+        assert "Traceback" not in captured.err
+        assert captured.out == ""
+
+    def test_malformed_toml_is_a_clean_error(self, tmp_path, capsys):
+        path = tmp_path / "mangled.toml"
+        path.write_text("[[faults]\nname =")
+        assert main(["validate", "--spec", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "Traceback" not in err
+
+    def test_missing_spec_file_is_a_clean_error(self, capsys):
+        assert main(["sweep", "--spec", "does/not/exist.toml", "--list"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "Traceback" not in err

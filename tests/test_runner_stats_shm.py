@@ -131,3 +131,58 @@ class TestFusedGroupInvariance:
         ).run(tiny_dataset.test_images, tiny_dataset.test_labels)
         assert on.records == off.records
         assert on.baseline_accuracy == off.baseline_accuracy
+
+
+class TestWorkerCrashReapsSharedMemory:
+    """A worker killed mid-trial must not leak the /dev/shm batch segment.
+
+    Workers release their attachment in a ``finally``, but SIGKILL never
+    runs it — the parent's own ``finally`` is the only reliable reaper, so
+    the segment allocation has to live inside the reaping ``try`` block.
+    """
+
+    def test_killed_worker_leaks_no_segment(
+        self, tiny_platform_spec, tiny_dataset, tmp_path, monkeypatch
+    ):
+        import os
+        import signal
+        from multiprocessing import shared_memory
+
+        from repro.core import parallel, shm
+
+        created: list[str] = []
+        real_create = shm.SharedBatch.create.__func__
+
+        def recording_create(cls, images, labels):
+            batch = real_create(cls, images, labels)
+            created.append(batch._block_name)
+            return batch
+
+        monkeypatch.setattr(shm.SharedBatch, "create", classmethod(recording_create))
+
+        real_worker = parallel._shard_worker
+
+        def killing_worker(worker_id, spec, strategy, config, batch, indices, results):
+            if worker_id == 0:
+                # die without unwinding: no finally, no close(), no nothing
+                os.kill(os.getpid(), signal.SIGKILL)
+            real_worker(worker_id, spec, strategy, config, batch, indices, results)
+
+        # fork inherits the patched module global in the children
+        monkeypatch.setattr(parallel, "_shard_worker", killing_worker)
+
+        runner = ParallelCampaignRunner(
+            tiny_platform_spec,
+            STRATEGY,
+            _config(),
+            workers=2,
+            checkpoint=tmp_path / "crash.jsonl",
+            start_method="fork",
+        )
+        with pytest.raises(RuntimeError, match="died"):
+            runner.run(tiny_dataset.test_images, tiny_dataset.test_labels)
+
+        assert created, "the parallel runner should have allocated a shared batch"
+        for name in created:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
