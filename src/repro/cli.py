@@ -27,6 +27,7 @@ from pathlib import Path
 
 from repro.core.analysis import accuracy_drop_boxplots, heatmap_matrix, most_sensitive_site
 from repro.core.campaign import CampaignConfig, FaultInjectionCampaign
+from repro.core.chaos import load_plan
 from repro.core.parallel import ParallelCampaignRunner
 from repro.core.registry import MODELS, STRATEGIES, axis_provenance, registry_digest, registry_schema
 from repro.core.stats import AdaptiveCampaignPlan
@@ -45,6 +46,56 @@ _ADAPTIVE_FLAG_DEFAULTS = {
     "adaptive_metric": "mean-drop",
     "chance_accuracy": None,
 }
+
+
+def _add_fault_tolerance_arguments(parser: argparse.ArgumentParser) -> None:
+    """Supervisor knobs shared by the campaign and sweep subcommands."""
+    parser.add_argument("--max-shard-retries", type=int, default=2,
+                        help="re-lease attempts after a shard's worker dies or "
+                             "hangs before the shard is declared poison "
+                             "(0 restores fail-fast behaviour; recovery never "
+                             "changes records)")
+    parser.add_argument("--shard-timeout", type=float, default=None,
+                        help="seconds a worker may go without reporting progress "
+                             "before it is declared hung and its shard re-leased "
+                             "(default: hang detection disabled; size it well "
+                             "above platform build + the slowest trial group)")
+    parser.add_argument("--poison-policy", choices=("raise", "quarantine"), default="raise",
+                        help="what to do with a shard that exhausts its retries: "
+                             "abort the run (raise) or record it in the result's "
+                             "recovery provenance and keep going (quarantine)")
+    parser.add_argument("--chaos-plan", type=str, default="",
+                        help="inject harness faults into workers for testing "
+                             "recovery: a JSON plan file or an inline "
+                             "'seed=3,workers=2,kills=1,hangs=1' spec")
+
+
+def _recovery_note(result) -> str | None:
+    """One line summarising what the supervisor had to heal, if anything."""
+    recovery = result.recovery or {}
+    healed = (
+        recovery.get("reclaimed", 0)
+        or recovery.get("dead_workers", 0)
+        or recovery.get("hung_workers", 0)
+        or recovery.get("poison_shards")
+        or any((recovery.get("checkpoint") or {}).values())
+    )
+    if not healed:
+        return None
+    checkpoint = recovery.get("checkpoint") or {}
+    parts = [
+        f"{recovery.get('reclaimed', 0)} lease(s) reclaimed",
+        f"{recovery.get('dead_workers', 0)} dead / {recovery.get('hung_workers', 0)} "
+        f"hung worker(s)",
+    ]
+    if recovery.get("poison_shards"):
+        parts.append(f"{len(recovery['poison_shards'])} poison shard(s)")
+    if any(checkpoint.values()):
+        parts.append(
+            f"checkpoint healed ({checkpoint.get('corrupt_lines', 0)} corrupt, "
+            f"{checkpoint.get('duplicate_records', 0)} duplicate line(s))"
+        )
+    return "recovery: " + ", ".join(parts) + "; records are unaffected"
 
 
 def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
@@ -131,6 +182,9 @@ def _campaign_strategy_params(args: argparse.Namespace) -> dict:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
+    # Parse the chaos plan before the (expensive) platform build so a bad
+    # --chaos-plan fails in milliseconds, not after model training.
+    chaos = load_plan(args.chaos_plan) if args.chaos_plan else None
     platform_spec, case = case_study_platform_spec(_case_spec(args))
     params = _campaign_strategy_params(args)
     strategy = STRATEGIES.build(
@@ -172,6 +226,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             seed=args.campaign_seed,
             fused_trials=args.fused_trials,
             profile=args.profile,
+            max_shard_retries=args.max_shard_retries,
+            shard_timeout=args.shard_timeout,
+            poison_policy=args.poison_policy,
+            chaos=chaos,
         ),
         workers=args.workers,
         checkpoint=args.checkpoint or None,
@@ -201,6 +259,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     print(f"baseline accuracy: {result.baseline_accuracy:.3f}; "
           f"{len(result)} injections in {result.wall_seconds:.1f}s "
           f"({args.workers} worker{'s' if args.workers != 1 else ''})")
+    note = _recovery_note(result)
+    if note:
+        print(note)
     if args.profile:
         profile_path = _write_profile(result, args.checkpoint, default="campaign.profile.json")
         print(f"stage profile written to {profile_path}")
@@ -251,6 +312,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         resume=args.resume,
         fused_trials=args.fused_trials,
         profile=args.profile,
+        max_shard_retries=args.max_shard_retries,
+        shard_timeout=args.shard_timeout,
+        poison_policy=args.poison_policy,
+        chaos=load_plan(args.chaos_plan) if args.chaos_plan else None,
     )
     sweep = runner.run()
 
@@ -278,6 +343,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"worst accuracy drop: {worst['max_accuracy_drop']:.3f} "
               f"in scenario {worst['scenario']}")
     print(f"structure digest: {sweep.structure_digest()}")
+    for sr in sweep.scenario_results:
+        note = _recovery_note(sr.result)
+        if note:
+            print(f"{sr.scenario.scenario_id}: {note}")
     if args.sweep_dir:
         print(f"artifacts written to {args.sweep_dir}/sweep.jsonl and sweep.json")
         if args.profile:
@@ -448,6 +517,7 @@ def build_parser() -> argparse.ArgumentParser:
                           default=_ADAPTIVE_FLAG_DEFAULTS["chance_accuracy"],
                           help="for the sdc-rate metric: count any trial whose "
                                "accuracy falls to this chance level as critical")
+    _add_fault_tolerance_arguments(campaign)
     campaign.set_defaults(func=_cmd_campaign)
 
     sweep = subparsers.add_parser(
@@ -475,6 +545,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--profile", action="store_true",
                        help="write per-scenario stage profiles to "
                             "<sweep-dir>/profile.json")
+    _add_fault_tolerance_arguments(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
     validate = subparsers.add_parser(
@@ -520,6 +591,20 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _resume_hint(args: argparse.Namespace) -> str | None:
+    """How to pick up an interrupted campaign/sweep where it left off."""
+    command = getattr(args, "command", None)
+    if command == "campaign":
+        if getattr(args, "checkpoint", ""):
+            return (f"resume with: repro campaign --checkpoint {args.checkpoint} "
+                    "--resume (plus your original flags)")
+        return "tip: pass --checkpoint <file> to make campaigns resumable"
+    if command == "sweep":
+        return (f"resume with: repro sweep --spec {args.spec} --sweep-dir "
+                f"{args.sweep_dir} --resume (plus your original flags)")
+    return None
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -530,6 +615,16 @@ def main(argv: list[str] | None = None) -> int:
         # clean message on stderr instead of a traceback mid-campaign.
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # Workers ignore SIGINT and the runner's finally blocks have already
+        # terminated them and flushed every completed trial to the
+        # checkpoint; all that is left is to say how to continue.
+        print("\ninterrupted: workers stopped, completed trials are in the checkpoint",
+              file=sys.stderr)
+        hint = _resume_hint(args)
+        if hint:
+            print(hint, file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro

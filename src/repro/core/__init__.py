@@ -14,6 +14,11 @@ analyse the classification-accuracy drop.
 * :class:`~repro.core.parallel.ParallelCampaignRunner` — shards the trials
   of a campaign across worker processes with JSONL checkpointing and
   resume; the serial campaign is its ``workers=1`` special case.
+* :mod:`repro.core.supervisor` — the self-healing lease supervisor behind
+  the parallel runner: dead/hung-worker detection, bounded re-lease with
+  backoff, poison-shard quarantine.
+* :mod:`repro.core.chaos` — deterministic harness-fault injection (seeded
+  kill/hang/delay plans) used to prove recovery keeps records byte-identical.
 * :mod:`repro.core.sweep` — declarative scenario grids (models x fault
   families x strategies x platforms) executed as one experiment matrix
   through the parallel runner, with merged JSONL/JSON artifacts.
@@ -28,7 +33,15 @@ analyse the classification-accuracy drop.
 
 from repro.core.platform import EmulationPlatform, PlatformConfig
 from repro.core.campaign import CampaignConfig, FaultInjectionCampaign
+from repro.core.chaos import ChaosEvent, ChaosMonkey, ChaosPlan, load_plan
 from repro.core.parallel import ParallelCampaignRunner, PlatformSpec, load_checkpoint, shard_indices
+from repro.core.supervisor import (
+    LeaseState,
+    LeaseSupervisor,
+    PoisonShardError,
+    RecoveryLog,
+    ShardLease,
+)
 from repro.core.strategies import (
     ExhaustiveSingleSite,
     InjectionStrategy,
@@ -81,6 +94,15 @@ __all__ = [
     "PlatformSpec",
     "load_checkpoint",
     "shard_indices",
+    "ChaosEvent",
+    "ChaosMonkey",
+    "ChaosPlan",
+    "load_plan",
+    "LeaseState",
+    "LeaseSupervisor",
+    "PoisonShardError",
+    "RecoveryLog",
+    "ShardLease",
     "InjectionStrategy",
     "StrategyTrial",
     "RandomMultipliers",

@@ -13,6 +13,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.chaos import ChaosPlan
 from repro.core.platform import EmulationPlatform
 from repro.core.results import CampaignResult
 from repro.core.strategies import InjectionStrategy
@@ -48,6 +49,29 @@ class CampaignConfig:
     #: Collect a per-stage wall-time breakdown (tape build, correction,
     #: suffix forward, requant) into ``CampaignResult.runtime_stats``.
     profile: bool = False
+    #: Re-lease attempts after a shard's first failure before it turns
+    #: poison (0 = fail on the first dead/hung worker, as the old fail-fast
+    #: runner did).  Recovery cannot change records: trials are pure
+    #: functions of ``(seed, index)``.
+    max_shard_retries: int = 2
+    #: Seconds a worker may go without emitting any message (baseline meta
+    #: or a record) before the supervisor declares it hung, terminates it
+    #: and re-leases the shard.  ``None`` disables hang detection; size it
+    #: as several multiples of platform build + the slowest trial group.
+    shard_timeout: float | None = None
+    #: Base seconds of the exponential backoff between lease attempts
+    #: (attempt *k* waits ``retry_backoff * 2**(k-1)``, capped at 30 s).
+    retry_backoff: float = 0.25
+    #: What to do with a shard that exhausted its retries: ``"raise"``
+    #: aborts the campaign with the failure history; ``"quarantine"``
+    #: records it in ``CampaignResult.recovery["poison_shards"]`` and keeps
+    #: the campaign going with that shard's trials missing.
+    poison_policy: str = "raise"
+    #: Deterministic harness-fault plan (:mod:`repro.core.chaos`) injected
+    #: into workers — kills/hangs/delays at seeded logical points.  Test/CI
+    #: machinery for proving recovery keeps records byte-identical; leave
+    #: ``None`` in real campaigns.
+    chaos: ChaosPlan | None = None
 
 
 class FaultInjectionCampaign:

@@ -28,9 +28,19 @@ Checkpoint format (one JSON object per line)::
     {"kind": "record", "trial_index": 3, ...}
 
 Records may appear in any order (workers finish out of order) and the file
-tolerates a torn final line (a run killed mid-write).  ``resume=True`` loads
-the completed trial indices, validates the header against the requested
-campaign, and evaluates only the remainder.
+tolerates a torn final line (a run killed mid-write), corrupted mid-file
+lines (skipped and counted) and duplicate records from re-leased shards
+(collapsed by trial index).  ``resume=True`` loads the completed trial
+indices, validates the header against the requested campaign, and evaluates
+only the remainder.
+
+Execution is supervised, not fail-fast: every shard is a lease driven by
+:class:`~repro.core.supervisor.LeaseSupervisor`, which detects dead and hung
+workers, re-runs a lease's remaining trials with bounded retries, and
+quarantines (or raises on) shards that keep failing.  See
+:mod:`repro.core.supervisor` for the model and :mod:`repro.core.chaos` for
+the deterministic fault harness that proves recovered runs stay
+byte-identical.
 """
 
 from __future__ import annotations
@@ -38,6 +48,7 @@ from __future__ import annotations
 import json
 import multiprocessing as mp
 import queue as queue_module
+import signal
 import sys
 import time
 import traceback
@@ -48,11 +59,18 @@ from typing import IO, Callable, Sequence
 import numpy as np
 
 from repro.core.campaign import CampaignConfig
+from repro.core.chaos import ChaosMonkey
 from repro.core.platform import EmulationPlatform, PlatformConfig
 from repro.core.results import CampaignResult, TrialRecord
 from repro.core.shm import SharedBatch, release_batch, resolve_batch
 from repro.core.stats import AdaptiveCampaignPlan
 from repro.core.strategies import InjectionStrategy, StrategyTrial
+from repro.core.supervisor import (
+    LeaseSupervisor,
+    RecoveryLog,
+    ShardLease,
+    terminate_process,
+)
 from repro.faults.sites import FaultUniverse
 from repro.runtime.gemm import GEMM_STATS
 from repro.utils.logging import get_logger
@@ -126,14 +144,24 @@ class PlatformSpec:
 # ----------------------------------------------------------------------
 # Checkpoint I/O
 # ----------------------------------------------------------------------
-def load_checkpoint(path: Path | str) -> tuple[dict | None, dict[int, TrialRecord]]:
-    """Read a JSONL checkpoint, returning ``(header, records_by_index)``.
+def load_checkpoint(
+    path: Path | str,
+) -> tuple[dict | None, dict[int, TrialRecord], dict[str, int]]:
+    """Read a JSONL checkpoint, returning ``(header, records_by_index, stats)``.
 
-    Tolerates a torn final line and skips undecodable lines with a warning,
-    so a checkpoint from a run killed mid-write is still resumable.
+    Crash-safe: tolerates a torn final line, corrupted mid-file lines
+    (bit-rot, a write torn by a kill anywhere in the file) and duplicate
+    records from re-leased shards — a worker that delivered a record and
+    then died leaves the record in the file, and the shard's re-run appends
+    it again.  Duplicates collapse by trial index; since trials are pure
+    functions of ``(seed, index)``, duplicate entries that *disagree* mean
+    the determinism invariant is broken and raise instead of being silently
+    merged.  ``stats`` counts what was healed: ``corrupt_lines``,
+    ``duplicate_records`` and ``unknown_lines``.
     """
     header: dict | None = None
     records: dict[int, TrialRecord] = {}
+    stats = {"corrupt_lines": 0, "duplicate_records": 0, "unknown_lines": 0}
     text = Path(path).read_text()
     for lineno, line in enumerate(text.splitlines(), start=1):
         line = line.strip()
@@ -143,17 +171,51 @@ def load_checkpoint(path: Path | str) -> tuple[dict | None, dict[int, TrialRecor
             data = json.loads(line)
         except json.JSONDecodeError:
             logger.warning("checkpoint %s: skipping corrupt line %d", path, lineno)
+            stats["corrupt_lines"] += 1
+            continue
+        if not isinstance(data, dict):
+            logger.warning(
+                "checkpoint %s: skipping non-object line %d (%s)",
+                path, lineno, type(data).__name__,
+            )
+            stats["corrupt_lines"] += 1
             continue
         kind = data.pop("kind", None)
         if kind == "header":
             if header is None:
                 header = data
         elif kind == "record":
-            record = TrialRecord.from_dict(data)
-            records[record.trial_index] = record
+            try:
+                record = TrialRecord.from_dict(data)
+            except (TypeError, ValueError, KeyError) as exc:
+                logger.warning(
+                    "checkpoint %s: skipping malformed record on line %d (%s)",
+                    path, lineno, exc,
+                )
+                stats["corrupt_lines"] += 1
+                continue
+            existing = records.get(record.trial_index)
+            if existing is None:
+                records[record.trial_index] = record
+            elif existing == record:
+                stats["duplicate_records"] += 1
+            else:
+                raise ValueError(
+                    f"checkpoint {path}: line {lineno} repeats trial "
+                    f"{record.trial_index} with different contents; trials are "
+                    "pure functions of (seed, index), so conflicting duplicates "
+                    "mean the records cannot be trusted — delete the checkpoint "
+                    "and re-run"
+                )
         else:
             logger.warning("checkpoint %s: skipping unknown line kind %r", path, kind)
-    return header, records
+            stats["unknown_lines"] += 1
+    if stats["corrupt_lines"] or stats["duplicate_records"]:
+        logger.info(
+            "checkpoint %s: healed %d corrupt line(s), collapsed %d duplicate record(s)",
+            path, stats["corrupt_lines"], stats["duplicate_records"],
+        )
+    return header, records, stats
 
 
 def shard_indices(indices: Sequence[int], workers: int) -> list[list[int]]:
@@ -237,6 +299,14 @@ def _records_for_pairs(
 
 def _worker_setup(config: CampaignConfig) -> None:
     """Reset per-process counters a forked worker inherited from the parent."""
+    # Ctrl-C belongs to the parent: it terminates the pool, flushes the
+    # checkpoint and prints a resume hint.  Workers reacting to the terminal's
+    # SIGINT on their own would just spray KeyboardInterrupt tracebacks over
+    # that one-line message.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except ValueError:  # pragma: no cover - non-main-thread start methods
+        pass
     GEMM_STATS.reset()
     PROFILER.enabled = config.profile
     PROFILER.reset()
@@ -253,7 +323,7 @@ def _worker_stats(platform: EmulationPlatform) -> dict:
 
 
 def _shard_worker(
-    worker_id: int,
+    token: tuple[int, int],
     spec: PlatformSpec,
     strategy: InjectionStrategy,
     config: CampaignConfig,
@@ -263,34 +333,42 @@ def _shard_worker(
 ) -> None:
     """Worker entry point: build the platform once, evaluate one shard.
 
+    ``token`` is the ``(lease_id, attempt)`` pair identifying this service
+    of the shard; it tags every message so the supervisor can tell the
+    current attempt's lifecycle messages from a stale attempt's stragglers.
     ``batch`` is either a zero-copy :class:`~repro.core.shm.SharedBatch`
     (mapped, not pickled) or a plain ``(images, labels)`` tuple.
     """
     try:
         _worker_setup(config)
+        monkey = ChaosMonkey(config.chaos, token[0], token[1], results)
         images, labels = resolve_batch(batch)
         platform = spec.build()
         platform.reset_caches()
         baseline = platform.baseline_accuracy(images, labels, batch_size=config.batch_size)
-        results.put(("meta", worker_id, (baseline, platform.inferences_per_second())))
+        results.put(("meta", token, (baseline, platform.inferences_per_second())))
+        monkey.on_record(0)
         rng = SeededRNG(config.seed)
         pairs = [
             (index, strategy.trial_at(platform.universe, rng, index)) for index in indices
         ]
+        emitted = 0
         for record in _records_for_pairs(
             platform, pairs, baseline, images, labels, config
         ):
-            results.put(("record", worker_id, record))
-        results.put(("stats", worker_id, _worker_stats(platform)))
-        results.put(("done", worker_id, None))
+            results.put(("record", token, record))
+            emitted += 1
+            monkey.on_record(emitted)
+        results.put(("stats", token, _worker_stats(platform)))
+        results.put(("done", token, None))
     except Exception:  # pragma: no cover - exercised via the parent's error path
-        results.put(("error", worker_id, traceback.format_exc()))
+        results.put(("error", token, traceback.format_exc()))
     finally:
         release_batch(batch)
 
 
 def _round_worker(
-    worker_id: int,
+    token: tuple[int, int],
     spec: PlatformSpec,
     strategy: InjectionStrategy,
     config: CampaignConfig,
@@ -304,16 +382,23 @@ def _round_worker(
     campaign decides after every round whether more trials are needed, so
     workers stay alive between rounds: build the platform once, then serve
     index batches from ``tasks`` until the ``None`` sentinel arrives.  The
-    ``round-done`` message is the parent's per-round barrier.
+    ``round-done`` message completes the worker's lease for that round.
+
+    ``token`` is ``(pool slot, epoch)``: the epoch bumps every time the
+    slot's process is respawned after a death or hang, so a terminated
+    worker's late messages can never complete a later epoch's round.
     """
     try:
         _worker_setup(config)
+        monkey = ChaosMonkey(config.chaos, token[0], token[1], results)
         images, labels = resolve_batch(batch)
         platform = spec.build()
         platform.reset_caches()
         baseline = platform.baseline_accuracy(images, labels, batch_size=config.batch_size)
-        results.put(("meta", worker_id, (baseline, platform.inferences_per_second())))
+        results.put(("meta", token, (baseline, platform.inferences_per_second())))
+        monkey.on_record(0)
         rng = SeededRNG(config.seed)
+        emitted = 0
         while True:
             indices = tasks.get()
             if indices is None:
@@ -325,14 +410,26 @@ def _round_worker(
             for record in _records_for_pairs(
                 platform, pairs, baseline, images, labels, config
             ):
-                results.put(("record", worker_id, record))
-            results.put(("round-done", worker_id, None))
-        results.put(("stats", worker_id, _worker_stats(platform)))
-        results.put(("done", worker_id, None))
+                results.put(("record", token, record))
+                emitted += 1
+                monkey.on_record(emitted)
+            results.put(("round-done", token, None))
+        results.put(("stats", token, _worker_stats(platform)))
+        results.put(("done", token, None))
     except Exception:  # pragma: no cover - exercised via the parent's error path
-        results.put(("error", worker_id, traceback.format_exc()))
+        results.put(("error", token, traceback.format_exc()))
     finally:
         release_batch(batch)
+
+
+@dataclass
+class _PoolSlot:
+    """One persistent adaptive-worker slot; the epoch bumps on respawn."""
+
+    slot_id: int
+    proc: object | None = None
+    tasks: object | None = None
+    epoch: int = -1
 
 
 # ----------------------------------------------------------------------
@@ -410,6 +507,9 @@ class ParallelCampaignRunner:
         self.checkpoint = Path(checkpoint) if checkpoint is not None else None
         self.resume = resume
         self.start_method = start_method
+        #: What load_checkpoint had to heal on resume (folded into the
+        #: result's recovery provenance).
+        self._checkpoint_stats: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Public API
@@ -473,7 +573,8 @@ class ParallelCampaignRunner:
                 f"checkpoint {self.checkpoint} already exists; pass resume=True "
                 "(--resume) to continue it or delete it to start over"
             )
-        header, completed = load_checkpoint(self.checkpoint)
+        header, completed, stats = load_checkpoint(self.checkpoint)
+        self._checkpoint_stats = stats
         if header is None:
             if completed:
                 # Never silently truncate completed work: a missing/corrupt
@@ -775,6 +876,8 @@ class ParallelCampaignRunner:
         ctx = mp.get_context(method)
         results: mp.Queue = ctx.Queue()
         stats_parts: list[dict] = []
+        leases = [ShardLease(lease_id, shard) for lease_id, shard in enumerate(shards)]
+        header_written = header is not None
         # Every resource needing parent-side reaping — the /dev/shm batch
         # segment, the worker processes, the checkpoint writer — is
         # allocated *inside* the try: workers release their attachment in a
@@ -783,70 +886,73 @@ class ParallelCampaignRunner:
         # abnormal exit and a leaked shared-memory segment.
         shared = None
         writer = None
-        procs: list = []
+        batch = None
+
+        def handle(kind: str, payload) -> None:
+            nonlocal baseline, ips, header_written
+            if kind == "meta":
+                worker_baseline, worker_ips = payload
+                if baseline is None:
+                    baseline, ips = worker_baseline, worker_ips
+                else:
+                    # Every worker must reproduce the exact same baseline —
+                    # this is the determinism invariant the records rely on.
+                    self._check_baseline(worker_baseline, baseline, "another worker")
+                if not header_written:
+                    self._write_header(writer, baseline, ips, len(labels))
+                    header_written = True
+            elif kind == "record":
+                records[payload.trial_index] = payload
+                self._write_record(writer, payload)
+                if cfg.log_every and len(records) % cfg.log_every == 0:
+                    logger.info("completed %d/%d trials", len(records), total)
+            elif kind == "stats":
+                stats_parts.append(payload)
+
+        def spawn(lease: ShardLease) -> tuple[object, tuple[int, int]]:
+            # A re-leased shard serves only what its dead worker left
+            # behind; records are keyed by index, so re-running a subset is
+            # byte-identical to running the full shard once.
+            token = (lease.lease_id, lease.attempt - 1)
+            proc = ctx.Process(
+                target=_shard_worker,
+                args=(token, self.spec, self.strategy, cfg, batch,
+                      sorted(lease.remaining), results),
+                daemon=True,
+            )
+            proc.start()
+            return proc, token
+
+        def reap(lease: ShardLease, failed: bool) -> None:
+            terminate_process(lease.proc) if failed else lease.proc.join()
+
         try:
             batch, shared = self._make_batch(images, labels)
-            procs = [
-                ctx.Process(
-                    target=_shard_worker,
-                    args=(w, self.spec, self.strategy, cfg, batch, shard, results),
-                    daemon=True,
-                )
-                for w, shard in enumerate(shards)
-            ]
             writer = self._open_checkpoint(fresh=header is None)
-            for proc in procs:
-                proc.start()
-            remaining = len(procs)
-            header_written = header is not None
-            while remaining:
-                try:
-                    kind, worker_id, payload = results.get(timeout=1.0)
-                except queue_module.Empty:
-                    self._check_workers_alive(procs)
-                    continue
-                if kind == "error":
-                    raise RuntimeError(
-                        f"campaign worker {worker_id} failed:\n{payload}"
-                    )
-                if kind == "meta":
-                    worker_baseline, worker_ips = payload
-                    if baseline is None:
-                        baseline, ips = worker_baseline, worker_ips
-                    else:
-                        # Every worker must reproduce the exact same baseline —
-                        # this is the determinism invariant the records rely on.
-                        self._check_baseline(
-                            worker_baseline, baseline, f"worker {worker_id}"
-                        )
-                    if not header_written:
-                        self._write_header(writer, baseline, ips, len(labels))
-                        header_written = True
-                elif kind == "record":
-                    records[payload.trial_index] = payload
-                    self._write_record(writer, payload)
-                    if cfg.log_every and len(records) % cfg.log_every == 0:
-                        logger.info("completed %d/%d trials", len(records), total)
-                elif kind == "stats":
-                    stats_parts.append(payload)
-                elif kind == "done":
-                    remaining -= 1
-            for proc in procs:
-                proc.join()
+            supervisor = LeaseSupervisor(
+                leases,
+                results=results,
+                spawn=spawn,
+                reap=reap,
+                handle=handle,
+                max_retries=cfg.max_shard_retries,
+                timeout=cfg.shard_timeout,
+                backoff=cfg.retry_backoff,
+                poison_policy=cfg.poison_policy,
+            )
+            recovery = supervisor.run()
         finally:
-            for proc in procs:
-                if proc.is_alive():
-                    proc.terminate()
-                    proc.join()
+            for lease in leases:
+                terminate_process(lease.proc)
             if writer is not None:
                 writer.close()
             if shared is not None:
                 shared.unlink()
 
         if baseline is None:
-            # No workers ran (everything was already in the checkpoint) and
-            # the header carried no baseline — cannot happen with our writer,
-            # but guard against hand-crafted checkpoints.
+            # No worker survived long enough to report a baseline (every
+            # shard quarantined before its meta message) and the header
+            # carried none either.
             raise RuntimeError("campaign finished without establishing a baseline accuracy")
         result = CampaignResult(
             baseline_accuracy=baseline,
@@ -856,8 +962,16 @@ class ParallelCampaignRunner:
             emulated_inferences_per_second=ips,
         )
         result.records = [records[i] for i in sorted(records)]
-        result.runtime_stats = self._aggregate_runtime_stats(stats_parts, len(procs))
+        result.runtime_stats = self._aggregate_runtime_stats(stats_parts, len(leases))
+        result.recovery = self._recovery_dict(recovery)
         return result
+
+    def _recovery_dict(self, recovery: RecoveryLog) -> dict:
+        """Recovery provenance for the result (observational, never identity)."""
+        out = recovery.to_dict()
+        if any(self._checkpoint_stats.values()):
+            out["checkpoint"] = dict(self._checkpoint_stats)
+        return out
 
     # ------------------------------------------------------------------
     # Adaptive (confidence-bounded) execution
@@ -1020,66 +1134,95 @@ class ParallelCampaignRunner:
         )
         ctx = mp.get_context(method)
         results: mp.Queue = ctx.Queue()
-        task_queues: list[mp.Queue] = [ctx.Queue() for _ in range(self.workers)]
         header_written = header is not None
         stats_parts: list[dict] = []
+        slots = [_PoolSlot(slot_id) for slot_id in range(self.workers)]
+        recovery = RecoveryLog()
         # Allocated inside the try for the same reason as _run_parallel:
         # the parent's finally is the only reliable reaper of the shared
         # batch segment when a worker exits abnormally.
         shared = None
         writer = None
-        procs: list = []
-        try:
-            batch, shared = self._make_batch(images, labels)
-            procs = [
-                ctx.Process(
+        batch = None
+
+        def handle(kind: str, payload) -> None:
+            nonlocal baseline, ips, header_written
+            if kind == "meta":
+                worker_baseline, worker_ips = payload
+                if baseline is None:
+                    baseline, ips = worker_baseline, worker_ips
+                else:
+                    self._check_baseline(worker_baseline, baseline, "another worker")
+                if not header_written:
+                    self._write_header(writer, baseline, ips, len(labels))
+                    header_written = True
+            elif kind == "record":
+                records[payload.trial_index] = payload
+                self._write_record(writer, payload)
+            elif kind == "stats":
+                stats_parts.append(payload)
+
+        def spawn(lease: ShardLease) -> tuple[object, tuple[int, int]]:
+            # Lease ids are pool slot ids.  A healthy slot keeps its warm
+            # worker (platform already built) across rounds; a slot whose
+            # worker died or hung gets a fresh process under a bumped epoch,
+            # so the old worker's late lifecycle messages can never be
+            # mistaken for the new attempt's.
+            slot = slots[lease.lease_id]
+            if slot.proc is None or not slot.proc.is_alive():
+                slot.epoch += 1
+                slot.tasks = ctx.Queue()
+                slot.proc = ctx.Process(
                     target=_round_worker,
-                    args=(w, self.spec, self.strategy, cfg, batch, task_queues[w], results),
+                    args=((slot.slot_id, slot.epoch), self.spec, self.strategy,
+                          cfg, batch, slot.tasks, results),
                     daemon=True,
                 )
-                for w in range(self.workers)
-            ]
+                slot.proc.start()
+            slot.tasks.put(sorted(lease.remaining))
+            return slot.proc, (slot.slot_id, slot.epoch)
+
+        def reap(lease: ShardLease, failed: bool) -> None:
+            if failed:
+                # The slot's worker is unusable (dead, hung or erroring):
+                # stop it so the next attempt respawns under a new epoch.
+                terminate_process(slots[lease.lease_id].proc)
+            # failed=False: keep the persistent worker warm for later rounds.
+
+        try:
+            batch, shared = self._make_batch(images, labels)
             writer = self._open_checkpoint(fresh=header is None)
-            for proc in procs:
-                proc.start()
-
-            def collect(barrier: int) -> None:
-                nonlocal baseline, ips, header_written
-                while barrier:
-                    try:
-                        kind, worker_id, payload = results.get(timeout=1.0)
-                    except queue_module.Empty:
-                        self._check_workers_alive(procs)
-                        continue
-                    if kind == "error":
-                        raise RuntimeError(f"campaign worker {worker_id} failed:\n{payload}")
-                    if kind == "meta":
-                        worker_baseline, worker_ips = payload
-                        if baseline is None:
-                            baseline, ips = worker_baseline, worker_ips
-                        else:
-                            self._check_baseline(worker_baseline, baseline, f"worker {worker_id}")
-                        if not header_written:
-                            self._write_header(writer, baseline, ips, len(labels))
-                            header_written = True
-                    elif kind == "record":
-                        records[payload.trial_index] = payload
-                        self._write_record(writer, payload)
-                    elif kind == "stats":
-                        stats_parts.append(payload)
-                    elif kind in ("round-done", "done"):
-                        barrier -= 1
-
             for round_number in range(completed_rounds, len(bounds)):
                 start, end = bounds[round_number]
                 pending = [index for index in range(start, end) if index not in records]
-                shards = shard_indices(pending, self.workers) if pending else []
-                # Every worker gets a (possibly empty) batch and answers
-                # with round-done: the barrier that makes the stopping
-                # decision independent of scheduling order.
-                for w, queue in enumerate(task_queues):
-                    queue.put(shards[w] if w < len(shards) else [])
-                collect(len(task_queues))
+                if pending:
+                    shards = shard_indices(pending, self.workers)
+                    leases = [ShardLease(w, shard) for w, shard in enumerate(shards)]
+                    supervisor = LeaseSupervisor(
+                        leases,
+                        results=results,
+                        spawn=spawn,
+                        reap=reap,
+                        handle=handle,
+                        complete_kind="round-done",
+                        max_retries=cfg.max_shard_retries,
+                        timeout=cfg.shard_timeout,
+                        backoff=cfg.retry_backoff,
+                        poison_policy=cfg.poison_policy,
+                        recovery=recovery,
+                    )
+                    supervisor.run()
+                missing = [index for index in range(start, end) if index not in records]
+                if missing:
+                    # A quarantined poison shard left holes in this round.
+                    # The stopping rule is a pure function of *complete*
+                    # rounds, so the campaign ends at the last full one.
+                    logger.error(
+                        "round %d is missing %d trial(s) from poison shard(s); "
+                        "stopping the adaptive campaign after round %d",
+                        round_number + 1, len(missing), completed_rounds,
+                    )
+                    break
                 completed_rounds = round_number + 1
                 stop_end = end
                 round_records = [records[index] for index in range(end)]
@@ -1087,36 +1230,68 @@ class ParallelCampaignRunner:
                     logger.info("completed round %d: %d/%d trials", completed_rounds, end, budget)
                 if plan.should_stop(completed_rounds, round_records):
                     break
-            for queue in task_queues:
-                queue.put(None)
-            collect(len(procs))
-            for proc in procs:
-                proc.join()
+            self._shutdown_pool(slots, results, stats_parts, handle)
         finally:
-            for proc in procs:
-                if proc.is_alive():
-                    proc.terminate()
-                    proc.join()
+            for slot in slots:
+                terminate_process(slot.proc)
             if writer is not None:
                 writer.close()
             if shared is not None:
                 shared.unlink()
 
-        if baseline is None:  # pragma: no cover - every entered round runs workers
+        if baseline is None:
             raise RuntimeError("campaign finished without establishing a baseline accuracy")
         result = self._adaptive_result(
             baseline, ips, len(labels), records, budget, completed_rounds, stop_end
         )
-        result.runtime_stats = self._aggregate_runtime_stats(stats_parts, len(procs))
+        result.runtime_stats = self._aggregate_runtime_stats(stats_parts, self.workers)
+        result.recovery = self._recovery_dict(recovery)
         return result
 
     @staticmethod
-    def _check_workers_alive(procs: list) -> None:
-        dead = [p for p in procs if not p.is_alive() and p.exitcode not in (0, None)]
-        if dead:
-            codes = ", ".join(str(p.exitcode) for p in dead)
-            raise RuntimeError(
-                f"{len(dead)} campaign worker(s) died with exit code(s) {codes}; "
-                "completed trials are preserved in the checkpoint (resume with "
-                "resume=True)"
-            )
+    def _shutdown_pool(
+        slots: list[_PoolSlot],
+        results: mp.Queue,
+        stats_parts: list[dict],
+        handle: Callable[[str, object], None],
+        deadline: float = 30.0,
+    ) -> None:
+        """Retire surviving pool workers, collecting their final stats.
+
+        Deadline-aware: a worker that dies or hangs *during shutdown*
+        forfeits its stats (they are observational) instead of stalling the
+        campaign — the old collector would block forever here.
+        """
+        waiting = set()
+        for slot in slots:
+            if slot.proc is not None and slot.proc.is_alive():
+                slot.tasks.put(None)
+                waiting.add(slot.slot_id)
+        deadline_at = time.monotonic() + deadline
+        while waiting and time.monotonic() < deadline_at:
+            try:
+                kind, token, payload = results.get(timeout=0.25)
+            except queue_module.Empty:
+                for slot in slots:
+                    if slot.slot_id in waiting and not slot.proc.is_alive():
+                        waiting.discard(slot.slot_id)
+                continue
+            slot_id, epoch = token
+            if slot_id >= len(slots) or epoch != slots[slot_id].epoch:
+                continue  # a terminated epoch's stragglers
+            if kind == "stats":
+                stats_parts.append(payload)
+            elif kind == "done":
+                waiting.discard(slot_id)
+                slots[slot_id].proc.join()
+            elif kind in ("record", "meta"):
+                # Late but valid data from the current epoch (deterministic,
+                # deduplicated by trial index downstream).
+                handle(kind, payload)
+        for slot in slots:
+            if slot.slot_id in waiting:  # pragma: no cover - shutdown stall
+                logger.warning(
+                    "adaptive worker %d did not retire within %.0fs; terminating",
+                    slot.slot_id, deadline,
+                )
+                terminate_process(slot.proc)

@@ -95,6 +95,13 @@ class CampaignResult:
     #: per axis) stamped by the producing runner/CLI; ``None`` for results
     #: built programmatically or loaded from pre-provenance artifacts.
     provenance: dict | None = None
+    #: What the lease supervisor healed while producing this result: lease
+    #: attempts, reclaimed leases, dead/hung workers, poison shards, plus
+    #: the corrupt/duplicate checkpoint lines collapsed on resume.  Like
+    #: ``runtime_stats``, purely observational — recovery never changes
+    #: records — so it is excluded from record-level identity/digests.
+    #: ``None`` for serial runs (nothing to supervise).
+    recovery: dict | None = None
 
     def add(self, record: TrialRecord) -> None:
         self.records.append(record)
@@ -200,6 +207,7 @@ class CampaignResult:
             ),
             "adaptive": self.adaptive,
             "runtime_stats": self.runtime_stats,
+            "recovery": self.recovery,
         }
 
     # ------------------------------------------------------------------
@@ -269,6 +277,8 @@ class CampaignResult:
             out["runtime_stats"] = self.runtime_stats
         if self.provenance is not None:
             out["provenance"] = self.provenance
+        if self.recovery is not None:
+            out["recovery"] = self.recovery
         return out
 
     def to_json(self, indent: int = 2) -> str:
@@ -286,6 +296,7 @@ class CampaignResult:
             adaptive=data.get("adaptive"),
             runtime_stats=data.get("runtime_stats"),
             provenance=data.get("provenance"),
+            recovery=data.get("recovery"),
         )
         for record in data.get("records", []):
             result.add(TrialRecord.from_dict(record))

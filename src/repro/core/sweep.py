@@ -350,6 +350,13 @@ class ExperimentSpec:
     #: (an ``[adaptive]`` table in the spec file; see
     #: :class:`~repro.core.stats.AdaptiveCampaignPlan`).
     adaptive: AdaptiveCampaignPlan | None = None
+    #: Fault-tolerance knobs forwarded to every scenario's campaign runner
+    #: (``None`` = the :class:`~repro.core.campaign.CampaignConfig` default).
+    #: Purely operational: retries/deadlines change wall-clock behaviour,
+    #: never records, so they are *not* part of scenario identity.
+    max_shard_retries: int | None = None
+    shard_timeout: float | None = None
+    retry_backoff: float | None = None
 
     def __post_init__(self) -> None:
         for axis_name, axis in (
@@ -375,6 +382,11 @@ class ExperimentSpec:
         for key in ("images", "seed", "batch_size"):
             if key in data:
                 kwargs[key] = int(data.pop(key))
+        if "max_shard_retries" in data:
+            kwargs["max_shard_retries"] = int(data.pop("max_shard_retries"))
+        for key in ("shard_timeout", "retry_backoff"):
+            if key in data:
+                kwargs[key] = float(data.pop(key))
         adaptive = data.pop("adaptive", None)
         if adaptive is not None:
             kwargs["adaptive"] = AdaptiveCampaignPlan.from_dict(adaptive)
@@ -409,6 +421,10 @@ class ExperimentSpec:
         }
         if self.adaptive is not None:
             out["adaptive"] = self.adaptive.to_dict()
+        for key in ("max_shard_retries", "shard_timeout", "retry_backoff"):
+            value = getattr(self, key)
+            if value is not None:
+                out[key] = value
         return out
 
     def grid(self) -> "ScenarioGrid":
@@ -697,7 +713,7 @@ def validate_spec_data(data: dict) -> list[str]:
         if len(names) != len(set(names)):
             errors.append(f"duplicate names in {key!r}: {sorted(names)}")
 
-    for key in ("images", "seed", "batch_size"):
+    for key in ("images", "seed", "batch_size", "max_shard_retries"):
         if key in data:
             value = data.pop(key)
             if isinstance(value, bool) or not isinstance(value, int):
@@ -705,6 +721,20 @@ def validate_spec_data(data: dict) -> list[str]:
                     f"spec key {key!r} must be an integer, "
                     f"got {type(value).__name__} {value!r}"
                 )
+            elif key == "max_shard_retries" and value < 0:
+                errors.append(f"spec key 'max_shard_retries' must be >= 0, got {value}")
+    for key in ("shard_timeout", "retry_backoff"):
+        if key in data:
+            value = data.pop(key)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                errors.append(
+                    f"spec key {key!r} must be a number, "
+                    f"got {type(value).__name__} {value!r}"
+                )
+            elif key == "shard_timeout" and value <= 0:
+                errors.append(f"spec key 'shard_timeout' must be positive, got {value}")
+            elif key == "retry_backoff" and value < 0:
+                errors.append(f"spec key 'retry_backoff' must be >= 0, got {value}")
     adaptive = data.pop("adaptive", None)
     if adaptive is not None:
         try:
@@ -880,6 +910,11 @@ class SweepRunner:
         plan: AdaptiveCampaignPlan | None = None,
         fused_trials: int = 8,
         profile: bool = False,
+        max_shard_retries: int | None = None,
+        shard_timeout: float | None = None,
+        retry_backoff: float | None = None,
+        poison_policy: str | None = None,
+        chaos=None,
     ):
         spec = grid.spec if isinstance(grid, ScenarioGrid) else None
         self.scenarios = list(grid)
@@ -916,6 +951,24 @@ class SweepRunner:
         #: Collect per-stage wall-time breakdowns and write them as
         #: ``<sweep_dir>/profile.json`` (one entry per scenario).
         self.profile = profile
+        #: Fault-tolerance knobs for every scenario campaign: explicit
+        #: argument > spec value > CampaignConfig default.  Operational
+        #: only — they never change scenario records.
+        self.max_shard_retries = (
+            max_shard_retries
+            if max_shard_retries is not None
+            else (spec.max_shard_retries if spec else None)
+        )
+        self.shard_timeout = (
+            shard_timeout if shard_timeout is not None else (spec.shard_timeout if spec else None)
+        )
+        self.retry_backoff = (
+            retry_backoff if retry_backoff is not None else (spec.retry_backoff if spec else None)
+        )
+        self.poison_policy = poison_policy
+        #: Deterministic harness-fault plan applied to every scenario's
+        #: workers (chaos-testing machinery; leave None in real sweeps).
+        self.chaos = chaos
         self._spec = spec
 
     def _zoo_resolver(self, scenario: Scenario) -> tuple[PlatformSpec, np.ndarray, np.ndarray]:
@@ -962,6 +1015,17 @@ class SweepRunner:
                     seed=self.seed,
                     fused_trials=self.fused_trials,
                     profile=self.profile,
+                    chaos=self.chaos,
+                    **{
+                        key: value
+                        for key, value in (
+                            ("max_shard_retries", self.max_shard_retries),
+                            ("shard_timeout", self.shard_timeout),
+                            ("retry_backoff", self.retry_backoff),
+                            ("poison_policy", self.poison_policy),
+                        )
+                        if value is not None
+                    },
                 ),
                 workers=self.workers,
                 checkpoint=self._checkpoint_path(scenario),

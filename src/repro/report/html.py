@@ -206,6 +206,24 @@ def _scenario_section(entry: dict, confidence: float) -> str:
                 + (", stopped early)" if adaptive["stopped_early"] else ", ran to budget)"),
             )
         )
+    recovery = summary.get("recovery")
+    if recovery:
+        checkpoint = recovery.get("checkpoint") or {}
+        poison = len(recovery.get("poison_shards") or [])
+        detail = (
+            f"{recovery.get('reclaimed', 0)} lease(s) reclaimed "
+            f"({recovery.get('dead_workers', 0)} dead, "
+            f"{recovery.get('hung_workers', 0)} hung, "
+            f"{recovery.get('worker_errors', 0)} errored)"
+        )
+        if poison:
+            detail += f", {poison} poison shard(s)"
+        if any(checkpoint.values()):
+            detail += (
+                f"; checkpoint healed {checkpoint.get('corrupt_lines', 0)} corrupt / "
+                f"{checkpoint.get('duplicate_records', 0)} duplicate line(s)"
+            )
+        rows.append(("worker recovery", _esc(detail)))
     detail_rows = "".join(
         f"<tr><td class='name'>{_esc(key)}</td><td>{value}</td></tr>" for key, value in rows
     )
@@ -257,6 +275,20 @@ def render_html(report: dict, *, title: str = "repro reliability report") -> str
         )
     if "most_fragile_scenario" in reliability:
         tiles.append(("most fragile", _esc(reliability["most_fragile_scenario"])))
+    recovery = reliability.get("recovery")
+    if recovery and (
+        recovery["reclaimed_leases"] or recovery["poison_shards"]
+        or recovery["checkpoint_corrupt_lines"] or recovery["checkpoint_duplicate_records"]
+    ):
+        tiles.append(
+            (
+                "leases reclaimed",
+                f"{recovery['reclaimed_leases']} "
+                f"({recovery['dead_workers']} dead / {recovery['hung_workers']} hung"
+                + (f", {recovery['poison_shards']} poison)" if recovery["poison_shards"]
+                   else ")"),
+            )
+        )
     tile_html = "".join(
         f"<div class='tile'><div class='value'>{value}</div>"
         f"<div class='label'>{_esc(label)}</div></div>"

@@ -145,6 +145,25 @@ def build_report(
             reliability["adaptive_trials_evaluated"] = spent
             reliability["adaptive_trial_budget"] = budget
             reliability["adaptive_savings"] = (1.0 - spent / budget) if budget else 0.0
+    recoveries = [s["summary"]["recovery"] for s in scenarios if s["summary"].get("recovery")]
+    if recoveries:
+        # Supervisor provenance: how much harness failure the campaigns
+        # absorbed without changing a single record.
+        reliability["recovery"] = {
+            "scenarios_supervised": len(recoveries),
+            "lease_attempts": sum(r.get("attempts", 0) for r in recoveries),
+            "reclaimed_leases": sum(r.get("reclaimed", 0) for r in recoveries),
+            "dead_workers": sum(r.get("dead_workers", 0) for r in recoveries),
+            "hung_workers": sum(r.get("hung_workers", 0) for r in recoveries),
+            "worker_errors": sum(r.get("worker_errors", 0) for r in recoveries),
+            "poison_shards": sum(len(r.get("poison_shards") or []) for r in recoveries),
+            "checkpoint_corrupt_lines": sum(
+                (r.get("checkpoint") or {}).get("corrupt_lines", 0) for r in recoveries
+            ),
+            "checkpoint_duplicate_records": sum(
+                (r.get("checkpoint") or {}).get("duplicate_records", 0) for r in recoveries
+            ),
+        }
     return {
         "version": REPORT_VERSION,
         "kind": kind,

@@ -42,9 +42,10 @@ STRATEGY = RandomMultipliers(values=(0, -1), fault_counts=(1, 3), trials_per_poi
 CONFIG = CampaignConfig(batch_size=16, seed=5, max_images=16)
 
 
-def run_campaign(spec, dataset, workers, checkpoint=None, resume=False, strategy=STRATEGY):
+def run_campaign(spec, dataset, workers, checkpoint=None, resume=False, strategy=STRATEGY,
+                 config=CONFIG):
     runner = ParallelCampaignRunner(
-        spec, strategy, CONFIG, workers=workers, checkpoint=checkpoint, resume=resume
+        spec, strategy, config, workers=workers, checkpoint=checkpoint, resume=resume
     )
     return runner.run(dataset.test_images, dataset.test_labels)
 
@@ -205,7 +206,7 @@ class TestCheckpointResume:
         )
         assert resumed.records == uninterrupted.records
         # The checkpoint now holds every trial exactly once.
-        header, records = load_checkpoint(checkpoint)
+        header, records, _ = load_checkpoint(checkpoint)
         assert sorted(records) == [r.trial_index for r in uninterrupted.records]
         assert header["baseline_accuracy"] == uninterrupted.baseline_accuracy
 
@@ -341,10 +342,11 @@ class TestCheckpointResume:
                 ]
             )
         )
-        header, records = load_checkpoint(checkpoint)
+        header, records, stats = load_checkpoint(checkpoint)
         assert header["seed"] == 0
         assert list(records) == [0]
         assert records[0] == record
+        assert stats == {"corrupt_lines": 2, "duplicate_records": 0, "unknown_lines": 1}
 
 
 class TestProtocolErrors:
@@ -404,5 +406,10 @@ class TestProtocolErrors:
                 raise RuntimeError("boom at trial %d" % index)
 
         strategy = Exploding(values=(0,), fault_counts=(1,), trials_per_point=2)
+        # max_shard_retries=0 restores fail-fast: a deterministic worker
+        # error would fail identically on every retry anyway.
+        config = CampaignConfig(batch_size=16, seed=5, max_images=16, max_shard_retries=0)
         with pytest.raises(RuntimeError, match="worker"):
-            run_campaign(tiny_platform_spec, tiny_dataset, workers=2, strategy=strategy)
+            run_campaign(
+                tiny_platform_spec, tiny_dataset, workers=2, strategy=strategy, config=config
+            )

@@ -162,19 +162,21 @@ class TestWorkerCrashReapsSharedMemory:
 
         real_worker = parallel._shard_worker
 
-        def killing_worker(worker_id, spec, strategy, config, batch, indices, results):
-            if worker_id == 0:
+        def killing_worker(token, spec, strategy, config, batch, indices, results):
+            if token == (0, 0):
                 # die without unwinding: no finally, no close(), no nothing
                 os.kill(os.getpid(), signal.SIGKILL)
-            real_worker(worker_id, spec, strategy, config, batch, indices, results)
+            real_worker(token, spec, strategy, config, batch, indices, results)
 
         # fork inherits the patched module global in the children
         monkeypatch.setattr(parallel, "_shard_worker", killing_worker)
 
+        # max_shard_retries=0 keeps this fail-fast: the reaping ``finally``
+        # must run even when the supervisor gives up on the shard.
         runner = ParallelCampaignRunner(
             tiny_platform_spec,
             STRATEGY,
-            _config(),
+            _config(max_shard_retries=0),
             workers=2,
             checkpoint=tmp_path / "crash.jsonl",
             start_method="fork",
