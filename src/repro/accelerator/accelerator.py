@@ -24,6 +24,7 @@ from repro.accelerator.timing import TimingModel, TimingReport
 from repro.compiler.loadable import Loadable
 from repro.compiler.ops import ConvOp, EltwiseAddOp, FullyConnectedOp, GlobalAvgPoolOp, PoolOp
 from repro.faults.injector import InjectionConfig
+from repro.faults.models import flip_int8_bytes
 from repro.faults.registers import FaultInjectionRegisterFile
 from repro.faults.sites import FaultUniverse
 from repro.quant.qlayers import QAdd, QConv, QGlobalAvgPool, QLinear, QMaxPool
@@ -165,6 +166,22 @@ class NVDLAAccelerator:
             raise TypeError(f"cannot execute op type {type(op).__name__}")
         self.csb.ring_doorbell()
 
+    def _dma_input(self, qinput: np.ndarray) -> np.ndarray:
+        """Apply armed input-pipeline corruption at the DMA boundary.
+
+        The runtime quantises images on the host and DMA-transfers them into
+        the accelerator; an ``input``-surface fault flips the armed bit of
+        each sample's staged transfer.  This happens upstream of both
+        engines (scalar and vectorised see the same corrupted input), and
+        upstream of the tape lookup — a corrupted input fails the segment's
+        byte verification, so a taped clean forward is never replayed for
+        it.
+        """
+        flips = self._injection.input_flips() if self._injection.enabled else []
+        if flips:
+            qinput = flip_int8_bytes(qinput, flips, per_sample=True)
+        return qinput
+
     def _tape_context(self, qinput: np.ndarray, chunk_key: tuple | None):
         """``(segment, recording, qinput)`` for one chunk execution.
 
@@ -213,7 +230,7 @@ class NVDLAAccelerator:
         """
         model = loadable.model
         input_node = model.input_node
-        qinput = input_node.quantize(images)
+        qinput = self._dma_input(input_node.quantize(images))
         segment, recording, qinput = self._tape_context(qinput, chunk_key)
         replaying = segment is not None and not recording
         activations: dict[str, np.ndarray] = {input_node.name: qinput}
@@ -229,6 +246,11 @@ class NVDLAAccelerator:
             self.engine.tape_chunk_active = chunk_key is not None
 
         try:
+            # Per-inference GEMM execution index: the dwell clock of
+            # memory-resident faults.  It advances once per conv/FC op in
+            # plan order and resets for every inference, so dwell windows
+            # are invariant to how the evaluation loop chunks the batch.
+            gemm_index = 0
             for op in loadable.ops:
                 node = model.node(op.name)
                 inputs = [activations[src] for src in op.inputs]
@@ -246,13 +268,19 @@ class NVDLAAccelerator:
 
                 if isinstance(op, ConvOp):
                     assert isinstance(node, QConv)
-                    acc = self.engine.conv_accumulate(inputs[0], node, self._injection)
+                    acc = self.engine.conv_accumulate(
+                        inputs[0], node, self._injection, exec_index=gemm_index
+                    )
+                    gemm_index += 1
                     start = PROFILER.tick()
                     out = conv_post(acc, node, channel_axis=1)
                     PROFILER.tock("requant", start)
                 elif isinstance(op, FullyConnectedOp):
                     assert isinstance(node, QLinear)
-                    acc = self.engine.linear_accumulate(inputs[0], node, self._injection)
+                    acc = self.engine.linear_accumulate(
+                        inputs[0], node, self._injection, exec_index=gemm_index
+                    )
+                    gemm_index += 1
                     start = PROFILER.tick()
                     out = conv_post(acc, node, channel_axis=1)
                     PROFILER.tock("requant", start)

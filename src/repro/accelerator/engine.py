@@ -58,7 +58,7 @@ import numpy as np
 from repro.accelerator.geometry import ArrayGeometry, PAPER_GEOMETRY
 from repro.accelerator.tape import CleanForwardTape, TapeOpEntry, TapeSegment, arrays_match
 from repro.faults.injector import InjectionConfig
-from repro.faults.models import FaultModel
+from repro.faults.models import FaultModel, flip_int8_bytes
 from repro.faults.sites import FaultSite
 from repro.nn.functional import conv_output_size, im2col
 from repro.quant.qlayers import QConv, QLinear
@@ -76,8 +76,14 @@ def config_fusable(config: InjectionConfig) -> bool:
     Models that consume the engine's RNG stream (``rng_free = False``, e.g.
     :class:`~repro.faults.models.TransientPulse`) would observe a different
     draw order under fusion; such trials are evaluated one at a time.
+    Memory-resident models are likewise excluded: they corrupt the staged
+    operand bytes (weights, activations, input DMA) that a fused pass shares
+    across all trials of the group.
     """
-    return all(getattr(model, "rng_free", False) for model in config.faults.values())
+    return all(
+        getattr(model, "rng_free", False) and model.stage != "memory"
+        for model in config.faults.values()
+    )
 
 
 class CleanAccumulatorCache:
@@ -228,7 +234,8 @@ class VectorisedEngine:
     # Clean GEMM (shared by conv and FC)
     # ------------------------------------------------------------------
     def _clean_accumulate(
-        self, name: str, x_q: np.ndarray, w_mat: np.ndarray, make_cols
+        self, name: str, x_q: np.ndarray, w_mat: np.ndarray, make_cols,
+        reusable: bool = True,
     ) -> tuple[np.ndarray, np.ndarray, bool]:
         """Return ``(cols, clean acc, acc owned)``, via the tape or cache.
 
@@ -239,10 +246,22 @@ class VectorisedEngine:
         bypassing the digest cache (hashing a one-shot faulty activation
         would be pure overhead).
 
+        ``reusable = False`` bypasses the tape and the digest cache entirely
+        (no lookup, no insert).  Both stores key on the layer *input* and
+        assume the layer's weights are the compiled ones; a dwell-active
+        weight-surface fault breaks that assumption — a clean input would
+        falsely hit the clean accumulator — so such ops always recompute.
+
         The ``owned`` flag tells the caller whether the accumulator is a
         freshly computed buffer it may mutate in place (suffix GEMMs) or a
         shared tape/cache entry that fault corrections must copy first.
         """
+        if not reusable:
+            start = PROFILER.tick()
+            cols = make_cols()
+            acc = exact_matmul(w_mat, cols)
+            PROFILER.tock("suffix_forward", start)
+            return cols, acc, True
         tape = self.tape
         segment = self.tape_segment
         if tape is not None and segment is None and self.tape_chunk_active:
@@ -294,30 +313,68 @@ class VectorisedEngine:
     # ------------------------------------------------------------------
     # Convolution
     # ------------------------------------------------------------------
+    def _staged_operands(
+        self,
+        x_q: np.ndarray,
+        weight: np.ndarray,
+        config: InjectionConfig,
+        exec_index: int,
+    ) -> tuple[np.ndarray, np.ndarray, InjectionConfig, bool]:
+        """Apply dwell-active memory faults to the staged operand tensors.
+
+        Returns ``(x_q, weight, datapath config, reusable)``: the (possibly
+        corrupted) activation and weight tensors the GEMM must read, the
+        configuration stripped of its memory faults, and whether the clean
+        tape/cache may serve this op (False once the weights differ from the
+        compiled ones).  Corruption is the vectorised path — an XOR on a
+        uint8 view of a copy — mirroring the scalar reference engine's
+        per-byte staging corruption.
+        """
+        if not config.enabled:
+            return x_q, weight, config, True
+        weight_flips, activation_flips = config.active_memory_flips(exec_index)
+        datapath = config.datapath_config()
+        reusable = True
+        if weight_flips:
+            weight = flip_int8_bytes(weight, weight_flips, per_sample=False)
+            reusable = False
+        if activation_flips:
+            x_q = flip_int8_bytes(x_q, activation_flips, per_sample=True)
+        return x_q, weight, datapath, reusable
+
     def conv_accumulate(
         self,
         x_q: np.ndarray,
         node: QConv,
         config: InjectionConfig | None = None,
+        exec_index: int = 0,
     ) -> np.ndarray:
-        """Raw accumulator of a convolution (no bias / requant), int64 NCHW."""
+        """Raw accumulator of a convolution (no bias / requant), int64 NCHW.
+
+        ``exec_index`` is the op's per-inference GEMM execution index — the
+        clock that memory-resident faults' dwell windows are defined on.
+        """
         if x_q.dtype != np.int8:
             raise TypeError(f"expected int8 activations, got {x_q.dtype}")
         config = config or InjectionConfig.fault_free()
+        x_q, weight, config, reusable = self._staged_operands(
+            x_q, node.weight, config, exec_index
+        )
         n, ic, h, w = x_q.shape
-        oc, ic_w, k, _ = node.weight.shape
+        oc, ic_w, k, _ = weight.shape
         if ic != ic_w:
             raise ValueError(f"{node.name}: input channels {ic} != weight channels {ic_w}")
         out_h = conv_output_size(h, k, node.stride, node.padding)
         out_w = conv_output_size(w, k, node.stride, node.padding)
 
-        w_mat = node.weight.reshape(oc, -1)  # int8, (OC, IC*K*K)
+        w_mat = weight.reshape(oc, -1)  # int8, (OC, IC*K*K)
         cols, acc, owned = self._clean_accumulate(
             node.name,
             x_q,
             w_mat,
             # int8 patches, (N, IC*K*K, P) — narrow until the GEMM boundary
             lambda: im2col(x_q, k, node.stride, node.padding),
+            reusable=reusable,
         )
 
         if config.enabled:
@@ -633,6 +690,7 @@ class VectorisedEngine:
         x_q: np.ndarray,
         node: QLinear,
         config: InjectionConfig | None = None,
+        exec_index: int = 0,
     ) -> np.ndarray:
         """Raw accumulator of a fully-connected layer, int64 of shape (N, OUT)."""
         if x_q.dtype != np.int8:
@@ -640,16 +698,20 @@ class VectorisedEngine:
         config = config or InjectionConfig.fault_free()
         if x_q.ndim != 2:
             raise ValueError(f"linear input must be (N, features), got shape {x_q.shape}")
+        x_q, weight, config, reusable = self._staged_operands(
+            x_q, node.weight, config, exec_index
+        )
         n, in_features = x_q.shape
-        out_features, in_w = node.weight.shape
+        out_features, in_w = weight.shape
         if in_features != in_w:
             raise ValueError(f"{node.name}: input features {in_features} != weight {in_w}")
 
         # An FC layer is a 1x1 convolution over a 1x1 feature map on this
         # datapath; reuse the convolution fault arithmetic with P == 1.
-        w_mat = node.weight  # int8, (OUT, IN)
+        w_mat = weight  # int8, (OUT, IN)
         cols, acc, owned = self._clean_accumulate(
-            node.name, x_q, w_mat, lambda: x_q.reshape(n, in_features, 1)
+            node.name, x_q, w_mat, lambda: x_q.reshape(n, in_features, 1),
+            reusable=reusable,
         )
 
         if config.enabled:

@@ -17,15 +17,26 @@ from dataclasses import dataclass, field
 
 @dataclass(frozen=True)
 class Surface:
-    """One contiguous tensor allocation in accelerator memory."""
+    """One contiguous tensor allocation in accelerator memory.
+
+    ``num_bytes`` is the *requested* (payload) size — the number the
+    per-layer byte-traffic accounting must see; ``padded_bytes`` is the
+    alignment-padded footprint the allocator actually reserves, and is what
+    :attr:`end` and the capacity/cursor math are based on.
+    """
 
     name: str
     address: int
     num_bytes: int
+    padded_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.padded_bytes < self.num_bytes:
+            object.__setattr__(self, "padded_bytes", self.num_bytes)
 
     @property
     def end(self) -> int:
-        return self.address + self.num_bytes
+        return self.address + self.padded_bytes
 
 
 class AllocationError(RuntimeError):
@@ -64,7 +75,9 @@ class MemoryModel:
                 f"allocating {aligned} bytes for {name!r} exceeds the "
                 f"{self.capacity_bytes}-byte partition (used {self._cursor})"
             )
-        surface = Surface(name=name, address=self._cursor, num_bytes=aligned)
+        surface = Surface(
+            name=name, address=self._cursor, num_bytes=num_bytes, padded_bytes=aligned
+        )
         self.surfaces[name] = surface
         self._cursor += aligned
         return surface

@@ -34,16 +34,57 @@ class ScalarReferenceEngine:
         #: Atomic operations executed by the last layer run (timing cross-check).
         self.last_atomic_ops = 0
 
+    @staticmethod
+    def _corrupt_staged(
+        array: np.ndarray, flips: list[tuple[int, int]], per_sample: bool
+    ) -> np.ndarray:
+        """Flip stored bits of a staged int8 operand buffer, byte by byte.
+
+        This is the cycle-accurate corruption path: the CBUF holds the int8
+        operand surface the schedule reads, and each armed (byte, bit) site
+        is toggled on a copy with plain Python integer arithmetic on the
+        raw two's-complement byte.  Offsets wrap modulo the corrupted
+        region — the whole surface for weights, each sample's staging for
+        activations (the surface is re-filled per sample).  Independently
+        mirrors the vectorised engine's uint8-view XOR; the differential
+        suite certifies the two bit-identical.
+        """
+        if array.dtype != np.int8:
+            raise TypeError(f"memory corruption expects int8 operands, got {array.dtype}")
+        staged = array.copy()
+        regions = staged if per_sample else staged[None]
+        for region in regions:
+            flat = region.reshape(-1)
+            size = flat.size
+            for offset, bit in flips:
+                index = offset % size
+                raw = int(flat[index]) & 0xFF
+                raw ^= 1 << bit
+                flat[index] = raw - 256 if raw >= 128 else raw
+        return staged
+
     def conv_accumulate(
         self,
         x_q: np.ndarray,
         node: QConv,
         config: InjectionConfig | None = None,
+        exec_index: int = 0,
     ) -> np.ndarray:
-        """Raw accumulator of a convolution, computed one atomic op at a time."""
+        """Raw accumulator of a convolution, computed one atomic op at a time.
+
+        ``exec_index`` is the op's per-inference GEMM execution index, the
+        clock memory-resident faults' dwell windows are defined on.
+        """
         config = config or InjectionConfig.fault_free()
+        weight_flips, activation_flips = config.active_memory_flips(exec_index)
         cmac = CMACArray(self.geometry, rng=self.rng)
-        cmac.apply_injection_config(config)
+        cmac.apply_injection_config(config.datapath_config())
+
+        if activation_flips:
+            x_q = self._corrupt_staged(x_q, activation_flips, per_sample=True)
+        weight_src = node.weight
+        if weight_flips:
+            weight_src = self._corrupt_staged(weight_src, weight_flips, per_sample=False)
 
         n, in_channels, h, w = x_q.shape
         out_channels = node.out_channels
@@ -62,7 +103,7 @@ class ScalarReferenceEngine:
             ((0, 0), (0, 0), (padding, padding), (padding, padding)),
             mode="constant",
         )
-        weight = node.weight.astype(np.int64)
+        weight = weight_src.astype(np.int64)
 
         acc = np.zeros((n, out_channels, out_h, out_w), dtype=np.int64)
         self.last_atomic_ops = 0
@@ -115,11 +156,19 @@ class ScalarReferenceEngine:
         x_q: np.ndarray,
         node: QLinear,
         config: InjectionConfig | None = None,
+        exec_index: int = 0,
     ) -> np.ndarray:
         """Raw accumulator of a fully-connected layer via atomic operations."""
         config = config or InjectionConfig.fault_free()
+        weight_flips, activation_flips = config.active_memory_flips(exec_index)
         cmac = CMACArray(self.geometry, rng=self.rng)
-        cmac.apply_injection_config(config)
+        cmac.apply_injection_config(config.datapath_config())
+
+        if activation_flips:
+            x_q = self._corrupt_staged(x_q, activation_flips, per_sample=True)
+        weight_src = node.weight
+        if weight_flips:
+            weight_src = self._corrupt_staged(weight_src, weight_flips, per_sample=False)
 
         n, in_features = x_q.shape
         out_features = node.out_features
@@ -129,7 +178,7 @@ class ScalarReferenceEngine:
         kernel_groups = self.geometry.kernel_groups(out_features)
 
         x_int = x_q.astype(np.int64)
-        weight = node.weight.astype(np.int64)
+        weight = weight_src.astype(np.int64)
         acc = np.zeros((n, out_features), dtype=np.int64)
         self.last_atomic_ops = 0
 

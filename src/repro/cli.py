@@ -99,8 +99,11 @@ def _recovery_note(result) -> str | None:
 
 
 def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--family", choices=("resnet18", "mobilenet"), default="resnet18",
+                        help="architecture family of the case-study model "
+                             "(mobilenet = depthwise-separable variant)")
     parser.add_argument("--width", type=float, default=0.25,
-                        help="ResNet-18 width multiplier of the case-study model")
+                        help="width multiplier of the case-study model")
     parser.add_argument("--epochs", type=int, default=6, help="training epochs")
     parser.add_argument("--train-images", type=int, default=1500)
     parser.add_argument("--test-images", type=int, default=300)
@@ -114,6 +117,7 @@ def _case_spec(args: argparse.Namespace) -> CaseStudySpec:
         num_test=args.test_images,
         epochs=args.epochs,
         seed=args.seed,
+        family=getattr(args, "family", "resnet18"),
     )
 
 

@@ -18,6 +18,7 @@ from repro.compiler.mapper import Mapper
 from repro.compiler.ops import (
     CompiledOp,
     ConvOp,
+    DepthwiseConvOp,
     EltwiseAddOp,
     FullyConnectedOp,
     GlobalAvgPoolOp,
@@ -30,6 +31,7 @@ from repro.quant.calibrate import ActivationRanges, collect_activation_ranges
 from repro.quant.qlayers import (
     QAdd,
     QConv,
+    QDepthwiseConv,
     QGlobalAvgPool,
     QInput,
     QLinear,
@@ -68,7 +70,22 @@ def _lower_to_ops(model: QuantizedModel, geometry: ArrayGeometry) -> tuple[list[
             out_bytes *= int(dim)
         surfaces[node.name] = out_bytes
 
-        if isinstance(node, QConv):
+        if isinstance(node, QDepthwiseConv):
+            # Must be tested before QConv: QDepthwiseConv is a QConv subclass
+            # but lowers through its own mapping to a labeled plan entry.
+            _, out_h, out_w = out_shape
+            mapping = mapper.map_depthwise(node, out_h, out_w)
+            ops.append(
+                DepthwiseConvOp(
+                    name=node.name,
+                    inputs=tuple(node.inputs),
+                    mapping=mapping,
+                    weight_bytes=int(node.weight.size),
+                    relu=node.relu,
+                    output_bytes=out_bytes,
+                )
+            )
+        elif isinstance(node, QConv):
             _, out_h, out_w = out_shape
             mapping = mapper.map_conv(node, out_h, out_w)
             ops.append(

@@ -98,6 +98,27 @@ class Mapper:
             kernel_groups=self.geometry.kernel_groups(node.out_channels),
         )
 
+    def map_depthwise(self, node: QConv, out_h: int, out_w: int) -> ConvMapping:
+        """Tile a compiler-expanded depthwise convolution.
+
+        The expanded weight is dense ``(C, C, K, K)``, so the tiling is the
+        dense-conv tiling over the *expanded* channel count: every one of the
+        ``channel_groups(C)`` input sweeps runs even though only one lane per
+        output channel carries non-zero taps.  That inefficiency is faithful
+        to running depthwise work on an accelerator without a native
+        depthwise mode and is exactly what the timing model should charge.
+        """
+        return ConvMapping(
+            name=node.name,
+            in_channels=node.in_channels,
+            out_channels=node.out_channels,
+            kernel_size=node.kernel_size,
+            out_h=out_h,
+            out_w=out_w,
+            channel_groups=self.geometry.channel_groups(node.in_channels),
+            kernel_groups=self.geometry.kernel_groups(node.out_channels),
+        )
+
     def map_linear(self, node: QLinear) -> ConvMapping:
         """An FC layer maps as a 1x1 convolution over a 1x1 feature map."""
         return ConvMapping(

@@ -42,6 +42,19 @@ class ConvOp(CompiledOp):
 
 
 @dataclass(frozen=True)
+class DepthwiseConvOp(ConvOp):
+    """A depthwise convolution expanded to a dense MAC-array convolution.
+
+    Executes exactly like :class:`ConvOp` (the expanded one-hot weight is an
+    ordinary dense filter bank to the hardware) but stays a distinct plan
+    entry: the scheduling is pathological — ``C`` input-channel groups feed
+    each output channel with all-but-one group multiplying by zero — which is
+    precisely the im2col/tiling shape the depthwise workload is meant to
+    exercise, and reports/statistics want to see it labeled.
+    """
+
+
+@dataclass(frozen=True)
 class FullyConnectedOp(CompiledOp):
     """A fully-connected layer executed on the MAC array."""
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn.graph import Graph
-from repro.nn.layers import BatchNorm2D, Conv2D, Layer
+from repro.nn.layers import BatchNorm2D, Conv2D, DepthwiseConv2D, Layer
 from repro.nn.tensor import Parameter
 
 
@@ -53,6 +53,33 @@ def _fold_conv_bn(conv: Conv2D, bn: BatchNorm2D) -> Conv2D:
     return folded
 
 
+def _fold_depthwise_bn(conv: DepthwiseConv2D, bn: BatchNorm2D) -> DepthwiseConv2D:
+    """Return a new depthwise conv equivalent to ``bn(conv(x))`` in eval mode."""
+    gamma = bn.gamma.value.astype(np.float64)
+    beta = bn.beta.value.astype(np.float64)
+    mean = bn.running_mean.value.astype(np.float64)
+    var = bn.running_var.value.astype(np.float64)
+    std = np.sqrt(var + bn.eps)
+    scale = gamma / std  # per channel
+
+    folded = DepthwiseConv2D(
+        conv.channels,
+        conv.kernel_size,
+        stride=conv.stride,
+        padding=conv.padding,
+        bias=True,
+        name=conv.name,
+    )
+    folded.weight = Parameter(
+        (conv.weight.value.astype(np.float64) * scale[:, None, None, None]).astype(np.float32),
+        name=conv.weight.name,
+    )
+    old_bias = conv.bias.value.astype(np.float64) if conv.bias is not None else 0.0
+    folded_bias = beta + (old_bias - mean) * scale
+    folded.bias = Parameter(folded_bias.astype(np.float32), name=f"{conv.name}.bias")
+    return folded
+
+
 def fold_batchnorm(graph: Graph) -> Graph:
     """Fold every ``Conv2D -> BatchNorm2D`` pair of ``graph`` into one conv.
 
@@ -72,14 +99,17 @@ def fold_batchnorm(graph: Graph) -> Graph:
         node = graph.nodes[name]
         layer = node.layer
 
-        if isinstance(layer, Conv2D):
+        if isinstance(layer, (Conv2D, DepthwiseConv2D)):
             consumers = graph.consumers(name)
             bn_consumer = None
             if len(consumers) == 1 and isinstance(graph.nodes[consumers[0]].layer, BatchNorm2D):
                 bn_consumer = consumers[0]
             if bn_consumer is not None:
                 bn_layer = graph.nodes[bn_consumer].layer
-                new_layer = _fold_conv_bn(layer, bn_layer)
+                if isinstance(layer, DepthwiseConv2D):
+                    new_layer = _fold_depthwise_bn(layer, bn_layer)
+                else:
+                    new_layer = _fold_conv_bn(layer, bn_layer)
                 inputs = [alias[src] for src in node.inputs]
                 folded.add(name, new_layer, inputs)
                 alias[name] = name

@@ -45,11 +45,14 @@ from typing import Any, Callable, Iterable
 
 from repro.faults.models import (
     AccumulatorStuckAt,
+    ActivationBitFlip,
     BitFlip,
     ConstantValue,
+    InputCorruption,
     StuckAtOne,
     StuckAtZero,
     TransientCycleFault,
+    WeightBitFlip,
 )
 from repro.utils.bitops import PARTIAL_SUM_WIDTH
 
@@ -455,6 +458,59 @@ def _build_acc_stuck(params: dict):
     return tuple(AccumulatorStuckAt(bit=b, stuck=params["stuck"]) for b in params["bits"])
 
 
+_DWELL_PARAMS: tuple[ParamSpec, ...] = (
+    ParamSpec(
+        "dwell_start",
+        "int",
+        default=0,
+        doc="GEMM execution index (per inference, plan order) at which the flip appears",
+    ),
+    ParamSpec(
+        "dwell",
+        "int",
+        default=1,
+        doc="consecutive GEMM executions the flip persists before scrub/refresh clears it",
+    ),
+)
+
+
+def _validate_dwell(params: dict) -> list[str]:
+    errors: list[str] = []
+    if params["dwell_start"] < 0:
+        errors.append("'dwell_start' must be >= 0")
+    if params["dwell"] < 1:
+        errors.append("'dwell' must be >= 1 (a zero-length dwell never fires)")
+    return errors
+
+
+@FAULTS.register(
+    "weight-bitflip",
+    params=_DWELL_PARAMS,
+    description="memory-resident bit flip in a CBUF weight surface, with dwell time",
+    validator=_validate_dwell,
+)
+def _build_weight_bitflip(params: dict):
+    return (WeightBitFlip(dwell_start=params["dwell_start"], dwell=params["dwell"]),)
+
+
+@FAULTS.register(
+    "activation-bitflip",
+    params=_DWELL_PARAMS,
+    description="memory-resident bit flip in a CBUF activation surface, with dwell time",
+    validator=_validate_dwell,
+)
+def _build_activation_bitflip(params: dict):
+    return (ActivationBitFlip(dwell_start=params["dwell_start"], dwell=params["dwell"]),)
+
+
+@FAULTS.register(
+    "input-corrupt",
+    description="persistent bit flip in the quantised input at the DMA boundary",
+)
+def _build_input_corrupt(params: dict):
+    return (InputCorruption(),)
+
+
 # ----------------------------------------------------------------------
 # Builtin sampling strategies
 # ----------------------------------------------------------------------
@@ -550,6 +606,7 @@ def _validate_stratified(params: dict) -> list[str]:
         ),
     ],
     description="per-MAC-unit stratified single-site sampling",
+    stages=("product", "accumulator"),
     validator=_validate_stratified,
 )
 def _build_stratified(params: dict, *, models=None, values=None, name=None):
@@ -607,19 +664,32 @@ _CASE_STUDY_PARAMS: tuple[ParamSpec, ...] = (
     ParamSpec("epochs", "int", default=OPTIONAL),
     ParamSpec("batch_size", "int", default=OPTIONAL),
     ParamSpec("seed", "int", default=OPTIONAL),
+    ParamSpec(
+        "family",
+        "str",
+        default=OPTIONAL,
+        doc="architecture family override (resnet18 or mobilenet)",
+    ),
 )
 
 
 def _validate_case_study(params: dict) -> list[str]:
-    from repro.zoo import CASE_STUDY_VARIANTS
+    from repro.zoo import CASE_STUDY_FAMILIES, CASE_STUDY_VARIANTS
 
+    errors: list[str] = []
     variant = params.get("variant")
     if variant is not None and variant not in CASE_STUDY_VARIANTS:
-        return [
+        errors.append(
             f"unknown case-study variant {variant!r}; available: "
             f"{sorted(CASE_STUDY_VARIANTS)}"
-        ]
-    return []
+        )
+    family = params.get("family")
+    if family is not None and family not in CASE_STUDY_FAMILIES:
+        errors.append(
+            f"unknown case-study family {family!r}; available: "
+            f"{sorted(CASE_STUDY_FAMILIES)}"
+        )
+    return errors
 
 
 @MODELS.register(

@@ -175,6 +175,8 @@ class RandomMultipliers(InjectionStrategy):
         stream = rng.child("random-multipliers", tag, count, trial).generator()
         if stage == "accumulator":
             sites = universe.random_accumulator_sites(count, stream)
+        elif stage == "memory":
+            sites = universe.random_memory_sites(count, stream, surface=model.surface)
         else:
             sites = universe.random_sites(count, stream)
         metadata = {"trial": trial}
@@ -205,29 +207,44 @@ class ExhaustiveSingleSite(InjectionStrategy):
     #: unit instead of every multiplier lane.
     models: tuple[FaultModel, ...] | None = None
 
-    def _domain(self, universe: FaultUniverse) -> list[FaultSite]:
+    def _domain_size(self, universe: FaultUniverse) -> int:
+        """Sites per model; identical for every model of a homogeneous stage.
+
+        Memory-surface domains all have the same size (the CBUF fault window
+        is surface-independent), so the trial index space stays rectangular
+        even when the family mixes weight- and activation-surface models.
+        """
         stage = self._models_stage(self._resolved_models())
         if stage == "accumulator":
+            return universe.num_macs
+        if stage == "memory":
+            return universe.memory_size
+        return universe.size
+
+    def _domain(self, universe: FaultUniverse, model: FaultModel) -> list:
+        if model.stage == "accumulator":
             return universe.accumulator_sites()
+        if model.stage == "memory":
+            return universe.memory_sites(model.surface)
         return universe.all_sites()
 
     def expected_trials(self, universe: FaultUniverse) -> int:
-        return len(self._resolved_models()) * len(self._domain(universe))
+        return len(self._resolved_models()) * self._domain_size(universe)
 
     def trial_at(self, universe: FaultUniverse, rng: SeededRNG, index: int) -> StrategyTrial:
         models = self._resolved_models()
         stage = self._models_stage(models)
-        domain = self._domain(universe)
-        self._check_index(index, len(models) * len(domain))
-        model = models[index // len(domain)]
-        site = domain[index % len(domain)]
+        size = self._domain_size(universe)
+        self._check_index(index, len(models) * size)
+        model = models[index // size]
+        site = self._domain(universe, model)[index % size]
         metadata = {"model": model.label()} if self.models is not None else {}
         return StrategyTrial(
             config=InjectionConfig.single(site, model),
             num_faults=1,
             injected_value=model.constant_override(),
-            mac_unit=site.mac_unit,
-            multiplier=None if stage == "accumulator" else site.multiplier,
+            mac_unit=getattr(site, "mac_unit", None),
+            multiplier=None if stage != "product" else site.multiplier,
             metadata=metadata,
         )
 
@@ -375,6 +392,12 @@ class StratifiedSampling(InjectionStrategy):
     def trial_at(self, universe: FaultUniverse, rng: SeededRNG, index: int) -> StrategyTrial:
         models = self._resolved_models()
         stage = self._models_stage(models)
+        if stage == "memory":
+            raise ValueError(
+                f"{self.name} stratifies over MAC units and does not support "
+                "memory-stage fault models; use the random or exhaustive "
+                "strategies for CBUF/CSB sites"
+            )
         self._check_allocation(universe)
         per_model = sum(self.allocation)
         self._check_index(index, len(models) * per_model)
@@ -428,6 +451,6 @@ class FixedConfigurations(InjectionStrategy):
             config=config,
             num_faults=len(config),
             injected_value=value,
-            mac_unit=sites[0].mac_unit if len(sites) == 1 else None,
-            multiplier=sites[0].multiplier if len(sites) == 1 else None,
+            mac_unit=getattr(sites[0], "mac_unit", None) if len(sites) == 1 else None,
+            multiplier=getattr(sites[0], "multiplier", None) if len(sites) == 1 else None,
         )

@@ -546,6 +546,11 @@ def _cell_error(scenario_id: str, built: InjectionStrategy, stage: str, geometry
     if stage == "accumulator":
         domain = geometry.num_macs
         what = "MAC-unit accumulators"
+    elif stage == "memory":
+        from repro.faults.sites import MEMORY_WINDOW_BYTES
+
+        domain = MEMORY_WINDOW_BYTES * 8
+        what = "memory bit sites in the CBUF fault window"
     else:
         domain = geometry.num_macs * geometry.muls_per_mac
         what = "multiplier sites"

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.faults.models import FaultModel
-from repro.faults.sites import FaultSite
+from repro.faults.sites import FaultSite, MemorySite, site_sort_key
 from repro.utils.bitops import PRODUCT_WIDTH, to_signed, to_unsigned
 
 
@@ -111,7 +111,7 @@ class InjectionConfig:
 
     @property
     def sites(self) -> list[FaultSite]:
-        return sorted(self.faults.keys())
+        return sorted(self.faults.keys(), key=site_sort_key)
 
     def model_at(self, site: FaultSite) -> FaultModel | None:
         return self.faults.get(site)
@@ -121,17 +121,78 @@ class InjectionConfig:
             raise ValueError(f"site {site} is already armed")
         self.faults[site] = model
 
+    def memory_faults(self) -> dict[MemorySite, FaultModel]:
+        """The memory-resident (CBUF/CSB) part of this configuration."""
+        return {
+            site: model for site, model in self.faults.items() if model.stage == "memory"
+        }
+
+    def datapath_config(self) -> "InjectionConfig":
+        """This configuration minus its memory-resident faults.
+
+        The CMAC/CACC datapath (and the register-file encoding) only ever
+        sees this part; the engines apply memory faults to the staged
+        operand bytes before any datapath arithmetic runs.
+        """
+        remaining = {
+            site: model for site, model in self.faults.items() if model.stage != "memory"
+        }
+        if len(remaining) == len(self.faults):
+            return self
+        return InjectionConfig(faults=remaining)
+
+    def active_memory_flips(self, exec_index: int) -> tuple[list, list]:
+        """(weight flips, activation flips) dwelling at GEMM op ``exec_index``.
+
+        Each flip is a ``(byte_offset, bit)`` pair, in canonical site order.
+        Input-surface faults are excluded — they fire at the DMA boundary
+        (the runtime facade applies them to the quantised input), not at
+        layer staging time.  Raises when a memory model is armed at a site
+        of a different surface.
+        """
+        weight_flips: list[tuple[int, int]] = []
+        activation_flips: list[tuple[int, int]] = []
+        for site in self.sites:
+            model = self.faults[site]
+            if model.stage != "memory":
+                continue
+            surface = getattr(site, "surface", None)
+            if surface != model.surface:
+                raise ValueError(
+                    f"memory model {model.label()} targets the {model.surface!r} "
+                    f"surface but is armed at site {site!r}"
+                )
+            if surface == "input" or not model.active_at(exec_index):
+                continue
+            flip = (site.byte_offset, site.bit)
+            if surface == "weight":
+                weight_flips.append(flip)
+            else:
+                activation_flips.append(flip)
+        return weight_flips, activation_flips
+
+    def input_flips(self) -> list[tuple[int, int]]:
+        """(byte, bit) flips of input-surface faults, canonical site order."""
+        return [
+            (site.byte_offset, site.bit)
+            for site in self.sites
+            if self.faults[site].stage == "memory"
+            and self.faults[site].surface == "input"
+        ]
+
     def describe(self) -> str:
         """Short human-readable description used in logs and result records."""
         if not self.faults:
             return "fault-free"
         parts = []
-        for site, model in sorted(self.faults.items()):
-            where = (
-                f"MAC {site.mac_unit + 1} / ACC"
-                if model.stage == "accumulator"
-                else site.display()
-            )
+        for site in self.sites:
+            model = self.faults[site]
+            if model.stage == "memory":
+                where = site.display()
+            elif model.stage == "accumulator":
+                where = f"MAC {site.mac_unit + 1} / ACC"
+            else:
+                where = site.display()
             parts.append(f"{where}={model.label()}")
         return "; ".join(parts)
 

@@ -352,6 +352,145 @@ class AccumulatorStuckAt(FaultModel):
         return f"acc-stuck{self.stuck}@{self.bit}"
 
 
+class MemoryFaultModel(FaultModel):
+    """Base class of memory-resident fault models (CBUF/CSB surfaces).
+
+    Where datapath models transform bus values cycle by cycle, a memory
+    model flips stored operand *bytes*: the site it is armed at is a
+    :class:`~repro.faults.sites.MemorySite` naming (surface, byte, bit), and
+    the engines corrupt the staged operand bytes before any arithmetic runs.
+
+    ``dwell_start``/``dwell`` define the fault's dwell window in units of
+    MAC-array layer executions: the flip is present for the GEMM ops whose
+    per-inference execution index lies in ``[dwell_start, dwell_start +
+    dwell)`` and is scrubbed (refreshed from DRAM) outside it.  The
+    execution index resets at the start of every inference and increments
+    once per conv/FC op in plan order, so dwell behaviour is invariant to
+    batch chunking.
+    """
+
+    #: Memory surface the model corrupts (``"weight"``, ``"activation"`` or
+    #: ``"input"``); must match the surface of the armed site.
+    surface: str = "weight"
+
+    stage: str = "memory"
+    value_dependent: bool = True  # a flip XORs the stored value
+    persistent: bool = True
+    #: Corruption is a pure function of the stored bytes and the execution
+    #: index — no RNG — but memory configurations are still excluded from
+    #: fused evaluation (see :func:`repro.accelerator.engine.config_fusable`)
+    #: because the fused path shares one clean operand staging across trials.
+    rng_free: bool = True
+
+    def __init__(self, dwell_start: int = 0, dwell: int = 1):
+        if dwell_start < 0:
+            raise ValueError(f"dwell_start must be >= 0, got {dwell_start}")
+        if dwell < 1:
+            raise ValueError(f"dwell must be >= 1, got {dwell}")
+        self.dwell_start = dwell_start
+        self.dwell = dwell
+
+    def active_at(self, exec_index: int) -> bool:
+        """True when the flip is resident during GEMM op ``exec_index``."""
+        return self.dwell_start <= exec_index < self.dwell_start + self.dwell
+
+    def apply(self, products: np.ndarray, rng: np.random.Generator | None = None) -> np.ndarray:
+        raise TypeError(
+            f"{type(self).__name__} corrupts stored operand bytes, not bus values; "
+            "engines must apply it to the staged surface before the GEMM"
+        )
+
+    def __eq__(self, other) -> bool:
+        return (
+            type(self) is type(other)
+            and self.dwell_start == other.dwell_start
+            and self.dwell == other.dwell
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.dwell_start, self.dwell))
+
+    def label(self) -> str:
+        return f"{self._family}[dwell={self.dwell}@{self.dwell_start}]"
+
+
+class WeightBitFlip(MemoryFaultModel):
+    """A bit flip resident in the CBUF weight surface for a dwell window.
+
+    The armed site's byte offset addresses the target layer's packed int8
+    weight bytes (C-order, modulo the weight size), so the flipped weight
+    byte corrupts every output that reads it — across all samples of the
+    batch — for as long as the flip dwells.
+    """
+
+    surface = "weight"
+    _family = "weight-bitflip"
+
+
+class ActivationBitFlip(MemoryFaultModel):
+    """A bit flip resident in the CBUF activation surface for a dwell window.
+
+    The byte offset addresses one int8 activation byte of the layer's staged
+    input feature map, per sample (the surface is re-filled for every sample
+    the schedule streams through the array), modulo the per-sample size.
+    """
+
+    surface = "activation"
+    _family = "activation-bitflip"
+
+
+class InputCorruption(MemoryFaultModel):
+    """A bit flip in the input-DMA staging buffer.
+
+    Fires when the runtime DMA-transfers the quantised input into the
+    accelerator — conceptually before the first layer launches — so it has
+    no dwell window: the corrupted input propagates through the whole
+    inference regardless of scrub timing.  The byte offset addresses one
+    byte of each sample's quantised input, modulo the per-sample size.
+    """
+
+    surface = "input"
+    _family = "input-corrupt"
+
+    def __init__(self):
+        super().__init__(dwell_start=0, dwell=1)
+
+    def active_at(self, exec_index: int) -> bool:
+        return True
+
+    def label(self) -> str:
+        return "input-corrupt"
+
+
+def flip_int8_bytes(
+    array: np.ndarray, offsets_and_bits: list[tuple[int, int]], per_sample: bool
+) -> np.ndarray:
+    """Return a copy of an int8 array with the given stored bits inverted.
+
+    ``offsets_and_bits`` holds (byte offset, bit) pairs; offsets wrap modulo
+    the corrupted region (the whole array, or each leading-axis sample when
+    ``per_sample`` is set — modelling a surface that is re-staged per
+    sample).  This is the *vectorised* corruption path: the XOR runs on a
+    uint8 view of the copy.  The scalar reference engine implements the same
+    transformation independently with per-byte Python integer arithmetic;
+    the differential suite certifies the two bit-identical.
+    """
+    if array.dtype != np.int8:
+        raise TypeError(f"memory corruption expects int8 operands, got {array.dtype}")
+    out = array.copy()
+    if per_sample:
+        view = out.view(np.uint8).reshape(out.shape[0], -1)
+        size = view.shape[1]
+        for offset, bit in offsets_and_bits:
+            view[:, offset % size] ^= np.uint8(1 << bit)
+    else:
+        view = out.view(np.uint8).reshape(-1)
+        size = view.size
+        for offset, bit in offsets_and_bits:
+            view[offset % size] ^= np.uint8(1 << bit)
+    return out
+
+
 def saturate_product(values: np.ndarray) -> np.ndarray:
     """Clamp injected values onto the representable 18-bit signed range.
 

@@ -95,6 +95,12 @@ class FaultInjectionRegisterFile:
         sel_a = 0
         sel_b = 0
         for site in sites:
+            if not isinstance(site, FaultSite):
+                raise ValueError(
+                    f"site {site!r} is not a multiplier site: the SEL_A/SEL_B "
+                    "registers address product-bus injectors only, and arming a "
+                    f"{type(site).__name__} here would silently re-target a multiplier"
+                )
             site.validate(self.universe.num_macs, self.universe.muls_per_mac)
             flat = site.flat_index(self.universe.muls_per_mac)
             if flat < 32:
@@ -156,6 +162,21 @@ class FaultInjectionRegisterFile:
         if not config.enabled:
             self.reset()
             return
+        wrong_stage = {
+            model.stage for model in config.faults.values() if model.stage != "product"
+        }
+        if wrong_stage:
+            labels = [
+                f"{site.display()}={model.label()}"
+                for site, model in config.faults.items()
+                if model.stage != "product"
+            ]
+            raise ValueError(
+                f"the register file drives the 18-bit multiplier product bus only; "
+                f"{sorted(wrong_stage)}-stage fault(s) {labels} are not representable "
+                "and would decode back as product-bus constants — apply them directly "
+                "to the emulator instead"
+            )
         constants = {model.constant_override() for model in config.faults.values()}
         if len(constants) != 1 or None in constants:
             raise ValueError(

@@ -21,6 +21,19 @@ NUM_MAC_UNITS = 8
 #: Number of multipliers inside each MAC unit.
 MULTIPLIERS_PER_MAC = 8
 
+#: Memory surfaces a :class:`MemorySite` can address: the weight region of
+#: the convolution buffer, the activation region, and the input-DMA staging
+#: buffer.  Order is significant — it defines the canonical sort order of
+#: mixed-surface configurations.
+MEMORY_SURFACES = ("weight", "activation", "input")
+
+#: Size of the injectable byte window per memory surface.  Memory sites are
+#: addressed relative to the start of the surface and wrap modulo the actual
+#: operand size at execution time, so the window is geometry-independent:
+#: every strategy samples from the same ``MEMORY_WINDOW_BYTES * 8`` sites per
+#: surface regardless of layer shapes.
+MEMORY_WINDOW_BYTES = 64
+
 
 @dataclass(frozen=True, order=True)
 class FaultSite:
@@ -54,14 +67,81 @@ class FaultSite:
         return f"MAC {self.mac_unit + 1} / MUL {self.multiplier + 1}"
 
 
+@dataclass(frozen=True, order=True)
+class MemorySite:
+    """One bit of a CBUF/CSB-addressed memory surface.
+
+    ``surface`` names the region (see :data:`MEMORY_SURFACES`), ``byte_offset``
+    the byte relative to the surface start, and ``bit`` the bit within that
+    byte.  Offsets are interpreted modulo the actual operand size when the
+    fault is applied (the surface is re-used for every layer's staging), so a
+    site is valid for any layer shape.
+    """
+
+    surface: str
+    byte_offset: int
+    bit: int
+
+    def validate(
+        self,
+        window_bytes: int = MEMORY_WINDOW_BYTES,
+        _unused: int | None = None,
+    ) -> None:
+        if self.surface not in MEMORY_SURFACES:
+            raise ValueError(
+                f"unknown memory surface {self.surface!r}; expected one of {MEMORY_SURFACES}"
+            )
+        if not 0 <= self.byte_offset < window_bytes:
+            raise ValueError(
+                f"byte offset {self.byte_offset} out of range [0, {window_bytes})"
+            )
+        if not 0 <= self.bit < 8:
+            raise ValueError(f"bit index {self.bit} out of range [0, 8)")
+
+    def flat_index(self, window_bytes: int = MEMORY_WINDOW_BYTES) -> int:
+        """Flat index within the surface's window, byte-major."""
+        return self.byte_offset * 8 + self.bit
+
+    @classmethod
+    def from_flat_index(cls, surface: str, index: int) -> "MemorySite":
+        return cls(surface=surface, byte_offset=index // 8, bit=index % 8)
+
+    def display(self) -> str:
+        """Human-readable label, e.g. ``"CBUF weight byte 12 bit 3"``."""
+        return f"CBUF {self.surface} byte {self.byte_offset} bit {self.bit}"
+
+
+def site_sort_key(site) -> tuple:
+    """Total order over mixed :class:`FaultSite` / :class:`MemorySite` sets.
+
+    Datapath sites sort first (in their natural MAC-major order), memory
+    sites after them by (surface, byte, bit) — so configurations that mix
+    both site types still have a deterministic canonical order, and
+    homogeneous datapath configurations keep their historical ordering.
+    """
+    if isinstance(site, MemorySite):
+        surface_rank = MEMORY_SURFACES.index(site.surface)
+        return (1, surface_rank, site.byte_offset, site.bit)
+    return (0, site.mac_unit, site.multiplier)
+
+
 class FaultUniverse:
     """The set of all injectable fault sites of a MAC-array geometry."""
 
-    def __init__(self, num_macs: int = NUM_MAC_UNITS, muls_per_mac: int = MULTIPLIERS_PER_MAC):
+    def __init__(
+        self,
+        num_macs: int = NUM_MAC_UNITS,
+        muls_per_mac: int = MULTIPLIERS_PER_MAC,
+        memory_window_bytes: int = MEMORY_WINDOW_BYTES,
+    ):
         if num_macs <= 0 or muls_per_mac <= 0:
             raise ValueError("array dimensions must be positive")
+        if memory_window_bytes <= 0:
+            raise ValueError("memory window must be positive")
         self.num_macs = num_macs
         self.muls_per_mac = muls_per_mac
+        #: Injectable byte window per memory surface (geometry-independent).
+        self.memory_window_bytes = memory_window_bytes
 
     @property
     def size(self) -> int:
@@ -113,7 +193,48 @@ class FaultUniverse:
         macs = rng.choice(self.num_macs, size=count, replace=False)
         return [FaultSite(int(mac), 0) for mac in sorted(macs)]
 
+    # ------------------------------------------------------------------
+    # Memory-resident sites (CBUF/CSB surfaces)
+    # ------------------------------------------------------------------
+    @property
+    def memory_size(self) -> int:
+        """Number of injectable bit sites per memory surface."""
+        return self.memory_window_bytes * 8
+
+    def _check_surface(self, surface: str) -> None:
+        if surface not in MEMORY_SURFACES:
+            raise ValueError(
+                f"unknown memory surface {surface!r}; expected one of {MEMORY_SURFACES}"
+            )
+
+    def memory_sites(self, surface: str) -> list[MemorySite]:
+        """All bit sites of one memory surface, byte-major order."""
+        self._check_surface(surface)
+        return [
+            MemorySite(surface, byte, bit)
+            for byte in range(self.memory_window_bytes)
+            for bit in range(8)
+        ]
+
+    def random_memory_sites(
+        self, count: int, rng: np.random.Generator, surface: str
+    ) -> list[MemorySite]:
+        """Select ``count`` distinct bit sites of one surface at random."""
+        self._check_surface(surface)
+        if not 0 <= count <= self.memory_size:
+            raise ValueError(
+                f"cannot select {count} memory sites out of {self.memory_size}"
+            )
+        indices = rng.choice(self.memory_size, size=count, replace=False)
+        return [MemorySite.from_flat_index(surface, int(i)) for i in sorted(indices)]
+
     def contains(self, site: FaultSite) -> bool:
+        if isinstance(site, MemorySite):
+            return (
+                site.surface in MEMORY_SURFACES
+                and 0 <= site.byte_offset < self.memory_window_bytes
+                and 0 <= site.bit < 8
+            )
         return 0 <= site.mac_unit < self.num_macs and 0 <= site.multiplier < self.muls_per_mac
 
     def __contains__(self, site: FaultSite) -> bool:

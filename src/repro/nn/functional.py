@@ -184,6 +184,77 @@ def conv2d_backward(
     return grad_input.astype(np.float32), grad_weight.astype(np.float32), grad_bias.astype(np.float32)
 
 
+def depthwise_conv2d_forward(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None,
+    stride: int,
+    padding: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Forward depthwise convolution: each channel convolved independently.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C, H, W)``.
+    weight:
+        Per-channel filters of shape ``(C, 1, K, K)``.
+    bias:
+        Optional per-channel bias of shape ``(C,)``.
+
+    Returns
+    -------
+    (output, view):
+        ``output`` has shape ``(N, C, out_h, out_w)``; ``view`` is the
+        zero-copy im2col window view kept for the backward pass.
+    """
+    n, c_in, h, w = x.shape
+    c_w, depth, k, k2 = weight.shape
+    if k != k2:
+        raise ValueError("only square kernels are supported")
+    if depth != 1:
+        raise ValueError(f"depthwise weight must have shape (C, 1, K, K), got {weight.shape}")
+    if c_in != c_w:
+        raise ValueError(f"input has {c_in} channels but depthwise weight expects {c_w}")
+
+    view = im2col_view(x, k, stride, padding)  # (N, C, K, K, out_h, out_w)
+    out = np.einsum("ckl,ncklhw->nchw", weight[:, 0], view, optimize=True)
+    if bias is not None:
+        out = out + bias.reshape(1, c_in, 1, 1)
+    return out.astype(np.float32), view
+
+
+def depthwise_conv2d_backward(
+    grad_out: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    view: np.ndarray,
+    weight: np.ndarray,
+    stride: int,
+    padding: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Backward pass of :func:`depthwise_conv2d_forward`.
+
+    Returns ``(grad_input, grad_weight, grad_bias)``.
+    """
+    n, c, out_h, out_w = grad_out.shape
+    k = weight.shape[2]
+
+    grad_weight = np.einsum("nchw,ncklhw->ckl", grad_out, view, optimize=True)
+    grad_weight = grad_weight.reshape(weight.shape)
+
+    grad_bias = grad_out.sum(axis=(0, 2, 3))
+
+    grad_cols = np.einsum("ckl,nchw->ncklhw", weight[:, 0], grad_out, optimize=True)
+    grad_input = col2im(
+        grad_cols.reshape(n, c * k * k, out_h * out_w), x_shape, k, stride, padding
+    )
+    return (
+        grad_input.astype(np.float32),
+        grad_weight.astype(np.float32),
+        grad_bias.astype(np.float32),
+    )
+
+
 # ---------------------------------------------------------------------------
 # Pooling
 # ---------------------------------------------------------------------------

@@ -128,6 +128,75 @@ class Conv2D(Layer):
         return (self.out_channels, out_h, out_w)
 
 
+class DepthwiseConv2D(Layer):
+    """Depthwise 2-D convolution: one square filter per channel, NCHW layout.
+
+    Deliberately *not* a :class:`Conv2D` subclass: the compact ``(C, 1, K, K)``
+    weight has different semantics from a dense filter bank, and every
+    downstream pass (BatchNorm folding, quantisation, lowering) must treat it
+    through its own explicit branch rather than silently reusing the dense
+    convolution path.
+    """
+
+    def __init__(
+        self,
+        channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        name: str = "",
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__(name)
+        rng = rng or np.random.default_rng(0)
+        self.channels = channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.weight = Parameter(
+            init.kaiming_normal((channels, 1, kernel_size, kernel_size), rng),
+            name=f"{name}.weight",
+        )
+        self.bias = (
+            Parameter(init.zeros((channels,)), name=f"{name}.bias") if bias else None
+        )
+
+    def parameters(self) -> list[Parameter]:
+        params = [self.weight]
+        if self.bias is not None:
+            params.append(self.bias)
+        return params
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        bias = self.bias.value if self.bias is not None else None
+        out, view = F.depthwise_conv2d_forward(
+            x, self.weight.value, bias, self.stride, self.padding
+        )
+        self._cache = {"x_shape": x.shape, "view": view}
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad_in, grad_w, grad_b = F.depthwise_conv2d_backward(
+            grad_out,
+            self._cache["x_shape"],
+            self._cache["view"],
+            self.weight.value,
+            self.stride,
+            self.padding,
+        )
+        self.weight.accumulate_grad(grad_w)
+        if self.bias is not None:
+            self.bias.accumulate_grad(grad_b)
+        return grad_in
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        c, h, w = input_shape
+        out_h = F.conv_output_size(h, self.kernel_size, self.stride, self.padding)
+        out_w = F.conv_output_size(w, self.kernel_size, self.stride, self.padding)
+        return (self.channels, out_h, out_w)
+
+
 class BatchNorm2D(Layer):
     """Batch normalisation over the channel axis."""
 

@@ -1,0 +1,146 @@
+"""MobileNet-style depthwise-separable builder for CIFAR-sized inputs.
+
+The case-study zoo's second architecture family: a dense 3x3 stem followed
+by depthwise-separable stages (depthwise 3x3 + BN + ReLU, then pointwise
+1x1 + BN + ReLU), global average pooling and a linear classifier.  The
+depthwise convolutions have no native engine on the emulated NVDLA
+configuration — the compiler expands them into one-hot-diagonal dense
+convolutions — so this topology deliberately exercises a different
+im2col/tiling path (1x1 pointwise lowering, expanded-channel group sweeps)
+from the ResNet family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.graph import Graph
+from repro.nn.layers import (
+    BatchNorm2D,
+    Conv2D,
+    DepthwiseConv2D,
+    GlobalAvgPool2D,
+    Linear,
+    ReLU,
+)
+
+
+@dataclass(frozen=True)
+class SeparableStageSpec:
+    """Configuration of one depthwise-separable stage."""
+
+    num_blocks: int
+    out_channels: int
+    stride: int
+
+
+#: Stage configuration of the CIFAR-scale MobileNet variant (channels scaled
+#: by ``width_multiplier``).  Strides shrink the 32x32 input to 4x4 before
+#: global pooling, mirroring the ResNet builder's spatial schedule.
+MOBILENET_STAGES = (
+    SeparableStageSpec(num_blocks=1, out_channels=64, stride=1),
+    SeparableStageSpec(num_blocks=2, out_channels=128, stride=2),
+    SeparableStageSpec(num_blocks=2, out_channels=256, stride=2),
+    SeparableStageSpec(num_blocks=2, out_channels=512, stride=2),
+)
+
+
+def _scaled(channels: int, width_multiplier: float) -> int:
+    return max(8, int(round(channels * width_multiplier)))
+
+
+def _add_separable_block(
+    graph: Graph,
+    name: str,
+    src: str,
+    in_channels: int,
+    out_channels: int,
+    stride: int,
+    rng: np.random.Generator,
+) -> str:
+    """Append depthwise 3x3 -> BN -> ReLU -> pointwise 1x1 -> BN -> ReLU."""
+    graph.add(
+        f"{name}.dw",
+        DepthwiseConv2D(in_channels, 3, stride=stride, padding=1, bias=False, rng=rng),
+        src,
+    )
+    graph.add(f"{name}.dw_bn", BatchNorm2D(in_channels), f"{name}.dw")
+    graph.add(f"{name}.dw_relu", ReLU(), f"{name}.dw_bn")
+    graph.add(
+        f"{name}.pw",
+        Conv2D(in_channels, out_channels, 1, 1, 0, bias=False, rng=rng),
+        f"{name}.dw_relu",
+    )
+    graph.add(f"{name}.pw_bn", BatchNorm2D(out_channels), f"{name}.pw")
+    graph.add(f"{name}.pw_relu", ReLU(), f"{name}.pw_bn")
+    return f"{name}.pw_relu"
+
+
+def build_mobilenet(
+    num_classes: int = 10,
+    input_shape: tuple[int, int, int] = (3, 32, 32),
+    stages: tuple[SeparableStageSpec, ...] = MOBILENET_STAGES,
+    width_multiplier: float = 1.0,
+    seed: int = 0,
+) -> Graph:
+    """Build a depthwise-separable MobileNet-style graph.
+
+    Parameters
+    ----------
+    num_classes:
+        Number of output classes of the final fully-connected layer.
+    input_shape:
+        (C, H, W) of one input sample; (3, 32, 32) for CIFAR-10.
+    stages:
+        Per-stage block configuration; each block is one depthwise-separable
+        pair (the first block of a stage carries the stage stride on its
+        depthwise convolution).
+    width_multiplier:
+        Scales the channel counts of every stage (minimum 8 channels, like
+        the ResNet builder), so reduced-width variants train at numpy speed
+        while keeping the full topology.
+    seed:
+        Seed for weight initialisation.
+    """
+    rng = np.random.default_rng(seed)
+    stem_out = _scaled(stages[0].out_channels, width_multiplier)
+
+    graph = Graph(input_shape)
+    graph.add(
+        "stem.conv",
+        Conv2D(input_shape[0], stem_out, 3, 1, 1, bias=False, rng=rng),
+        Graph.INPUT,
+    )
+    graph.add("stem.bn", BatchNorm2D(stem_out), "stem.conv")
+    graph.add("stem.relu", ReLU(), "stem.bn")
+    last = "stem.relu"
+
+    channels = stem_out
+    for stage_idx, spec in enumerate(stages):
+        out_channels = _scaled(spec.out_channels, width_multiplier)
+        for block_idx in range(spec.num_blocks):
+            stride = spec.stride if block_idx == 0 else 1
+            last = _add_separable_block(
+                graph,
+                f"stage{stage_idx + 1}.block{block_idx}",
+                last,
+                channels,
+                out_channels,
+                stride,
+                rng,
+            )
+            channels = out_channels
+
+    graph.add("gap", GlobalAvgPool2D(), last)
+    graph.add("fc", Linear(channels, num_classes, rng=rng), "gap")
+    graph.set_output("fc")
+    return graph
+
+
+def count_depthwise_layers(graph: Graph) -> int:
+    """Number of depthwise convolution layers in a graph."""
+    return sum(
+        1 for node in graph.nodes.values() if isinstance(node.layer, DepthwiseConv2D)
+    )

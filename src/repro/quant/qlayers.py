@@ -77,6 +77,23 @@ class QConv(QNode):
 
 
 @dataclass
+class QDepthwiseConv(QConv):
+    """Quantised depthwise convolution, compiler-expanded to a dense conv.
+
+    The emulated NVDLA configuration has no native depthwise mode, so the
+    compiler expands the per-channel filters into a one-hot-diagonal dense
+    weight of shape ``(C, C, K, K)`` — output channel ``c`` sees non-zero
+    taps only on input channel ``c`` — and executes it as an ordinary
+    MAC-array convolution.  ``weight`` holds that *expanded* int8 tensor (it
+    is what the convolution buffer actually stores, hence what
+    memory-resident faults address); ``depth_weight`` keeps the compact
+    ``(C, 1, K, K)`` int8 form for inspection and exact CPU execution.
+    """
+
+    depth_weight: np.ndarray = None  # int8, (C, 1, K, K)
+
+
+@dataclass
 class QLinear(QNode):
     """Quantised fully-connected layer.
 

@@ -23,6 +23,7 @@ from repro.nn.layers import (
     Add,
     AvgPool2D,
     Conv2D,
+    DepthwiseConv2D,
     Flatten,
     GlobalAvgPool2D,
     Identity,
@@ -34,6 +35,7 @@ from repro.quant.calibrate import ActivationRanges
 from repro.quant.qlayers import (
     QAdd,
     QConv,
+    QDepthwiseConv,
     QGlobalAvgPool,
     QInput,
     QLinear,
@@ -138,6 +140,46 @@ def quantize_graph(
                     name=node_name,
                     inputs=q_inputs,
                     weight=qweight,
+                    bias=qbias,
+                    stride=layer.stride,
+                    padding=layer.padding,
+                    input_scale=in_scale,
+                    weight_params=wparams,
+                    output_scale=out_scale,
+                    requant=requant,
+                    relu=relu_node is not None,
+                )
+            )
+            scales[node_name] = out_scale
+            name_map[node_name] = node_name
+            if relu_node is not None:
+                fused_away.add(relu_node)
+                name_map[relu_node] = node_name
+            output_name = node_name
+
+        elif isinstance(layer, DepthwiseConv2D):
+            relu_node = _fused_relu_consumer(graph, node_name)
+            range_node = relu_node if relu_node is not None else node_name
+            out_scale = float(symmetric_scale(ranges.get(range_node)))
+            in_scale = scales[q_inputs[0]]
+            wparams = _weight_params(layer.weight.value, per_channel)
+            compact = quantize_tensor(layer.weight.value, wparams, channel_axis=0)
+            # Expand to the one-hot-diagonal dense weight the MAC array runs:
+            # output channel c reads input channel c only, every other tap is
+            # an exact int8 zero.
+            channels = layer.channels
+            k = layer.kernel_size
+            expanded = np.zeros((channels, channels, k, k), dtype=np.int8)
+            expanded[np.arange(channels), np.arange(channels)] = compact[:, 0]
+            bias = layer.bias.value if layer.bias is not None else None
+            qbias = _quantize_bias(bias, channels, in_scale, wparams)
+            requant = compute_requant_params(in_scale, wparams.scale, out_scale)
+            qnodes.append(
+                QDepthwiseConv(
+                    name=node_name,
+                    inputs=q_inputs,
+                    weight=expanded,
+                    depth_weight=compact,
                     bias=qbias,
                     stride=layer.stride,
                     padding=layer.padding,

@@ -21,6 +21,7 @@ import numpy as np
 from repro.core.platform import EmulationPlatform, PlatformConfig
 from repro.data.synthetic_cifar import SyntheticCIFAR10
 from repro.nn.graph import Graph
+from repro.nn.mobilenet import build_mobilenet
 from repro.nn.resnet import build_resnet18
 from repro.nn.train import TrainConfig, Trainer, evaluate_accuracy
 from repro.utils.logging import get_logger
@@ -40,22 +41,51 @@ class CaseStudySpec:
     epochs: int = 6
     batch_size: int = 50
     seed: int = 7
+    #: Architecture family ("resnet18" or "mobilenet"); selects the graph
+    #: builder and is part of the cache key — two families with identical
+    #: hyper-parameters must never share cached weights.
+    family: str = "resnet18"
 
     def cache_key(self) -> str:
         return (
-            f"resnet18_w{self.width_multiplier:g}_tr{self.num_train}_te{self.num_test}"
+            f"{self.family}_w{self.width_multiplier:g}_tr{self.num_train}_te{self.num_test}"
             f"_e{self.epochs}_b{self.batch_size}_s{self.seed}"
         )
+
+
+#: Graph builders by architecture family.  Both builders share the
+#: ``(num_classes, input_shape, width_multiplier, seed)`` signature, which is
+#: what lets :func:`case_study_platform_spec` ship either through the same
+#: picklable :class:`~repro.core.parallel.PlatformSpec` recipe.
+CASE_STUDY_FAMILIES: dict = {
+    "resnet18": build_resnet18,
+    "mobilenet": build_mobilenet,
+}
+
+
+def case_study_builder(family: str):
+    """Look up the graph builder of an architecture ``family``."""
+    try:
+        return CASE_STUDY_FAMILIES[family]
+    except KeyError:
+        raise KeyError(
+            f"unknown case-study family {family!r}; available: "
+            f"{sorted(CASE_STUDY_FAMILIES)}"
+        ) from None
 
 
 #: Named case-study variants selectable by sweep specs and the CLI.  The
 #: default (width 0.25) is the paper's case-study scale; the narrower and
 #: wider variants bracket it so scenario grids can sweep model capacity.
+#: The ``dw`` variants swap in the depthwise-separable MobileNet-style
+#: family, exercising the compiler's depthwise expansion path end to end.
 CASE_STUDY_VARIANTS: dict[str, CaseStudySpec] = {
     "default": CaseStudySpec(),
     "w0.125": CaseStudySpec(width_multiplier=0.125),
     "w0.25": CaseStudySpec(width_multiplier=0.25),
     "w0.5": CaseStudySpec(width_multiplier=0.5),
+    "dw": CaseStudySpec(family="mobilenet"),
+    "dw0.125": CaseStudySpec(family="mobilenet", width_multiplier=0.125),
 }
 
 
@@ -100,7 +130,7 @@ def train_case_study_model(
     spec = spec or CaseStudySpec()
     cache_dir = Path(cache_dir) if cache_dir is not None else DEFAULT_CACHE_DIR
     dataset = SyntheticCIFAR10(num_train=spec.num_train, num_test=spec.num_test, seed=spec.seed)
-    graph = build_resnet18(
+    graph = case_study_builder(spec.family)(
         num_classes=dataset.num_classes,
         input_shape=dataset.input_shape,
         width_multiplier=spec.width_multiplier,
@@ -174,7 +204,7 @@ def case_study_platform_spec(
     spec = spec or CaseStudySpec()
     case = train_case_study_model(spec, cache_dir=cache_dir)
     platform_spec = PlatformSpec(
-        graph_builder=build_resnet18,
+        graph_builder=case_study_builder(spec.family),
         builder_kwargs=dict(
             num_classes=case.dataset.num_classes,
             input_shape=case.dataset.input_shape,

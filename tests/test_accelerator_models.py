@@ -145,10 +145,16 @@ class TestMemoryModel:
     def test_allocation_and_alignment(self):
         memory = MemoryModel(capacity_bytes=1024, alignment=32)
         surf = memory.allocate("a", 33)
-        assert surf.num_bytes == 64
+        # The surface reports the requested payload size; the alignment
+        # padding only shows up in the reserved footprint and the cursor.
+        assert surf.num_bytes == 33
+        assert surf.padded_bytes == 64
+        assert surf.end == 64
         assert surf.address == 0
         surf2 = memory.allocate("b", 10)
         assert surf2.address == 64
+        assert surf2.num_bytes == 10
+        assert surf2.padded_bytes == 32
 
     def test_capacity_enforced(self):
         memory = MemoryModel(capacity_bytes=64)

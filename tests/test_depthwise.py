@@ -1,0 +1,192 @@
+"""Depthwise-separable workload tests.
+
+The accelerator has no native depthwise mode (NVDLA's CMAC broadcasts each
+activation column across all kernel rows), so the compiler expands a
+depthwise layer into an equivalent dense convolution whose filter bank is
+one-hot along the channel diagonal.  These tests certify every stage of
+that path: the float layer itself (forward/backward against the expanded
+dense equivalent), BatchNorm folding, quantisation (one-hot weight
+expansion), lowering (``DepthwiseConvOp`` plan entries), and end-to-end
+execution (emulator vs the CPU backend golden model).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compiler.compile import compile_model
+from repro.compiler.ops import ConvOp, DepthwiseConvOp
+from repro.compiler.passes import fold_batchnorm
+from repro.nn.graph import Graph
+from repro.nn.layers import BatchNorm2D, Conv2D, DepthwiseConv2D, ReLU
+from repro.nn.mobilenet import (
+    MOBILENET_STAGES,
+    SeparableStageSpec,
+    build_mobilenet,
+    count_depthwise_layers,
+)
+from repro.quant.qlayers import QDepthwiseConv
+from repro.runtime.cpu_backend import CPUBackend
+
+
+def expanded_dense_equivalent(dw: DepthwiseConv2D) -> Conv2D:
+    """A dense conv whose one-hot-diagonal filters compute the same map."""
+    channels = dw.channels
+    k = dw.kernel_size
+    dense = Conv2D(
+        channels, channels, k, stride=dw.stride, padding=dw.padding,
+        bias=dw.bias is not None,
+    )
+    weight = np.zeros((channels, channels, k, k), dtype=dw.weight.value.dtype)
+    weight[np.arange(channels), np.arange(channels)] = dw.weight.value[:, 0]
+    dense.weight.value = weight
+    if dw.bias is not None:
+        dense.bias.value = dw.bias.value.copy()
+    return dense
+
+
+class TestDepthwiseLayer:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1)])
+    def test_forward_matches_expanded_dense(self, stride, padding):
+        rng = np.random.default_rng(0)
+        dw = DepthwiseConv2D(6, 3, stride=stride, padding=padding, rng=rng)
+        x = rng.normal(size=(2, 6, 8, 8)).astype(np.float64)
+        dense = expanded_dense_equivalent(dw)
+        assert np.allclose(dw.forward(x), dense.forward(x), atol=1e-10)
+
+    def test_backward_matches_expanded_dense(self):
+        rng = np.random.default_rng(1)
+        dw = DepthwiseConv2D(4, 3, stride=1, padding=1, rng=rng)
+        dense = expanded_dense_equivalent(dw)
+        x = rng.normal(size=(3, 4, 6, 6)).astype(np.float64)
+        grad_out = rng.normal(size=dw.forward(x).shape).astype(np.float64)
+        dense.forward(x)
+        grad_in_dw = dw.backward(grad_out)
+        grad_in_dense = dense.backward(grad_out)
+        assert np.allclose(grad_in_dw, grad_in_dense, atol=1e-10)
+        # the dense gradient of a one-hot filter bank concentrates on the
+        # diagonal; the depthwise gradient must equal that diagonal slice
+        dense_gw = dense.weight.grad[np.arange(4), np.arange(4)][:, None]
+        assert np.allclose(dw.weight.grad, dense_gw, atol=1e-10)
+        assert np.allclose(dw.bias.grad, dense.bias.grad, atol=1e-10)
+
+    def test_gradient_check_numerical(self):
+        rng = np.random.default_rng(2)
+        dw = DepthwiseConv2D(2, 2, stride=1, padding=0, rng=rng)
+        x = rng.normal(size=(1, 2, 4, 4))
+        grad_out = rng.normal(size=dw.forward(x).shape)
+        dw.backward(grad_out)
+        analytic = dw.weight.grad.copy()
+        # the nn package computes in float32 throughout, so the step and the
+        # tolerances are float32-sized (central-difference error ~ eps^2)
+        eps = 1e-2
+        flat = dw.weight.value.reshape(-1)
+        numeric = np.zeros(flat.size, dtype=np.float64)
+        for i in range(flat.size):
+            orig = flat[i]
+            flat[i] = orig + eps
+            up = float((dw.forward(x).astype(np.float64) * grad_out).sum())
+            flat[i] = orig - eps
+            down = float((dw.forward(x).astype(np.float64) * grad_out).sum())
+            flat[i] = orig
+            numeric[i] = (up - down) / (2 * eps)
+        assert np.allclose(analytic.reshape(-1), numeric, rtol=1e-2, atol=1e-2)
+
+
+class TestDepthwiseFolding:
+    def test_fold_batchnorm_bit_exact(self):
+        rng = np.random.default_rng(3)
+        graph = Graph(input_shape=(5, 8, 8))
+        graph.add("dw", DepthwiseConv2D(5, 3, padding=1, bias=False, rng=rng), Graph.INPUT)
+        graph.add("bn", BatchNorm2D(5), "dw")
+        graph.add("relu", ReLU(), "bn")
+        # give the BN non-trivial running statistics
+        bn = graph.nodes["bn"].layer
+        bn.running_mean.value = rng.normal(size=5)
+        bn.running_var.value = rng.uniform(0.5, 2.0, size=5)
+        bn.gamma.value = rng.normal(size=5)
+        bn.beta.value = rng.normal(size=5)
+        graph.eval()
+        x = rng.normal(size=(2, 5, 8, 8))
+        want = graph.forward(x)
+        folded = fold_batchnorm(graph)
+        folded.eval()
+        assert "bn" not in folded.nodes
+        assert np.allclose(folded.forward(x), want, atol=1e-10)
+
+
+class TestDepthwiseQuantisation:
+    @pytest.fixture(scope="class")
+    def compiled(self):
+        graph = build_mobilenet(
+            num_classes=4,
+            input_shape=(3, 8, 8),
+            stages=(SeparableStageSpec(1, 8, 1), SeparableStageSpec(1, 16, 2)),
+            seed=0,
+        )
+        rng = np.random.default_rng(0)
+        images = rng.normal(size=(8, 3, 8, 8)).astype(np.float32)
+        return compile_model(graph, calibration_images=images), images
+
+    def test_qnode_weight_is_one_hot_expansion(self, compiled):
+        result, _ = compiled
+        qdw_nodes = [
+            n for n in result.quantized_model.nodes if isinstance(n, QDepthwiseConv)
+        ]
+        assert qdw_nodes, "quantised model lost its depthwise nodes"
+        for node in qdw_nodes:
+            c = node.depth_weight.shape[0]
+            assert node.depth_weight.shape[1] == 1
+            assert node.weight.shape[:2] == (c, c)
+            # diagonal carries the compact filters, everything else is zero
+            diag = node.weight[np.arange(c), np.arange(c)]
+            assert np.array_equal(diag, node.depth_weight[:, 0])
+            off = node.weight.copy()
+            off[np.arange(c), np.arange(c)] = 0
+            assert not off.any()
+
+    def test_plan_lowered_to_depthwise_ops(self, compiled):
+        result, _ = compiled
+        dw_ops = [op for op in result.loadable.ops if isinstance(op, DepthwiseConvOp)]
+        dense_ops = [
+            op for op in result.loadable.ops
+            if isinstance(op, ConvOp) and not isinstance(op, DepthwiseConvOp)
+        ]
+        assert len(dw_ops) == 2  # one per separable block
+        assert dense_ops  # stem + pointwise convs remain dense
+
+    def test_emulator_matches_cpu_backend(self, compiled):
+        from repro.accelerator.accelerator import NVDLAAccelerator
+
+        result, images = compiled
+        acc = NVDLAAccelerator(engine="vectorised")
+        got = acc.execute(result.loadable, images[:2])
+        want = CPUBackend().run(result.quantized_model, images[:2])
+        assert np.array_equal(got, want)
+
+
+class TestMobileNetBuilder:
+    def test_default_architecture_shape(self):
+        graph = build_mobilenet(num_classes=10, input_shape=(3, 32, 32))
+        assert count_depthwise_layers(graph) == sum(s.num_blocks for s in MOBILENET_STAGES)
+        graph.eval()
+        out = graph.forward(np.zeros((1, 3, 32, 32), dtype=np.float64))
+        assert out.shape == (1, 10)
+
+    def test_width_multiplier_scales_channels(self):
+        slim = build_mobilenet(
+            num_classes=10, input_shape=(3, 32, 32), width_multiplier=0.125
+        )
+        wide = build_mobilenet(num_classes=10, input_shape=(3, 32, 32))
+        assert slim.num_parameters() < wide.num_parameters()
+        # channel floor: no stage collapses below 8 channels
+        for name, node in slim.nodes.items():
+            if isinstance(node.layer, DepthwiseConv2D):
+                assert node.layer.channels >= 8
+
+    def test_builder_is_seeded(self):
+        a = build_mobilenet(num_classes=4, input_shape=(3, 8, 8), seed=7)
+        b = build_mobilenet(num_classes=4, input_shape=(3, 8, 8), seed=7)
+        for pa, pb in zip(a.parameters(), b.parameters()):
+            assert np.array_equal(pa.value, pb.value)

@@ -1,0 +1,191 @@
+"""Property suites for the control-plane models.
+
+Two hardware-interface invariants the platform's driver must guarantee:
+
+* a campaign configuration programmed into the AXI fault-injection
+  register file decodes back *unchanged* (arm → decode round-trip), and
+  configurations the register map cannot represent — accumulator- or
+  memory-stage models, mixed constants — are rejected loudly instead of
+  being silently re-targeted at the product bus;
+* the DRAM surface allocator reports the *requested* payload size while
+  reserving the alignment-padded footprint, never overlaps surfaces,
+  respects the capacity boundary exactly, and is reusable after
+  ``release_all``.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accelerator.memory import AllocationError, MemoryModel
+from repro.faults.injector import InjectionConfig
+from repro.faults.models import AccumulatorStuckAt, ConstantValue, WeightBitFlip
+from repro.faults.registers import (
+    CTRL_ENABLE,
+    REG_CTRL,
+    FaultInjectionRegisterFile,
+    REG_SEL_A,
+)
+from repro.faults.sites import FaultSite, FaultUniverse, MemorySite
+from repro.utils.bitops import PRODUCT_WIDTH
+
+_VALUE_RANGE = (-(1 << (PRODUCT_WIDTH - 1)), (1 << (PRODUCT_WIDTH - 1)) - 1)
+
+
+class TestRegisterFileRoundTrip:
+    @given(
+        flat_indices=st.sets(st.integers(min_value=0, max_value=63), min_size=1, max_size=8),
+        value=st.integers(min_value=_VALUE_RANGE[0], max_value=_VALUE_RANGE[1]),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_arm_decode_round_trip_property(self, flat_indices, value):
+        """program_config → decode_config is the identity for any uniform
+        product-bus constant configuration the register map addresses."""
+        regs = FaultInjectionRegisterFile()
+        sites = [FaultSite.from_flat_index(i) for i in sorted(flat_indices)]
+        original = InjectionConfig.uniform(sites, ConstantValue(value))
+        regs.program_config(original)
+        decoded = regs.decode_config()
+        assert decoded.sites == original.sites
+        assert all(
+            decoded.faults[s].constant_override() == value for s in decoded.sites
+        )
+
+    @given(
+        flat_indices=st.sets(st.integers(min_value=0, max_value=63), min_size=1, max_size=6),
+        value=st.integers(min_value=_VALUE_RANGE[0], max_value=_VALUE_RANGE[1]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_reset_after_program_disarms(self, flat_indices, value):
+        regs = FaultInjectionRegisterFile()
+        sites = [FaultSite.from_flat_index(i) for i in sorted(flat_indices)]
+        regs.arm_sites(sites, value)
+        assert regs.read(REG_CTRL) & CTRL_ENABLE
+        regs.reset()
+        assert not regs.decode_config().enabled
+        assert regs.read(REG_SEL_A) == 0
+
+    def test_fault_free_config_round_trips(self):
+        regs = FaultInjectionRegisterFile()
+        regs.arm_sites([FaultSite(0, 0)], 1)
+        regs.program_config(InjectionConfig.fault_free())
+        assert not regs.decode_config().enabled
+
+
+class TestRegisterFileStageValidation:
+    """Satellite: non-product configurations must be rejected, not silently
+    re-encoded as product-bus constants."""
+
+    def test_arm_sites_rejects_memory_site(self):
+        regs = FaultInjectionRegisterFile()
+        with pytest.raises(ValueError, match="not a multiplier site") as excinfo:
+            regs.arm_sites([FaultSite(0, 0), MemorySite("weight", 3, 1)], 0)
+        assert "MemorySite" in str(excinfo.value)
+        # the partial arm must not have enabled anything
+        assert not regs.decode_config().enabled
+
+    def test_program_config_rejects_memory_stage(self):
+        regs = FaultInjectionRegisterFile()
+        config = InjectionConfig.single(MemorySite("weight", 2, 4), WeightBitFlip())
+        with pytest.raises(ValueError, match="product bus only") as excinfo:
+            regs.program_config(config)
+        message = str(excinfo.value)
+        assert "memory" in message
+        assert "CBUF weight byte 2 bit 4" in message
+        assert "weight-bitflip" in message
+
+    def test_program_config_rejects_accumulator_stage(self):
+        regs = FaultInjectionRegisterFile()
+        config = InjectionConfig.single(FaultSite(1, 0), AccumulatorStuckAt(bit=3))
+        with pytest.raises(ValueError, match="accumulator"):
+            regs.program_config(config)
+
+    def test_mixed_stage_error_names_only_offenders(self):
+        from repro.faults.models import ActivationBitFlip
+
+        regs = FaultInjectionRegisterFile()
+        config = InjectionConfig(
+            faults={
+                FaultSite(0, 0): ConstantValue(0),
+                MemorySite("activation", 1, 1): ActivationBitFlip(),
+            }
+        )
+        with pytest.raises(ValueError) as excinfo:
+            regs.program_config(config)
+        message = str(excinfo.value)
+        assert "activation-bitflip" in message
+        assert "const(0)" not in message
+
+
+class TestMemoryModelProperties:
+    @given(
+        sizes=st.lists(st.integers(min_value=1, max_value=4096), min_size=1, max_size=20),
+        alignment=st.sampled_from([1, 8, 32, 64]),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_alignment_and_accounting_invariants(self, sizes, alignment):
+        memory = MemoryModel(capacity_bytes=1 << 20, alignment=alignment)
+        cursor = 0
+        for i, size in enumerate(sizes):
+            surface = memory.allocate(f"s{i}", size)
+            # requested payload is reported verbatim; the footprint is the
+            # next alignment multiple and bounds the cursor math
+            assert surface.num_bytes == size
+            assert surface.padded_bytes % alignment == 0
+            assert size <= surface.padded_bytes < size + alignment
+            assert surface.address == cursor
+            assert surface.address % alignment == 0
+            assert surface.end == surface.address + surface.padded_bytes
+            cursor = surface.end
+        assert memory.used_bytes == cursor
+        assert memory.free_bytes == memory.capacity_bytes - cursor
+        # surfaces never overlap
+        spans = sorted(
+            (s.address, s.end) for s in memory.surfaces.values()
+        )
+        assert all(a_end <= b_start for (_, a_end), (b_start, _) in zip(spans, spans[1:]))
+
+    @given(payload=st.integers(min_value=1, max_value=256))
+    @settings(max_examples=50, deadline=None)
+    def test_capacity_boundary_is_exact(self, payload):
+        alignment = 32
+        padded = ((payload + alignment - 1) // alignment) * alignment
+        memory = MemoryModel(capacity_bytes=padded, alignment=alignment)
+        surface = memory.allocate("fits", payload)
+        assert surface.end == memory.capacity_bytes
+        assert memory.free_bytes == 0
+        with pytest.raises(AllocationError):
+            memory.allocate("overflow", 1)
+
+    @given(
+        sizes=st.lists(st.integers(min_value=1, max_value=512), min_size=1, max_size=8)
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_release_all_makes_model_reusable(self, sizes):
+        memory = MemoryModel(capacity_bytes=1 << 16, alignment=32)
+        first = [memory.allocate(f"s{i}", n) for i, n in enumerate(sizes)]
+        memory.release_all()
+        assert memory.used_bytes == 0
+        assert not memory.surfaces
+        second = [memory.allocate(f"s{i}", n) for i, n in enumerate(sizes)]
+        assert first == second  # identical layout after reuse
+
+    def test_padded_size_regression_non_multiple_of_32(self):
+        """Satellite regression: a 33-byte request reports 33 payload bytes
+        (the byte-traffic accounting term) while reserving 64."""
+        memory = MemoryModel(alignment=32)
+        surface = memory.allocate("w", 33)
+        assert surface.num_bytes == 33
+        assert surface.padded_bytes == 64
+        assert surface.end == 64
+        assert memory.used_bytes == 64
+
+    def test_duplicate_and_invalid_allocations_rejected(self):
+        memory = MemoryModel()
+        memory.allocate("x", 16)
+        with pytest.raises(ValueError, match="already allocated"):
+            memory.allocate("x", 16)
+        with pytest.raises(ValueError, match="positive size"):
+            memory.allocate("y", 0)

@@ -43,6 +43,30 @@ class TestZoo:
         b = CaseStudySpec(width_multiplier=0.5)
         assert a.cache_key() != b.cache_key()
 
+    def test_cache_key_distinguishes_families(self):
+        """Regression: two specs identical in every hyperparameter but the
+        architecture family must never share a cache entry."""
+        resnet = CaseStudySpec(width_multiplier=0.125, epochs=1, seed=3)
+        mobile = CaseStudySpec(width_multiplier=0.125, epochs=1, seed=3, family="mobilenet")
+        assert resnet.cache_key() != mobile.cache_key()
+        assert resnet.cache_key().startswith("resnet18_")
+        assert mobile.cache_key().startswith("mobilenet_")
+
+    def test_default_family_keeps_historical_cache_keys(self):
+        """Existing resnet18 cache artifacts must stay addressable: the
+        default spec's key is the historical key with the family prefix."""
+        spec = CaseStudySpec(width_multiplier=0.25, num_train=100, num_test=30)
+        key = spec.cache_key()
+        assert key == (
+            f"resnet18_w0.25_tr100_te30_e{spec.epochs}_b{spec.batch_size}_s{spec.seed}"
+        )
+
+    def test_unknown_family_rejected(self):
+        from repro.zoo import case_study_builder
+
+        with pytest.raises(KeyError, match="unknown case-study family"):
+            case_study_builder("vgg")
+
 
 class TestIntegrationCaseStudy:
     """Small-scale versions of the paper's two experiments on the tiny model."""
