@@ -12,7 +12,10 @@ be scripted without writing Python:
     python -m repro campaign --workers 4 --checkpoint fig2.jsonl --resume
     python -m repro heatmap  --value 0 --images 64 --output fig3.json
     python -m repro sweep    --spec sweep.toml --workers 4 --sweep-dir out
-    python -m repro report   --input out/sweep.json --html report.html
+    python -m repro report   --input out/sweep.json --html report.html --qc
+    python -m repro observe  ingest --store observe/store.jsonl out/sweep.json
+    python -m repro observe  trends --store observe/store.jsonl --html trends.html
+    python -m repro observe  qc --report report.json --source out/sweep.json
     python -m repro table1
 
 All subcommands use the cached case-study model (training it on first use);
@@ -34,7 +37,9 @@ from repro.core.stats import AdaptiveCampaignPlan
 from repro.core.sweep import ExperimentSpec, SweepRunner, load_spec_data, validate_spec_data
 from repro.runtime.perf_model import table1_performance_rows
 from repro.utils.jsonsafe import dump_json_safe
+from repro.utils.logging import set_verbosity
 from repro.utils.tabulate import format_heatmap, format_table
+from repro.utils.telemetry import TELEMETRY
 from repro.zoo import CaseStudySpec, build_case_study_platform, case_study_platform_spec
 
 
@@ -46,6 +51,22 @@ _ADAPTIVE_FLAG_DEFAULTS = {
     "adaptive_metric": "mean-drop",
     "chance_accuracy": None,
 }
+
+
+def _add_log_level_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--log-level", choices=("debug", "info", "warning", "error"),
+                        default=None,
+                        help="verbosity of the repro.* loggers (e.g. 'info' surfaces "
+                             "supervisor recovery logs; default: warning, or the "
+                             "REPRO_LOG_LEVEL environment variable)")
+
+
+def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", type=str, default="",
+                        help="write telemetry spans/counters (campaign + scenario "
+                             "spans, lease lifecycle, cache hit counters) as JSONL "
+                             "to this path; purely observational — records are "
+                             "byte-identical with tracing on or off")
 
 
 def _add_fault_tolerance_arguments(parser: argparse.ArgumentParser) -> None:
@@ -96,6 +117,36 @@ def _recovery_note(result) -> str | None:
             f"{checkpoint.get('duplicate_records', 0)} duplicate line(s))"
         )
     return "recovery: " + ", ".join(parts) + "; records are unaffected"
+
+
+def _runtime_note(stats: dict | None) -> str | None:
+    """One line of execution counters (cache hit rates at a glance)."""
+    if not stats:
+        return None
+    parts = []
+    gemm = stats.get("gemm") or {}
+    calls = sum(v for k, v in gemm.items() if k.endswith("_calls"))
+    if calls:
+        parts.append(f"{calls} GEMM call(s)")
+    cache = stats.get("clean_cache")
+    if cache:
+        parts.append(
+            f"clean-cache hit rate {cache.get('hit_rate', 0.0):.1%} "
+            f"({cache.get('hits', 0)}/{cache.get('hits', 0) + cache.get('misses', 0)})"
+        )
+    tape = stats.get("tape")
+    if tape:
+        parts.append(
+            f"tape layer hit rate {tape.get('layer_hit_rate', 0.0):.1%} "
+            f"({tape.get('layer_hits', 0)}/"
+            f"{tape.get('layer_hits', 0) + tape.get('layer_misses', 0)})"
+        )
+    if not parts:
+        return None
+    processes = stats.get("processes")
+    if processes:
+        parts.append(f"{processes} process(es)")
+    return "runtime: " + ", ".join(parts)
 
 
 def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
@@ -266,6 +317,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     note = _recovery_note(result)
     if note:
         print(note)
+    runtime = _runtime_note(result.runtime_stats)
+    if runtime:
+        print(runtime)
     if args.profile:
         profile_path = _write_profile(result, args.checkpoint, default="campaign.profile.json")
         print(f"stage profile written to {profile_path}")
@@ -347,6 +401,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"worst accuracy drop: {worst['max_accuracy_drop']:.3f} "
               f"in scenario {worst['scenario']}")
     print(f"structure digest: {sweep.structure_digest()}")
+    stats_parts = [
+        sr.result.runtime_stats for sr in sweep.scenario_results if sr.result.runtime_stats
+    ]
+    if stats_parts:
+        # Each scenario's runtime_stats is shaped like one per-process
+        # payload (gemm/clean_cache/tape/profile), so the runner's
+        # aggregator merges them sweep-wide and recomputes the hit rates.
+        merged = ParallelCampaignRunner._aggregate_runtime_stats(stats_parts, args.workers)
+        if merged:
+            merged["processes"] = sum(p.get("processes", 0) for p in stats_parts)
+        runtime = _runtime_note(merged)
+        if runtime:
+            print(f"sweep {runtime}")
     for sr in sweep.scenario_results:
         note = _recovery_note(sr.result)
         if note:
@@ -433,13 +500,96 @@ def _cmd_report(args: argparse.Namespace) -> int:
               f"SDC rate {reliability['sdc_rate']:.3f}",
     ))
 
+    html_text = render_html(report, title=f"repro {kind} reliability report")
     html_path = Path(args.html)
-    html_path.write_text(render_html(report, title=f"repro {kind} reliability report"))
+    html_path.write_text(html_text)
     print(f"HTML report written to {html_path}")
     if args.json_out:
         json_path = Path(args.json_out)
         json_path.write_text(dump_json_safe(report, indent=2, sort_keys=True) + "\n")
         print(f"JSON report written to {json_path}")
+    if args.qc:
+        import json as json_module
+
+        from repro.observe import qc_report
+        from repro.observe.qc import format_findings
+
+        # Round-trip the report through JSON so QC checks the claims as
+        # they would be read back from disk, not live Python objects.
+        claimed = json_module.loads(dump_json_safe(report))
+        findings = qc_report(claimed, results, html_text=html_text)
+        if findings:
+            print(format_findings(findings), file=sys.stderr)
+            print(f"report QC: {len(findings)} finding(s)", file=sys.stderr)
+            return 1
+        print("report QC: every claim recomputed from source records, no findings")
+    return 0
+
+
+def _cmd_observe_ingest(args: argparse.Namespace) -> int:
+    from repro.observe import LongitudinalStore
+
+    store = LongitudinalStore(args.store)
+    outcome = store.ingest(args.artifacts, version=args.version or None)
+    print(
+        f"ingested {len(args.artifacts)} artifact(s) into {args.store}: "
+        f"{outcome['added']} new entr{'y' if outcome['added'] == 1 else 'ies'}, "
+        f"{outcome['duplicates']} duplicate(s), {outcome['total']} total"
+    )
+    return 0
+
+
+def _cmd_observe_trends(args: argparse.Namespace) -> int:
+    from repro.observe import LongitudinalStore, build_trends
+    from repro.report import render_trends_html
+
+    store = LongitudinalStore(args.store)
+    entries = store.entries()
+    if not entries:
+        raise ValueError(
+            f"store {args.store} is empty; run 'repro observe ingest' first"
+        )
+    trends = build_trends(entries, confidence=args.confidence)
+    print(
+        f"{trends['num_scenarios']} scenario series across "
+        f"{len(trends['versions'])} version(s); "
+        f"{trends['num_regressions']} regression(s) flagged "
+        f"at {trends['confidence']:.0%} confidence"
+    )
+    for series in trends["scenarios"]:
+        for flag in series["regressions"]:
+            print(
+                f"REGRESSION {flag['scenario']} {flag['metric']}: "
+                f"{flag['from_version']} [{flag['from_interval']['low']:.4f}, "
+                f"{flag['from_interval']['high']:.4f}] -> "
+                f"{flag['to_version']} [{flag['to_interval']['low']:.4f}, "
+                f"{flag['to_interval']['high']:.4f}]"
+            )
+    if args.json_out:
+        Path(args.json_out).write_text(dump_json_safe(trends, indent=2, sort_keys=True) + "\n")
+        print(f"trend JSON written to {args.json_out}")
+    if args.html:
+        Path(args.html).write_text(render_trends_html(trends))
+        print(f"trend dashboard written to {args.html}")
+    if args.gate and trends["num_regressions"]:
+        print(f"trend gate: {trends['num_regressions']} regression(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_observe_qc(args: argparse.Namespace) -> int:
+    from repro.observe import qc_files
+    from repro.observe.qc import format_findings
+
+    findings = qc_files(args.report, args.source, args.html or None)
+    if findings:
+        print(format_findings(findings), file=sys.stderr)
+        print(f"report QC: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print(
+        f"report QC: every claim in {args.report} recomputed from "
+        f"{args.source}, no findings"
+    )
     return 0
 
 
@@ -522,6 +672,8 @@ def build_parser() -> argparse.ArgumentParser:
                           help="for the sdc-rate metric: count any trial whose "
                                "accuracy falls to this chance level as critical")
     _add_fault_tolerance_arguments(campaign)
+    _add_log_level_argument(campaign)
+    _add_trace_argument(campaign)
     campaign.set_defaults(func=_cmd_campaign)
 
     sweep = subparsers.add_parser(
@@ -550,6 +702,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write per-scenario stage profiles to "
                             "<sweep-dir>/profile.json")
     _add_fault_tolerance_arguments(sweep)
+    _add_log_level_argument(sweep)
+    _add_trace_argument(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
     validate = subparsers.add_parser(
@@ -582,7 +736,63 @@ def build_parser() -> argparse.ArgumentParser:
                         help="mark any trial whose absolute accuracy falls to this "
                              "chance level (e.g. 0.1 for 10 classes) as critical, "
                              "regardless of its drop")
+    report.add_argument("--qc", action="store_true",
+                        help="after rendering, recompute every claim of the report "
+                             "(counts, CIs, outcome tallies, rankings) from the "
+                             "source records and fail on any mismatch")
+    _add_log_level_argument(report)
     report.set_defaults(func=_cmd_report)
+
+    observe = subparsers.add_parser(
+        "observe",
+        help="longitudinal observability: trend store, regression flags, report QC",
+    )
+    observe_sub = observe.add_subparsers(dest="observe_command", required=True)
+
+    ingest = observe_sub.add_parser(
+        "ingest",
+        help="ingest sweep/campaign/profile/benchmark JSONs into the trend store",
+    )
+    ingest.add_argument("artifacts", nargs="+",
+                        help="artifact files: sweep.json, campaign --output JSON, "
+                             "profile.json, benchmarks/out/*.json")
+    ingest.add_argument("--store", type=str, default="observe/store.jsonl",
+                        help="path of the longitudinal JSONL store (created on "
+                             "first ingest; rewritten deterministically)")
+    ingest.add_argument("--version", type=str, default="",
+                        help="version label of these artifacts (default: the "
+                             "artifact's registry digest prefix)")
+    _add_log_level_argument(ingest)
+    ingest.set_defaults(func=_cmd_observe_ingest)
+
+    trends = observe_sub.add_parser(
+        "trends",
+        help="build per-scenario trend series + interval-gated regression flags",
+    )
+    trends.add_argument("--store", type=str, default="observe/store.jsonl")
+    trends.add_argument("--confidence", type=float, default=0.95,
+                        help="confidence level of the interval-overlap regression test")
+    trends.add_argument("--json", dest="json_out", type=str, default="",
+                        help="optional output path of the machine-readable trends JSON")
+    trends.add_argument("--html", type=str, default="",
+                        help="optional output path of the trend dashboard HTML")
+    trends.add_argument("--gate", action="store_true",
+                        help="exit non-zero when any regression is flagged")
+    _add_log_level_argument(trends)
+    trends.set_defaults(func=_cmd_observe_trends)
+
+    qc = observe_sub.add_parser(
+        "qc",
+        help="recompute every claim of a rendered report from its source artifact",
+    )
+    qc.add_argument("--report", type=str, required=True,
+                    help="report JSON written by 'repro report --json'")
+    qc.add_argument("--source", type=str, required=True,
+                    help="the sweep.json / campaign JSON the report was built from")
+    qc.add_argument("--html", type=str, default="",
+                    help="optionally also verify the rendered HTML byte-for-byte")
+    _add_log_level_argument(qc)
+    qc.set_defaults(func=_cmd_observe_qc)
 
     heatmap = subparsers.add_parser("heatmap", help="run the single-site sweep (Fig. 3 style)")
     _add_model_arguments(heatmap)
@@ -612,6 +822,11 @@ def _resume_hint(args: argparse.Namespace) -> str | None:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "log_level", None):
+        set_verbosity(args.log_level)
+    trace = getattr(args, "trace", "")
+    if trace:
+        TELEMETRY.configure(trace)
     try:
         return args.func(args)
     except (ValueError, OSError) as exc:
@@ -629,6 +844,9 @@ def main(argv: list[str] | None = None) -> int:
         if hint:
             print(hint, file=sys.stderr)
         return 130
+    finally:
+        if trace:
+            TELEMETRY.close()
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro

@@ -75,6 +75,7 @@ from repro.faults.sites import FaultUniverse
 from repro.runtime.gemm import GEMM_STATS
 from repro.utils.logging import get_logger
 from repro.utils.profiling import PROFILER, StageProfiler
+from repro.utils.telemetry import TELEMETRY
 from repro.utils.rng import SeededRNG
 
 logger = get_logger(__name__)
@@ -310,6 +311,9 @@ def _worker_setup(config: CampaignConfig) -> None:
     GEMM_STATS.reset()
     PROFILER.enabled = config.profile
     PROFILER.reset()
+    # The parent's telemetry sink (if --trace armed one) was inherited
+    # across fork; workers must not write to the shared file descriptor.
+    TELEMETRY.disable_inherited()
 
 
 def _worker_stats(platform: EmulationPlatform) -> dict:
@@ -528,24 +532,32 @@ class ParallelCampaignRunner:
         header, completed = self._load_resume_state(len(labels))
         start = time.perf_counter()
         profiler_was_enabled = PROFILER.enabled
-        try:
-            if self.plan is not None:
-                if self.workers == 1:
-                    result = self._run_serial_adaptive(images, labels, header, completed)
+        with TELEMETRY.span(
+            "campaign.run",
+            strategy=type(self.strategy).__name__,
+            workers=self.workers,
+            resumed=len(completed),
+        ) as span:
+            try:
+                if self.plan is not None:
+                    if self.workers == 1:
+                        result = self._run_serial_adaptive(images, labels, header, completed)
+                    else:
+                        result = self._run_parallel_adaptive(images, labels, header, completed)
+                elif self.workers == 1:
+                    result = self._run_serial(images, labels, header, completed)
                 else:
-                    result = self._run_parallel_adaptive(images, labels, header, completed)
-            elif self.workers == 1:
-                result = self._run_serial(images, labels, header, completed)
-            else:
-                result = self._run_parallel(images, labels, header, completed)
-        finally:
-            # The serial paths arm the process-global profiler when
-            # config.profile is set; restore it even when a run raises so
-            # later campaigns in this process don't silently pay for (and
-            # pollute) profiling state.
-            PROFILER.enabled = profiler_was_enabled
-        result.wall_seconds = time.perf_counter() - start
-        result.sort_records()
+                    result = self._run_parallel(images, labels, header, completed)
+            finally:
+                # The serial paths arm the process-global profiler when
+                # config.profile is set; restore it even when a run raises so
+                # later campaigns in this process don't silently pay for (and
+                # pollute) profiling state.
+                PROFILER.enabled = profiler_was_enabled
+            result.wall_seconds = time.perf_counter() - start
+            result.sort_records()
+            span["num_records"] = len(result)
+        self._emit_runtime_telemetry(result)
         return result
 
     # ------------------------------------------------------------------
@@ -725,6 +737,30 @@ class ParallelCampaignRunner:
             "tape": tape,
             "profile": StageProfiler.merge_dicts(profiles) if profiles else None,
         }
+
+    @staticmethod
+    def _emit_runtime_telemetry(result: CampaignResult) -> None:
+        """Ship the aggregated cache/kernel counters to the trace sink.
+
+        Purely observational (counter events never feed back into records);
+        a single attribute check when tracing is off.
+        """
+        if not TELEMETRY.enabled:
+            return
+        stats = result.runtime_stats or {}
+        for group in ("gemm", "clean_cache", "tape"):
+            counters = stats.get(group)
+            if not counters:
+                continue
+            for key in sorted(counters):
+                TELEMETRY.counter(f"{group}.{key}", counters[key])
+        TELEMETRY.event(
+            "campaign.runtime-stats",
+            strategy=result.strategy,
+            num_records=len(result),
+            processes=stats.get("processes"),
+            workers=stats.get("workers"),
+        )
 
     def _serial_stats_begin(self) -> None:
         self._gemm_before = GEMM_STATS.as_dict()

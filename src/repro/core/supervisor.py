@@ -49,6 +49,7 @@ from enum import Enum
 from typing import Callable
 
 from repro.utils.logging import get_logger
+from repro.utils.telemetry import TELEMETRY
 
 logger = get_logger(__name__)
 
@@ -249,6 +250,12 @@ class LeaseSupervisor:
         lease.proc, lease.token = self.spawn(lease)
         lease.state = LeaseState.RUNNING
         lease.last_progress = self.clock()
+        TELEMETRY.event(
+            "lease.launch",
+            lease=lease.lease_id,
+            attempt=lease.attempt,
+            remaining=len(lease.remaining),
+        )
 
     def _launch_due(self) -> None:
         now = self.clock()
@@ -302,6 +309,9 @@ class LeaseSupervisor:
                 else:
                     lease.state = LeaseState.DONE
                     self.reap(lease, False)
+                    TELEMETRY.event(
+                        "lease.done", lease=lease.lease_id, attempt=lease.attempt
+                    )
         else:  # pragma: no cover - future message kinds
             logger.warning("ignoring unknown message kind %r from %r", kind, token)
 
@@ -349,6 +359,14 @@ class LeaseSupervisor:
         wait = min(self.backoff * (2 ** retries_used), BACKOFF_CAP) if self.backoff else 0.0
         lease.state = LeaseState.WAITING
         lease.retry_at = self.clock() + wait
+        TELEMETRY.event(
+            "lease.reclaim",
+            lease=lease.lease_id,
+            attempt=lease.attempt,
+            remaining=len(lease.remaining),
+            reason=reason.splitlines()[0],
+            backoff_seconds=wait,
+        )
         logger.warning(
             "lease %d failed (attempt %d/%d): %s; retrying in %.2fs",
             lease.lease_id, lease.attempt, self.max_retries + 1,
@@ -357,6 +375,12 @@ class LeaseSupervisor:
 
     def _poison(self, lease: ShardLease) -> None:
         lease.state = LeaseState.POISON
+        TELEMETRY.event(
+            "lease.poison",
+            lease=lease.lease_id,
+            attempts=lease.attempt,
+            unfinished=len(lease.remaining),
+        )
         self.recovery.poison.append(
             {
                 "lease": lease.lease_id,

@@ -90,6 +90,7 @@ from repro.core.strategies import InjectionStrategy
 from repro.faults.models import FaultModel
 from repro.utils.jsonsafe import dump_json_safe
 from repro.utils.logging import get_logger
+from repro.utils.telemetry import TELEMETRY
 
 logger = get_logger(__name__)
 
@@ -1037,7 +1038,14 @@ class SweepRunner:
                 resume=self.resume,
                 plan=self.plan,
             )
-            result = runner.run(images, labels)
+            with TELEMETRY.span(
+                "sweep.scenario",
+                scenario=scenario.scenario_id,
+                number=number,
+                total=len(self.scenarios),
+            ) as span:
+                result = runner.run(images, labels)
+                span["num_records"] = len(result)
             result.provenance = scenario.provenance()
             scenario_results.append(ScenarioResult(scenario=scenario, result=result))
         sweep = SweepResult(

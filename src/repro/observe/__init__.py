@@ -1,0 +1,22 @@
+"""Longitudinal observability: trend store, regression gates, report QC.
+
+The :mod:`repro.observe` subsystem watches campaign artifacts *over time*
+instead of one run at a time:
+
+* :mod:`repro.observe.store` — an append-only, deterministic-ordered JSONL
+  store that ingests ``sweep.json``, campaign JSONs, ``profile.json`` and
+  benchmark JSONs, keyed by registry/structure digests and scenario
+  provenance so runs stay comparable across code versions.
+* :mod:`repro.observe.trends` — per-scenario time series (mean accuracy
+  drop, SDC rate, CI width, throughput) with regression flags raised only
+  by :mod:`repro.core.stats` interval-overlap tests, never point deltas.
+* :mod:`repro.observe.qc` — machine-checked report QC: recompute every
+  claim a rendered report makes from its source records and emit pass/fail
+  findings.
+"""
+
+from repro.observe.store import LongitudinalStore
+from repro.observe.trends import build_trends
+from repro.observe.qc import qc_report, qc_files
+
+__all__ = ["LongitudinalStore", "build_trends", "qc_report", "qc_files"]

@@ -1,0 +1,164 @@
+"""Machine-checked report QC: every claim recomputed from source records.
+
+A rendered report is a set of claims — trial counts, outcome tallies,
+confidence intervals, severity rankings — derived from a source artifact.
+:func:`qc_report` rebuilds the report from that source through the exact
+production path (:func:`repro.report.model.build_report`, which recomputes
+all statistics from the raw trial records via :mod:`repro.core.stats`) and
+diffs the claimed report against the recomputed one, claim by claim.  Any
+divergence — a mutated count, a widened CI, a reshuffled severity ranking —
+surfaces as a finding naming the claim path, the claimed value and the
+recomputed value.  An empty finding list is a pass.
+
+Two top-level keys are exempt from the diff because they are provenance
+stamps, not claims about the source records: ``source`` (the path string
+the report was built from, which legitimately differs between machines)
+and ``registry_digest`` (the digest of the registries live at *report*
+time; the per-scenario ``provenance`` stamps inside the report body are
+claims and stay in the diff).
+
+When the rendered HTML is provided too, it is QC'd by re-rendering the
+recomputed report with the claimed ``<title>`` and comparing bytes — the
+renderer is deterministic, so any divergence means the HTML no longer
+matches its own source records.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+from repro.core import stats
+from repro.report.model import build_report, load_results
+from repro.report.html import render_html
+from repro.utils.jsonsafe import dump_json_safe
+
+#: Top-level report keys that are provenance, not recomputable claims.
+_PROVENANCE_KEYS = ("source", "registry_digest")
+
+#: Hard cap on emitted findings (a wholesale-corrupted report would
+#: otherwise drown the one-line-per-claim output).
+MAX_FINDINGS = 100
+
+
+def _normalise(payload):
+    """Round-trip through strict JSON so both sides share one value space
+    (tuples become lists, non-finite floats become null)."""
+    return json.loads(dump_json_safe(payload))
+
+
+def _finding(path: str, claimed, recomputed, note: str = "") -> dict:
+    return {
+        "check": path,
+        "claimed": claimed,
+        "recomputed": recomputed,
+        "note": note or "claimed value does not match recomputation from source records",
+    }
+
+
+def _diff(claimed, recomputed, path: str, findings: list[dict]) -> None:
+    if len(findings) >= MAX_FINDINGS:
+        return
+    if isinstance(claimed, dict) and isinstance(recomputed, dict):
+        for key in sorted(set(claimed) | set(recomputed)):
+            sub = f"{path}.{key}" if path else str(key)
+            if key not in claimed:
+                findings.append(_finding(sub, None, recomputed[key], "claim missing from report"))
+            elif key not in recomputed:
+                findings.append(_finding(sub, claimed[key], None, "claim has no recomputed counterpart"))
+            else:
+                _diff(claimed[key], recomputed[key], sub, findings)
+        return
+    if isinstance(claimed, list) and isinstance(recomputed, list):
+        if len(claimed) != len(recomputed):
+            findings.append(
+                _finding(path, len(claimed), len(recomputed), "list length mismatch")
+            )
+            return
+        for index, (c, r) in enumerate(zip(claimed, recomputed)):
+            _diff(c, r, f"{path}[{index}]", findings)
+        return
+    if claimed != recomputed:
+        findings.append(_finding(path, claimed, recomputed))
+
+
+def qc_report(report: dict, results_by_id: dict, *, html_text: str | None = None) -> list[dict]:
+    """Diff a claimed report against one rebuilt from its source results.
+
+    ``results_by_id`` is the :func:`repro.report.model.load_results` shape.
+    Returns a list of findings (empty = every claim checks out).
+    """
+    if not isinstance(report, dict):
+        raise ValueError(f"report must be a JSON object, got {type(report).__name__}")
+    for required in ("kind", "confidence", "thresholds", "scenarios", "reliability"):
+        if required not in report:
+            return [
+                _finding(required, None, None, "report is missing a required section")
+            ]
+    try:
+        thresholds = stats.OutcomeThresholds(**report["thresholds"])
+    except (TypeError, ValueError) as exc:
+        return [_finding("thresholds", report["thresholds"], None, f"invalid thresholds: {exc}")]
+
+    recomputed = build_report(
+        results_by_id,
+        kind=report["kind"],
+        source=report.get("source", ""),
+        confidence=report["confidence"],
+        thresholds=thresholds,
+    )
+    claimed_n = _normalise(report)
+    recomputed_n = _normalise(recomputed)
+    for key in _PROVENANCE_KEYS:
+        claimed_n.pop(key, None)
+        recomputed_n.pop(key, None)
+
+    findings: list[dict] = []
+    _diff(claimed_n, recomputed_n, "", findings)
+
+    if html_text is not None and len(findings) < MAX_FINDINGS:
+        match = re.search(r"<title>(.*?)</title>", html_text, flags=re.DOTALL)
+        if not match:
+            findings.append(_finding("html", None, None, "rendered HTML has no <title>"))
+        else:
+            expected = render_html(recomputed, title=match.group(1))
+            if html_text != expected:
+                findings.append(
+                    _finding(
+                        "html",
+                        f"{len(html_text)} bytes",
+                        f"{len(expected)} bytes",
+                        "rendered HTML differs from a deterministic re-render "
+                        "of the recomputed report",
+                    )
+                )
+    return findings[:MAX_FINDINGS]
+
+
+def qc_files(
+    report_path: Path | str,
+    source_path: Path | str,
+    html_path: Path | str | None = None,
+) -> list[dict]:
+    """File-level entry point: QC a report JSON (+ optional HTML) against
+    its source sweep/campaign artifact."""
+    report_path = Path(report_path)
+    try:
+        report = json.loads(report_path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{report_path} is not valid JSON: {exc}") from None
+    _, results_by_id = load_results(source_path)
+    html_text = Path(html_path).read_text() if html_path else None
+    return qc_report(report, results_by_id, html_text=html_text)
+
+
+def format_findings(findings: list[dict]) -> str:
+    """One human-readable line per finding."""
+    lines = []
+    for f in findings:
+        lines.append(
+            f"QC FAIL {f['check'] or '<report>'}: claimed={f['claimed']!r} "
+            f"recomputed={f['recomputed']!r} ({f['note']})"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,169 @@
+"""Trend series and interval-gated regression flags over the store.
+
+:func:`build_trends` turns store entries into per-scenario time series of
+mean accuracy drop, SDC rate, mean-drop CI width and per-trial throughput,
+ordered by version label.  A shift between consecutive points is flagged as
+a regression **only** when the interval-overlap test says it is
+significant:
+
+* mean accuracy drop — the stored Student-t intervals
+  (:func:`repro.core.stats.mean_t_interval` endpoints) must be disjoint,
+  with the newer interval entirely above the older one;
+* SDC rate — Wilson intervals recomputed from ``(sdc_count, num_trials)``
+  through :func:`repro.core.stats.wilson_interval` must be disjoint in the
+  worsening direction.
+
+Point deltas never flag: a higher mean with overlapping intervals is noise
+until the data says otherwise.  CI width and throughput are tracked as
+informational trajectories only — they carry no interval, so they can
+never raise a flag.  Disjoint intervals in the *improving* direction are
+recorded separately under ``improvements``.
+
+The function is pure and the output dict is fully ordered (scenarios and
+benchmark series sorted by name, points by version label then entry id),
+so rendering it twice from the same store is byte-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core import stats
+
+#: Trends schema version (bumped on breaking shape changes).
+TRENDS_VERSION = 1
+
+_SCENARIO_KINDS = ("campaign", "sweep-scenario")
+
+
+def _point(entry: dict) -> dict:
+    metrics = entry.get("metrics", {})
+    return {
+        "id": entry.get("id"),
+        "version": entry.get("version"),
+        "source": entry.get("source"),
+        "structure_digest": (entry.get("key") or {}).get("structure_digest"),
+        "num_trials": metrics.get("num_trials"),
+        "mean_accuracy_drop": metrics.get("mean_accuracy_drop"),
+        "mean_drop_ci": metrics.get("mean_drop_ci"),
+        "ci_width": metrics.get("mean_drop_ci_width"),
+        "sdc_count": metrics.get("sdc_count"),
+        "sdc_rate": metrics.get("sdc_rate"),
+        "confidence": metrics.get("confidence"),
+        "throughput_trials_per_second": metrics.get("throughput_trials_per_second"),
+    }
+
+
+def _interval(ci: dict | None) -> tuple[float, float] | None:
+    if not ci:
+        return None
+    low, high = ci.get("low"), ci.get("high")
+    if low is None or high is None:
+        return None
+    return float(low), float(high)
+
+
+def _wilson(point: dict, confidence: float) -> tuple[float, float] | None:
+    count, n = point.get("sdc_count"), point.get("num_trials")
+    if count is None or not n:
+        return None
+    ci = stats.wilson_interval(int(count), int(n), confidence)
+    return ci.low, ci.high
+
+
+def _shift(old: tuple[float, float] | None, new: tuple[float, float] | None) -> str | None:
+    """Interval-overlap verdict: ``regression``/``improvement``/None.
+
+    ``regression`` means the newer interval sits entirely above the older
+    one (both metrics here are higher-is-worse); overlap means no verdict.
+    """
+    if old is None or new is None:
+        return None
+    if new[0] > old[1]:
+        return "regression"
+    if new[1] < old[0]:
+        return "improvement"
+    return None
+
+
+def _flag(scenario: str, metric: str, prev: dict, curr: dict,
+          old: tuple[float, float], new: tuple[float, float]) -> dict:
+    return {
+        "scenario": scenario,
+        "metric": metric,
+        "from_version": prev["version"],
+        "to_version": curr["version"],
+        "from_interval": {"low": old[0], "high": old[1]},
+        "to_interval": {"low": new[0], "high": new[1]},
+    }
+
+
+def _scenario_series(scenario: str, kind: str, points: list[dict], confidence: float) -> dict:
+    regressions: list[dict] = []
+    improvements: list[dict] = []
+    for prev, curr in zip(points, points[1:]):
+        checks = (
+            ("mean_accuracy_drop", _interval(prev["mean_drop_ci"]), _interval(curr["mean_drop_ci"])),
+            ("sdc_rate", _wilson(prev, confidence), _wilson(curr, confidence)),
+        )
+        for metric, old, new in checks:
+            verdict = _shift(old, new)
+            if verdict == "regression":
+                regressions.append(_flag(scenario, metric, prev, curr, old, new))
+            elif verdict == "improvement":
+                improvements.append(_flag(scenario, metric, prev, curr, old, new))
+    return {
+        "scenario": scenario,
+        "kind": kind,
+        "points": points,
+        "regressions": regressions,
+        "improvements": improvements,
+    }
+
+
+def build_trends(entries: Iterable[dict], *, confidence: float = 0.95) -> dict:
+    """Build the deterministic trend/regression dict from store entries."""
+    scenario_groups: dict[tuple[str, str], list[dict]] = {}
+    bench_groups: dict[tuple[str, str], list[dict]] = {}
+    versions: set[str] = set()
+    for entry in entries:
+        version = entry.get("version") or ""
+        versions.add(version)
+        kind = entry.get("kind")
+        if kind in _SCENARIO_KINDS:
+            key = (kind, entry.get("scenario") or "")
+            scenario_groups.setdefault(key, []).append(_point(entry))
+        else:
+            source = entry.get("scenario") or entry.get("source") or ""
+            for metric, value in sorted((entry.get("metrics") or {}).items()):
+                bench_groups.setdefault((source, metric), []).append(
+                    {"id": entry.get("id"), "version": version, "value": value}
+                )
+
+    scenarios = []
+    for kind, scenario in sorted(scenario_groups):
+        points = sorted(
+            scenario_groups[(kind, scenario)],
+            key=lambda p: (p["version"] or "", p["id"] or ""),
+        )
+        scenarios.append(_scenario_series(scenario, kind, points, confidence))
+
+    benchmarks = [
+        {
+            "source": source,
+            "metric": metric,
+            "points": sorted(points, key=lambda p: (p["version"], p["id"] or "")),
+        }
+        for (source, metric), points in sorted(bench_groups.items())
+    ]
+
+    num_regressions = sum(len(s["regressions"]) for s in scenarios)
+    return {
+        "trends_version": TRENDS_VERSION,
+        "confidence": confidence,
+        "versions": sorted(versions),
+        "num_scenarios": len(scenarios),
+        "num_regressions": num_regressions,
+        "scenarios": scenarios,
+        "benchmarks": benchmarks,
+    }

@@ -20,6 +20,6 @@ The ``repro report`` CLI verb glues both together::
 """
 
 from repro.report.model import build_report, load_results
-from repro.report.html import render_html
+from repro.report.html import render_html, render_trends_html
 
-__all__ = ["build_report", "load_results", "render_html"]
+__all__ = ["build_report", "load_results", "render_html", "render_trends_html"]

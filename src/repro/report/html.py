@@ -171,6 +171,204 @@ def boxplot_svg(
     return "".join(parts)
 
 
+def line_svg(
+    labels: list[str],
+    values: list[float | None],
+    *,
+    bands: list[tuple[float, float] | None] | None = None,
+    width: int = 520,
+    height: int = 150,
+    title: str = "",
+    colour: str = "#37648f",
+    digits: int = 3,
+) -> str:
+    """Inline SVG line chart of one metric across version labels.
+
+    ``values`` may contain ``None`` (gaps in the series); ``bands`` is an
+    optional per-point ``(low, high)`` confidence band drawn as a shaded
+    polygon behind the line.  Rendering is deterministic: same inputs,
+    same bytes.
+    """
+    numeric = [v for v in values if v is not None]
+    if bands:
+        numeric += [b[0] for b in bands if b] + [b[1] for b in bands if b]
+    if not numeric:
+        return "<span class='ci'>no data</span>"
+    low, high = min(numeric), max(numeric)
+    if low == high:
+        low, high = low - 0.5, high + 0.5
+    span = high - low
+    margin_left, margin_bottom, margin_top = 52, 24, 12
+    plot_w = width - margin_left - 10
+    plot_h = height - margin_bottom - margin_top
+    slot = plot_w / max(len(labels), 1)
+
+    def x(index: int) -> float:
+        return margin_left + slot * (index + 0.5)
+
+    def y(value: float) -> float:
+        return margin_top + plot_h * (1.0 - (value - low) / span)
+
+    parts = [
+        f"<svg viewBox='0 0 {width} {height}' width='{width}' height='{height}' "
+        "role='img' xmlns='http://www.w3.org/2000/svg'>"
+    ]
+    if title:
+        parts.append(f"<title>{_esc(title)}</title>")
+    for value in (low, high):
+        parts.append(
+            f"<line x1='{margin_left}' y1='{y(value):.1f}' x2='{width - 10}' "
+            f"y2='{y(value):.1f}' stroke='#ddd' stroke-width='1'/>"
+            f"<text x='{margin_left - 4}' y='{y(value) + 3:.1f}' font-size='9' "
+            f"text-anchor='end' fill='#666'>{value:.{digits}f}</text>"
+        )
+    if bands:
+        band_points = [
+            (i, band) for i, band in enumerate(bands) if band is not None
+        ]
+        if len(band_points) >= 2:
+            upper = " ".join(f"{x(i):.1f},{y(b[1]):.1f}" for i, b in band_points)
+            lower = " ".join(
+                f"{x(i):.1f},{y(b[0]):.1f}" for i, b in reversed(band_points)
+            )
+            parts.append(
+                f"<polygon points='{upper} {lower}' fill='{colour}' "
+                "fill-opacity='0.15' stroke='none'/>"
+            )
+    polyline = [
+        f"{x(i):.1f},{y(v):.1f}" for i, v in enumerate(values) if v is not None
+    ]
+    if len(polyline) >= 2:
+        parts.append(
+            f"<polyline points='{' '.join(polyline)}' fill='none' "
+            f"stroke='{colour}' stroke-width='2'/>"
+        )
+    for index, value in enumerate(values):
+        if value is None:
+            continue
+        parts.append(
+            f"<circle cx='{x(index):.1f}' cy='{y(value):.1f}' r='3' fill='{colour}'>"
+            f"<title>{_esc(labels[index])}: {value:.{digits}f}</title></circle>"
+        )
+    for index, label in enumerate(labels):
+        parts.append(
+            f"<text x='{x(index):.1f}' y='{height - 8}' font-size='9' "
+            f"text-anchor='middle' fill='#444'>{_esc(label)}</text>"
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _trend_flag_rows(flags: list[dict], css_class: str) -> str:
+    return "".join(
+        f"<tr class='{css_class}'><td class='name'>{_esc(flag['scenario'])}</td>"
+        f"<td class='name'>{_esc(flag['metric'])}</td>"
+        f"<td>{_esc(flag['from_version'])} → {_esc(flag['to_version'])}</td>"
+        f"<td>{_fmt_ci(flag['from_interval'])}</td>"
+        f"<td>{_fmt_ci(flag['to_interval'])}</td></tr>"
+        for flag in flags
+    )
+
+
+def _trend_scenario_section(series: dict) -> str:
+    points = series["points"]
+    labels = [str(p["version"]) for p in points]
+    bands = []
+    for p in points:
+        ci = p.get("mean_drop_ci")
+        bands.append((ci["low"], ci["high"]) if ci and ci.get("low") is not None else None)
+    charts = [
+        ("mean accuracy drop (CI band)",
+         line_svg(labels, [p["mean_accuracy_drop"] for p in points], bands=bands,
+                  title=f"{series['scenario']} mean drop")),
+        ("SDC rate",
+         line_svg(labels, [p["sdc_rate"] for p in points], colour="#c94f42",
+                  title=f"{series['scenario']} SDC rate")),
+        ("mean-drop CI width (burn-down)",
+         line_svg(labels, [p["ci_width"] for p in points], colour="#7a5ea8",
+                  title=f"{series['scenario']} CI width")),
+        ("throughput (trials/s, observational)",
+         line_svg(labels, [p["throughput_trials_per_second"] for p in points],
+                  colour="#4a8a5c", digits=2,
+                  title=f"{series['scenario']} throughput")),
+    ]
+    chart_html = "".join(
+        f"<figure><figcaption class='ci'>{_esc(caption)}</figcaption>{svg}</figure>"
+        for caption, svg in charts
+    )
+    flag_html = ""
+    if series["regressions"] or series["improvements"]:
+        rows = _trend_flag_rows(series["regressions"], "regression") + _trend_flag_rows(
+            series["improvements"], "improvement"
+        )
+        flag_html = (
+            "<table><tr><th class='name'>scenario</th><th class='name'>metric</th>"
+            "<th>versions</th><th>old interval</th><th>new interval</th></tr>"
+            f"{rows}</table>"
+        )
+    return (
+        f"<section class='scenario'><h2>{_esc(series['scenario'])}"
+        f" <span class='ci'>({_esc(series['kind'])}, {len(points)} point(s))</span></h2>"
+        f"{chart_html}{flag_html}</section>"
+    )
+
+
+def render_trends_html(trends: dict, *, title: str = "repro reliability trends") -> str:
+    """Render the trend/regression dict into one self-contained HTML page.
+
+    Consumes only the :func:`repro.observe.trends.build_trends` output, so
+    it inherits that function's determinism: re-rendering the same store
+    yields the same bytes.
+    """
+    tiles = [
+        ("versions", str(len(trends["versions"]))),
+        ("scenarios", str(trends["num_scenarios"])),
+        ("regressions", str(trends["num_regressions"])),
+        ("confidence", f"{trends['confidence']:.0%}"),
+    ]
+    tile_html = "".join(
+        f"<div class='tile'><div class='value'>{value}</div>"
+        f"<div class='label'>{_esc(label)}</div></div>"
+        for label, value in tiles
+    )
+    sections = "".join(_trend_scenario_section(s) for s in trends["scenarios"])
+    bench_html = ""
+    if trends["benchmarks"]:
+        rows = "".join(
+            f"<tr><td class='name'>{_esc(series['source'])}</td>"
+            f"<td class='name'>{_esc(series['metric'])}</td>"
+            + "".join(
+                f"<td>{_fmt(p['value'], 4) if isinstance(p['value'], (int, float)) else _esc(p['value'])}"
+                f"<div class='ci'>{_esc(p['version'])}</div></td>"
+                for p in series["points"]
+            )
+            + "</tr>"
+            for series in trends["benchmarks"]
+        )
+        bench_html = (
+            "<section class='scenario'><h2>Benchmark &amp; profile series</h2>"
+            "<table><tr><th class='name'>source</th><th class='name'>metric</th>"
+            "<th colspan='99'>values (per version)</th></tr>"
+            f"{rows}</table></section>"
+        )
+    return (
+        "<!DOCTYPE html><html lang='en'><head><meta charset='utf-8'>"
+        f"<title>{_esc(title)}</title><style>{_CSS}"
+        "tr.regression td { background: #fbe6e3; }"
+        "tr.improvement td { background: #e8f3ea; }"
+        "figure { margin: 0.75rem 0; }"
+        "</style></head><body>"
+        f"<h1>{_esc(title)}</h1>"
+        "<p class='ci'>regression flags use interval-overlap tests "
+        "(Wilson / Student-t) — point deltas never flag</p>"
+        f"<div class='tiles'>{tile_html}</div>"
+        f"{sections}{bench_html}"
+        "<footer>generated by <code>repro observe trends</code> "
+        "(deterministic: re-rendering the same store yields the same bytes)"
+        "</footer></body></html>"
+    )
+
+
 def _scenario_section(entry: dict, confidence: float) -> str:
     summary = entry["summary"]
     rows = [

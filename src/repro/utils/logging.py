@@ -3,14 +3,32 @@
 Every module obtains its logger through :func:`get_logger`, which namespaces
 the logger under ``repro.*`` and installs a single stream handler on the root
 library logger the first time it is called.
+
+Host applications that configure logging themselves keep full control: the
+default WARNING level is applied only on the first-ever configuration and
+only when nothing has touched the library root yet (no handlers, level still
+NOTSET).  The ``REPRO_LOG_LEVEL`` environment variable overrides the initial
+level either way (a name like ``debug`` or a numeric level).
 """
 
 from __future__ import annotations
 
 import logging
+import os
 
 _ROOT_NAME = "repro"
+_ENV_LEVEL = "REPRO_LOG_LEVEL"
 _configured = False
+
+
+def _env_level() -> int | None:
+    raw = os.environ.get(_ENV_LEVEL, "").strip()
+    if not raw:
+        return None
+    if raw.isdigit():
+        return int(raw)
+    level = logging.getLevelName(raw.upper())
+    return level if isinstance(level, int) else None
 
 
 def _ensure_configured() -> None:
@@ -18,13 +36,20 @@ def _ensure_configured() -> None:
     if _configured:
         return
     root = logging.getLogger(_ROOT_NAME)
+    # A host app that already attached handlers or set a level owns the
+    # configuration; respect it and only fill in what is missing.
+    first = not root.handlers and root.level == logging.NOTSET
     if not root.handlers:
         handler = logging.StreamHandler()
         handler.setFormatter(
             logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
         )
         root.addHandler(handler)
-    root.setLevel(logging.WARNING)
+    override = _env_level()
+    if override is not None:
+        root.setLevel(override)
+    elif first:
+        root.setLevel(logging.WARNING)
     _configured = True
 
 
@@ -39,4 +64,9 @@ def get_logger(name: str) -> logging.Logger:
 def set_verbosity(level: int | str) -> None:
     """Set the verbosity of all library loggers (e.g. ``logging.INFO``)."""
     _ensure_configured()
+    if isinstance(level, str):
+        resolved = logging.getLevelName(level.upper())
+        if not isinstance(resolved, int):
+            raise ValueError(f"unknown log level {level!r}")
+        level = resolved
     logging.getLogger(_ROOT_NAME).setLevel(level)
