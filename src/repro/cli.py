@@ -16,6 +16,9 @@ be scripted without writing Python:
     python -m repro observe  ingest --store observe/store.jsonl out/sweep.json
     python -m repro observe  trends --store observe/store.jsonl --html trends.html
     python -m repro observe  qc --report report.json --source out/sweep.json
+    python -m repro serve    --port 8035 --artifacts-dir fleet-out
+    python -m repro worker   --coordinator http://127.0.0.1:8035 --name node-a
+    python -m repro submit   --coordinator http://127.0.0.1:8035 --spec sweep.toml --wait
     python -m repro table1
 
 All subcommands use the cached case-study model (training it on first use);
@@ -25,7 +28,9 @@ All subcommands use the cached case-study model (training it on first use);
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
+import time
 from pathlib import Path
 
 from repro.core.analysis import accuracy_drop_boxplots, heatmap_matrix, most_sensitive_site
@@ -36,6 +41,7 @@ from repro.core.registry import MODELS, STRATEGIES, axis_provenance, registry_di
 from repro.core.stats import AdaptiveCampaignPlan
 from repro.core.sweep import ExperimentSpec, SweepRunner, load_spec_data, validate_spec_data
 from repro.runtime.perf_model import table1_performance_rows
+from repro.utils.durable import durable_write_text
 from repro.utils.jsonsafe import dump_json_safe
 from repro.utils.logging import set_verbosity
 from repro.utils.tabulate import format_heatmap, format_table
@@ -219,7 +225,7 @@ def _write_profile(result, checkpoint: str, default: str) -> Path:
         "num_trials": len(result),
     }
     path = Path(checkpoint + ".profile.json") if checkpoint else Path(default)
-    path.write_text(dump_json_safe(payload, indent=2, sort_keys=True) + "\n")
+    durable_write_text(path, dump_json_safe(payload, indent=2, sort_keys=True) + "\n")
     return path
 
 
@@ -338,7 +344,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print(format_table(["#faults", "mean drop", "max drop"], rows, floatfmt=".3f",
                            title=f"injected value {value}"))
     if args.output:
-        Path(args.output).write_text(result.to_json())
+        durable_write_text(Path(args.output), result.to_json())
         print(f"records written to {args.output}")
     return 0
 
@@ -502,11 +508,11 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
     html_text = render_html(report, title=f"repro {kind} reliability report")
     html_path = Path(args.html)
-    html_path.write_text(html_text)
+    durable_write_text(html_path, html_text)
     print(f"HTML report written to {html_path}")
     if args.json_out:
         json_path = Path(args.json_out)
-        json_path.write_text(dump_json_safe(report, indent=2, sort_keys=True) + "\n")
+        durable_write_text(json_path, dump_json_safe(report, indent=2, sort_keys=True) + "\n")
         print(f"JSON report written to {json_path}")
     if args.qc:
         import json as json_module
@@ -566,10 +572,10 @@ def _cmd_observe_trends(args: argparse.Namespace) -> int:
                 f"{flag['to_interval']['high']:.4f}]"
             )
     if args.json_out:
-        Path(args.json_out).write_text(dump_json_safe(trends, indent=2, sort_keys=True) + "\n")
+        durable_write_text(Path(args.json_out), dump_json_safe(trends, indent=2, sort_keys=True) + "\n")
         print(f"trend JSON written to {args.json_out}")
     if args.html:
-        Path(args.html).write_text(render_trends_html(trends))
+        durable_write_text(Path(args.html), render_trends_html(trends))
         print(f"trend dashboard written to {args.html}")
     if args.gate and trends["num_regressions"]:
         print(f"trend gate: {trends['num_regressions']} regression(s)", file=sys.stderr)
@@ -609,11 +615,108 @@ def _cmd_heatmap(args: argparse.Namespace) -> int:
     print(f"most sensitive site: MAC {worst.mac_unit + 1} / MUL {worst.multiplier + 1} "
           f"({worst.accuracy_drop * 100:.1f}% drop)")
     if args.output:
-        Path(args.output).write_text(dump_json_safe(
+        durable_write_text(Path(args.output), dump_json_safe(
             {"baseline_accuracy": result.baseline_accuracy,
              "injected_value": args.value,
              "heatmap": matrix.tolist()}, indent=2))
         print(f"heat map written to {args.output}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.core.chaos import load_network_plan
+    from repro.service.coordinator import CampaignCoordinator
+
+    net_chaos = load_network_plan(args.net_chaos) if args.net_chaos else None
+    coordinator = CampaignCoordinator(
+        host=args.host,
+        port=args.port,
+        artifacts_dir=args.artifacts_dir,
+        heartbeat_interval=args.heartbeat_interval,
+        heartbeat_timeout=args.heartbeat_timeout,
+        shard_size=args.shard_size,
+        max_shard_retries=args.max_shard_retries,
+        retry_backoff=args.retry_backoff,
+        poison_policy=args.poison_policy,
+        fused_trials=args.fused_trials,
+        net_chaos=net_chaos,
+    )
+    # Flushed before serving so scripts that bind port 0 can read the
+    # actual port from the first line of output.
+    print(f"coordinator listening on {coordinator.url}", flush=True)
+    print(f"artifacts under {coordinator.artifacts_dir}", flush=True)
+    try:
+        coordinator.serve_forever()
+    finally:
+        coordinator.shutdown()
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.service.worker import WorkerAgent
+
+    # Parse the chaos plan up front, same rationale as repro campaign.
+    chaos = load_plan(args.chaos_plan) if args.chaos_plan else None
+    agent = WorkerAgent(
+        args.coordinator,
+        name=args.name,
+        cache_dir=args.cache_dir or None,
+        poll_interval=args.poll_interval,
+        max_idle=args.max_idle,
+        batch_records=args.batch_records,
+        chaos=chaos,
+        hard_kill=True,  # a chaos kill in process mode is a real os._exit
+        timeout=args.timeout,
+        retries=args.retries,
+        backoff=args.retry_backoff,
+        jitter_seed=args.jitter_seed,
+    )
+    code = agent.run()
+    print(f"worker {args.name}: served {agent.leases_served} lease(s)")
+    return code
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service.client import CoordinatorClient
+
+    data = load_spec_data(args.spec)
+    problems = validate_spec_data(data)
+    if problems:
+        raise ValueError(
+            f"spec {args.spec} is invalid ({len(problems)} problem(s)):\n"
+            + "\n".join(f"  - {problem}" for problem in problems)
+        )
+    client = CoordinatorClient(args.coordinator)
+    accepted = client.submit_job(data)
+    print(f"job {accepted.job_id} submitted to {client.http.base_url}", flush=True)
+    if not args.wait:
+        print(f"poll with: repro submit --coordinator {args.coordinator} "
+              f"--spec {args.spec} --wait  (or GET /jobs/{accepted.job_id})")
+        return 0
+    deadline = time.monotonic() + args.timeout if args.timeout else None
+    while True:
+        status = client.job_status(accepted.job_id)
+        if status.state in ("done", "failed"):
+            break
+        if deadline is not None and time.monotonic() > deadline:
+            print(
+                f"job {accepted.job_id} still {status.state} after "
+                f"{args.timeout:.0f}s ({status.trials_done}/{status.trials_total} "
+                f"trial(s)); giving up the wait (the job keeps running)",
+                file=sys.stderr,
+            )
+            return 1
+        time.sleep(args.poll)
+    print(
+        f"job {accepted.job_id} {status.state}: "
+        f"{status.scenarios_done}/{status.scenarios_total} scenario(s), "
+        f"{status.trials_done}/{status.trials_total} trial(s), "
+        f"{status.leases} lease(s) ({status.reclaimed} reclaimed)"
+    )
+    if status.state == "failed":
+        print(f"error: {status.error}", file=sys.stderr)
+        return 1
+    print(f"artifacts written to {status.artifacts_dir}")
     return 0
 
 
@@ -794,6 +897,103 @@ def build_parser() -> argparse.ArgumentParser:
     _add_log_level_argument(qc)
     qc.set_defaults(func=_cmd_observe_qc)
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the campaign coordinator: queue sweep jobs, lease shard "
+             "ranges to worker nodes, merge their records",
+    )
+    serve.add_argument("--host", type=str, default="127.0.0.1",
+                       help="interface to bind (default: localhost only)")
+    serve.add_argument("--port", type=int, default=8035,
+                       help="TCP port (0 = pick a free port; it is printed on startup)")
+    serve.add_argument("--artifacts-dir", type=str, default="fleet-artifacts",
+                       help="directory for per-job merged artifacts "
+                            "(<dir>/<job-id>/sweep.jsonl etc.)")
+    serve.add_argument("--heartbeat-interval", type=float, default=1.0,
+                       help="seconds between worker heartbeats (announced to "
+                            "workers at registration)")
+    serve.add_argument("--heartbeat-timeout", type=float, default=10.0,
+                       help="seconds of silence before a node's lease is "
+                            "reclaimed and re-run elsewhere")
+    serve.add_argument("--shard-size", type=int, default=8,
+                       help="trials per network lease (scheduling granularity "
+                            "only; merged records are identical for any value)")
+    serve.add_argument("--max-shard-retries", type=int, default=2,
+                       help="re-lease attempts after a node dies or goes silent "
+                            "before the lease is declared poison")
+    serve.add_argument("--retry-backoff", type=float, default=0.25,
+                       help="base of the capped exponential backoff between "
+                            "re-lease attempts")
+    serve.add_argument("--poison-policy", choices=("raise", "quarantine"), default="raise",
+                       help="fail the job (raise) or record the poison lease "
+                            "and keep going (quarantine)")
+    serve.add_argument("--fused-trials", type=int, default=8,
+                       help="trials per fused engine pass on the workers")
+    serve.add_argument("--net-chaos", type=str, default="",
+                       help="inject network faults for testing recovery: a JSON "
+                            "plan file or an inline "
+                            "'seed=3,nodes=2,drops=1,partitions=1' spec")
+    _add_log_level_argument(serve)
+    _add_trace_argument(serve)
+    serve.set_defaults(func=_cmd_serve)
+
+    worker = subparsers.add_parser(
+        "worker",
+        help="run a worker node: register with a coordinator, lease shard "
+             "ranges, stream records, heartbeat",
+    )
+    worker.add_argument("--coordinator", type=str, required=True,
+                        help="coordinator base URL, e.g. http://127.0.0.1:8035")
+    worker.add_argument("--name", type=str, default="node",
+                        help="node name reported at registration (for logs)")
+    worker.add_argument("--cache-dir", type=str, default="",
+                        help="model-zoo cache directory (share it between "
+                             "co-located workers to train each model once)")
+    worker.add_argument("--poll-interval", type=float, default=0.25,
+                        help="seconds between lease polls when the queue is empty")
+    worker.add_argument("--max-idle", type=float, default=None,
+                        help="exit 0 after this many consecutive idle seconds "
+                             "(default: poll forever)")
+    worker.add_argument("--batch-records", type=int, default=16,
+                        help="records per upload batch (merge is index-keyed; "
+                             "batching cannot affect records)")
+    worker.add_argument("--timeout", type=float, default=10.0,
+                        help="HTTP timeout per request")
+    worker.add_argument("--retries", type=int, default=5,
+                        help="HTTP retries per request (capped exponential "
+                             "backoff + seeded jitter between attempts)")
+    worker.add_argument("--retry-backoff", type=float, default=0.2,
+                        help="base of the HTTP retry backoff")
+    worker.add_argument("--jitter-seed", type=int, default=0,
+                        help="seed of the retry-jitter stream (give each node "
+                             "its own to decorrelate reconnect storms)")
+    worker.add_argument("--chaos-plan", type=str, default="",
+                        help="inject harness faults into this node for testing "
+                             "recovery (kill = hard os._exit mid-lease): a JSON "
+                             "plan file or inline 'seed=3,workers=2,kills=1'")
+    _add_log_level_argument(worker)
+    worker.set_defaults(func=_cmd_worker)
+
+    submit = subparsers.add_parser(
+        "submit",
+        help="validate a sweep spec and queue it on a coordinator",
+    )
+    submit.add_argument("--coordinator", type=str, required=True,
+                        help="coordinator base URL, e.g. http://127.0.0.1:8035")
+    submit.add_argument("--spec", type=str, required=True,
+                        help="JSON or TOML experiment spec file (same format as "
+                             "repro sweep --spec)")
+    submit.add_argument("--wait", action="store_true",
+                        help="poll the job until it finishes and exit non-zero "
+                             "if it failed")
+    submit.add_argument("--poll", type=float, default=0.5,
+                        help="seconds between --wait status polls")
+    submit.add_argument("--timeout", type=float, default=None,
+                        help="give up the --wait after this many seconds "
+                             "(the job itself keeps running)")
+    _add_log_level_argument(submit)
+    submit.set_defaults(func=_cmd_submit)
+
     heatmap = subparsers.add_parser("heatmap", help="run the single-site sweep (Fig. 3 style)")
     _add_model_arguments(heatmap)
     heatmap.add_argument("--value", type=int, default=0)
@@ -819,6 +1019,15 @@ def _resume_hint(args: argparse.Namespace) -> str | None:
     return None
 
 
+class _Terminated(BaseException):
+    """Raised by the SIGTERM handler; a BaseException so it cannot be
+    swallowed by ``except Exception`` blocks between the signal and main()."""
+
+
+def _raise_terminated(signum, frame):  # pragma: no cover - exercised via signal
+    raise _Terminated()
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -827,6 +1036,16 @@ def main(argv: list[str] | None = None) -> int:
     trace = getattr(args, "trace", "")
     if trace:
         TELEMETRY.configure(trace)
+    # SIGTERM parity with Ctrl-C: a supervisor's polite kill (systemd stop,
+    # docker stop, CI cancellation, kill <pid>) flushes the same state and
+    # prints the same resume hint as SIGINT, then exits with 128+15.
+    # Forked pool workers reset SIGTERM to SIG_DFL in _worker_setup, so the
+    # supervisor's terminate_process() keeps its kill semantics.
+    previous_sigterm = None
+    try:
+        previous_sigterm = signal.signal(signal.SIGTERM, _raise_terminated)
+    except ValueError:  # pragma: no cover - main() called off the main thread
+        pass
     try:
         return args.func(args)
     except (ValueError, OSError) as exc:
@@ -844,7 +1063,19 @@ def main(argv: list[str] | None = None) -> int:
         if hint:
             print(hint, file=sys.stderr)
         return 130
+    except _Terminated:
+        # Same unwinding as KeyboardInterrupt: the raising handler ran inside
+        # the campaign loop, so every finally block (pool teardown, checkpoint
+        # fsync) has already executed by the time we get here.
+        print("\nterminated: workers stopped, completed trials are in the checkpoint",
+              file=sys.stderr)
+        hint = _resume_hint(args)
+        if hint:
+            print(hint, file=sys.stderr)
+        return 143
     finally:
+        if previous_sigterm is not None:
+            signal.signal(signal.SIGTERM, previous_sigterm)
         if trace:
             TELEMETRY.close()
 

@@ -254,6 +254,242 @@ def load_plan(spec: str) -> ChaosPlan:
     return ChaosPlan.seeded(seed, workers, **params)
 
 
+#: Actions a network chaos event may take at the coordinator's HTTP
+#: boundary (fleet execution, :mod:`repro.service`).
+NETWORK_ACTIONS = ("drop", "partition", "slow-link", "dup-delivery")
+
+
+@dataclass(frozen=True)
+class NetworkEvent:
+    """One injected network fault at a logical point in a node's traffic.
+
+    Events key on *request ordinals* — the n-th authenticated request the
+    coordinator receives from node ``node`` — never wall-clock time, so a
+    plan replays identically across runs:
+
+    * ``drop`` — the request is discarded before processing and the
+      connection closed without a response (a packet lost on the wire;
+      the client's bounded retry re-sends it);
+    * ``partition`` — like ``drop``, but for ``count`` consecutive
+      requests: the node is unreachable for a window, its heartbeats go
+      missing, and the coordinator reclaims its leases;
+    * ``slow-link`` — the request is delayed by ``seconds`` and then
+      processed normally (no recovery should trigger);
+    * ``dup-delivery`` — the request is applied twice (a retransmit the
+      original of which also arrived); every fleet endpoint must be
+      idempotent for records to stay byte-identical.
+    """
+
+    action: str
+    #: Node ordinal (registration order, == node_id).
+    node: int
+    #: Strike once the coordinator has seen this many prior requests from
+    #: the node (0 = the node's very first request).
+    after_requests: int
+    #: Window length for ``partition`` (number of consecutive requests).
+    count: int = 1
+    #: Delay for ``slow-link`` (ignored for the other actions).
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.action not in NETWORK_ACTIONS:
+            raise ValueError(
+                f"network chaos action must be one of {'/'.join(NETWORK_ACTIONS)}, "
+                f"got {self.action!r}"
+            )
+        for name in ("node", "after_requests"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                raise ValueError(
+                    f"network chaos event {name} must be a non-negative int, got {value!r}"
+                )
+        if not isinstance(self.count, int) or isinstance(self.count, bool) or self.count < 1:
+            raise ValueError(f"network chaos event count must be an int >= 1, got {self.count!r}")
+        if self.seconds < 0:
+            raise ValueError(f"network chaos event seconds must be >= 0, got {self.seconds!r}")
+
+    def to_dict(self) -> dict:
+        out = {
+            "action": self.action,
+            "node": self.node,
+            "after_requests": self.after_requests,
+        }
+        if self.count != 1:
+            out["count"] = self.count
+        if self.seconds:
+            out["seconds"] = self.seconds
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "NetworkEvent":
+        if not isinstance(data, dict):
+            raise ValueError(f"network chaos event must be an object, got {type(data).__name__}")
+        unknown = set(data) - {"action", "node", "after_requests", "count", "seconds"}
+        if unknown:
+            raise ValueError(f"network chaos event has unknown keys {sorted(unknown)}")
+        try:
+            return cls(
+                action=data["action"],
+                node=data["node"],
+                after_requests=data["after_requests"],
+                count=data.get("count", 1),
+                seconds=float(data.get("seconds", 0.0)),
+            )
+        except KeyError as exc:
+            raise ValueError(f"network chaos event {data!r} is missing key {exc}") from None
+
+
+@dataclass(frozen=True)
+class NetworkChaosPlan:
+    """A deterministic network-fault plan for the fleet coordinator."""
+
+    events: tuple[NetworkEvent, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        nodes: int,
+        *,
+        drops: int = 1,
+        partitions: int = 0,
+        slow_links: int = 0,
+        dups: int = 0,
+        max_after: int = 6,
+        partition_length: int = 4,
+        slow_seconds: float = 0.05,
+    ) -> "NetworkChaosPlan":
+        """Derive a plan from a seed: which nodes suffer what, and when."""
+        if nodes < 1:
+            raise ValueError("network chaos plan needs nodes >= 1")
+        rng = SeededRNG(seed).stream("net-chaos-plan")
+        events = []
+        for action, quota in (
+            ("drop", drops),
+            ("partition", partitions),
+            ("slow-link", slow_links),
+            ("dup-delivery", dups),
+        ):
+            for _ in range(quota):
+                events.append(
+                    NetworkEvent(
+                        action=action,
+                        node=int(rng.integers(0, nodes)),
+                        after_requests=int(rng.integers(0, max_after + 1)),
+                        count=partition_length if action == "partition" else 1,
+                        seconds=slow_seconds if action == "slow-link" else 0.0,
+                    )
+                )
+        return cls(events=tuple(events))
+
+    def to_dict(self) -> dict:
+        return {"events": [event.to_dict() for event in self.events]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "NetworkChaosPlan":
+        if not isinstance(data, dict):
+            raise ValueError(f"network chaos plan must be an object, got {type(data).__name__}")
+        unknown = set(data) - {"events"}
+        if unknown:
+            raise ValueError(f"network chaos plan has unknown keys {sorted(unknown)}")
+        events = data.get("events", [])
+        if not isinstance(events, list):
+            raise ValueError(
+                f"network chaos plan 'events' must be an array, got {type(events).__name__}"
+            )
+        return cls(events=tuple(NetworkEvent.from_dict(e) for e in events))
+
+    @classmethod
+    def from_file(cls, path: Path | str) -> "NetworkChaosPlan":
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text())
+        except OSError as exc:
+            raise ValueError(f"cannot read network chaos plan {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"network chaos plan {path} is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+
+def load_network_plan(spec: str) -> NetworkChaosPlan:
+    """Build a :class:`NetworkChaosPlan` from a CLI argument.
+
+    Accepts a path to a JSON plan file, or a compact inline spec of the
+    form ``seed=<int>,nodes=<int>[,drops=N][,partitions=N][,slow_links=N]
+    [,dups=N][,max_after=N][,partition_length=N]``.
+    """
+    spec = spec.strip()
+    if not spec:
+        raise ValueError("empty network chaos plan spec")
+    if "=" not in spec or Path(spec).exists():
+        return NetworkChaosPlan.from_file(spec)
+    allowed = ("seed", "nodes", "drops", "partitions", "slow_links", "dups",
+               "max_after", "partition_length")
+    params: dict[str, int] = {}
+    for item in spec.split(","):
+        key, sep, value = item.partition("=")
+        key = key.strip().replace("-", "_")
+        if not sep or key not in allowed:
+            raise ValueError(
+                f"bad network chaos plan item {item.strip()!r}; expected "
+                "seed=<int>,nodes=<int>[,drops=N][,partitions=N][,slow_links=N][,dups=N] "
+                "or a path to a JSON plan file"
+            )
+        try:
+            params[key] = int(value)
+        except ValueError:
+            raise ValueError(
+                f"network chaos plan item {key!r} needs an integer, got {value!r}"
+            ) from None
+    for required in ("seed", "nodes"):
+        if required not in params:
+            raise ValueError(f"inline network chaos plan spec needs {required}=<int> ({spec!r})")
+    seed = params.pop("seed")
+    nodes = params.pop("nodes")
+    return NetworkChaosPlan.seeded(seed, nodes, **params)
+
+
+class NetworkChaos:
+    """Coordinator-side executor of a :class:`NetworkChaosPlan`.
+
+    Counts authenticated requests per node and reports which events strike
+    the current one.  Strictly logical (request ordinals, not wall-clock),
+    so a fleet disturbed by any plan converges to records byte-identical
+    to an undisturbed run — the fleet chaos tests assert exactly that.
+
+    Call :meth:`on_request` under the coordinator's state lock (the
+    counter must be race-free); apply any ``slow-link`` sleep *outside*
+    the lock so a slow link never stalls other nodes' requests.
+    """
+
+    def __init__(self, plan: NetworkChaosPlan | None):
+        self.plan = plan
+        self._requests: dict[int, int] = {}
+
+    def on_request(self, node: int) -> tuple[NetworkEvent, ...]:
+        """Consume one request ordinal for ``node``; return striking events."""
+        ordinal = self._requests.get(node, 0)
+        self._requests[node] = ordinal + 1
+        if self.plan is None:
+            return ()
+        struck = []
+        for event in self.plan.events:
+            if event.node != node:
+                continue
+            if event.action == "partition":
+                if event.after_requests <= ordinal < event.after_requests + event.count:
+                    struck.append(event)
+            elif event.after_requests == ordinal:
+                struck.append(event)
+        return tuple(struck)
+
+
 class ChaosMonkey:
     """Worker-side executor of a plan: strikes at the planned logical points.
 

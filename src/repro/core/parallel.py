@@ -73,6 +73,7 @@ from repro.core.supervisor import (
 )
 from repro.faults.sites import FaultUniverse
 from repro.runtime.gemm import GEMM_STATS
+from repro.utils.durable import fsync_fileobj
 from repro.utils.logging import get_logger
 from repro.utils.profiling import PROFILER, StageProfiler
 from repro.utils.telemetry import TELEMETRY
@@ -82,6 +83,46 @@ logger = get_logger(__name__)
 
 #: Version tag written into checkpoint headers.
 CHECKPOINT_VERSION = 1
+
+
+def checkpoint_header_line(
+    *,
+    strategy: str,
+    seed: int,
+    num_images: int,
+    total_trials: int | None,
+    batch_size: int,
+    baseline_accuracy: float,
+    inferences_per_second: float | None,
+    plan: dict | None = None,
+) -> str:
+    """The canonical JSONL header line of a campaign checkpoint.
+
+    Factored to module level because byte-identity of checkpoints is an
+    invariant across *execution topologies*: the serial runner, the
+    multiprocessing pool and the fleet coordinator
+    (:mod:`repro.service.coordinator`) must all emit exactly these bytes
+    for the same campaign.
+    """
+    payload: dict = {
+        "kind": "header",
+        "version": CHECKPOINT_VERSION,
+        "strategy": strategy,
+        "seed": seed,
+        "num_images": num_images,
+        "total_trials": total_trials,
+        "batch_size": batch_size,
+        "baseline_accuracy": baseline_accuracy,
+        "emulated_inferences_per_second": inferences_per_second,
+    }
+    if plan is not None:
+        payload["plan"] = plan
+    return json.dumps(payload) + "\n"
+
+
+def checkpoint_record_line(record: TrialRecord) -> str:
+    """The canonical JSONL line of one trial record (see header note)."""
+    return json.dumps({"kind": "record", **record.to_dict()}) + "\n"
 
 #: Header fields that must match between a checkpoint and the campaign
 #: attempting to resume from it.  ``batch_size`` is part of the identity
@@ -306,6 +347,11 @@ def _worker_setup(config: CampaignConfig) -> None:
     # that one-line message.
     try:
         signal.signal(signal.SIGINT, signal.SIG_IGN)
+        # The parent may have installed a raising SIGTERM handler (graceful
+        # CLI termination with a resume hint); forked workers inherit it,
+        # but for them SIGTERM is the supervisor's terminate_process() and
+        # must keep its default kill semantics.
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
     except ValueError:  # pragma: no cover - non-main-thread start methods
         pass
     GEMM_STATS.reset()
@@ -653,28 +699,27 @@ class ParallelCampaignRunner:
     ) -> None:
         if writer is None:
             return
-        payload = {
-            "kind": "header",
-            "version": CHECKPOINT_VERSION,
-            "strategy": self.strategy.name,
-            "seed": self.config.seed,
-            "num_images": num_images,
-            "total_trials": self._total_trials(),
-            "batch_size": self.config.batch_size,
-            "baseline_accuracy": baseline,
-            "emulated_inferences_per_second": ips,
-        }
-        if self.plan is not None:
-            payload["plan"] = self.plan.to_dict()
-        writer.write(json.dumps(payload) + "\n")
-        writer.flush()
+        writer.write(checkpoint_header_line(
+            strategy=self.strategy.name,
+            seed=self.config.seed,
+            num_images=num_images,
+            total_trials=self._total_trials(),
+            batch_size=self.config.batch_size,
+            baseline_accuracy=baseline,
+            inferences_per_second=ips,
+            plan=self.plan.to_dict() if self.plan is not None else None,
+        ))
+        # fsync, not just flush: the checkpoint is what survives a node
+        # power-loss, and a header that never reached stable storage makes
+        # every following record unresumable.
+        fsync_fileobj(writer)
 
     @staticmethod
     def _write_record(writer: IO[str] | None, record: TrialRecord) -> None:
         if writer is None:
             return
-        writer.write(json.dumps({"kind": "record", **record.to_dict()}) + "\n")
-        writer.flush()
+        writer.write(checkpoint_record_line(record))
+        fsync_fileobj(writer)
 
     @staticmethod
     def _check_baseline(observed: float, reference: float, source: str) -> None:

@@ -60,6 +60,19 @@ BACKOFF_CAP = 30.0
 DEFAULT_POLL = 0.5
 
 
+def backoff_delay(backoff: float, retries_used: int) -> float:
+    """Exponential backoff before re-attempt ``retries_used + 1`` (capped).
+
+    Shared by the local :class:`LeaseSupervisor` and the fleet
+    coordinator's network lease book (:mod:`repro.service.jobs`), so a
+    lease behaves identically whether its worker is a local process or a
+    remote node.
+    """
+    if not backoff:
+        return 0.0
+    return min(backoff * (2 ** retries_used), BACKOFF_CAP)
+
+
 class LeaseState(Enum):
     RUNNING = "running"
     #: Reclaimed; waiting out its backoff before the next attempt.
@@ -356,7 +369,7 @@ class LeaseSupervisor:
             self._poison(lease)
             return
         self.recovery.reclaimed += 1
-        wait = min(self.backoff * (2 ** retries_used), BACKOFF_CAP) if self.backoff else 0.0
+        wait = backoff_delay(self.backoff, retries_used)
         lease.state = LeaseState.WAITING
         lease.retry_at = self.clock() + wait
         TELEMETRY.event(

@@ -88,6 +88,7 @@ from repro.core.results import CampaignResult
 from repro.core.stats import AdaptiveCampaignPlan
 from repro.core.strategies import InjectionStrategy
 from repro.faults.models import FaultModel
+from repro.utils.durable import durable_write_text
 from repro.utils.jsonsafe import dump_json_safe
 from repro.utils.logging import get_logger
 from repro.utils.telemetry import TELEMETRY
@@ -1059,12 +1060,16 @@ class SweepRunner:
         if self.sweep_dir is None:
             return
         self.sweep_dir.mkdir(parents=True, exist_ok=True)
-        (self.sweep_dir / "sweep.jsonl").write_text(sweep.merged_jsonl_text())
+        # Durable (tmp + fsync + rename): these are the files downstream
+        # reporting and CI gates read, so a node losing power mid-write must
+        # leave either the previous artifact or the new one, never a torn mix.
+        durable_write_text(self.sweep_dir / "sweep.jsonl", sweep.merged_jsonl_text())
         payload = sweep.to_dict()
         if self._spec is not None:
             payload["spec"] = self._spec.to_dict()
-        (self.sweep_dir / "sweep.json").write_text(
-            dump_json_safe(payload, indent=2, sort_keys=True) + "\n"
+        durable_write_text(
+            self.sweep_dir / "sweep.json",
+            dump_json_safe(payload, indent=2, sort_keys=True) + "\n",
         )
         if self.profile:
             profile_payload = {
@@ -1074,8 +1079,9 @@ class SweepRunner:
                 },
                 "wall_seconds": sweep.wall_seconds,
             }
-            (self.sweep_dir / "profile.json").write_text(
-                json.dumps(profile_payload, indent=2, sort_keys=True) + "\n"
+            durable_write_text(
+                self.sweep_dir / "profile.json",
+                json.dumps(profile_payload, indent=2, sort_keys=True) + "\n",
             )
         logger.info(
             "sweep artifacts written to %s (%d scenarios, %d records)",

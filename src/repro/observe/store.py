@@ -37,6 +37,7 @@ from typing import Any, Iterable, Sequence
 
 from repro.core.results import CampaignResult
 from repro.core.sweep import _VOLATILE_KEYS
+from repro.utils.durable import durable_write_text
 from repro.utils.jsonsafe import dump_json_safe
 
 #: Store schema version (bumped on breaking entry-shape changes).
@@ -290,5 +291,7 @@ class LongitudinalStore:
         ordered = sorted(existing.values(), key=_sort_key)
         text = "".join(dump_json_safe(entry, sort_keys=True) + "\n" for entry in ordered)
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self.path.write_text(text)
+        # Durable rewrite: the store is the accumulated history of every
+        # ingested run — a crash mid-rewrite must not truncate it.
+        durable_write_text(self.path, text)
         return {"added": added, "duplicates": duplicates, "total": len(ordered)}

@@ -1,0 +1,78 @@
+"""Crash-durable file writes: flush + fsync, atomic replace, directory sync.
+
+Campaign checkpoints and merged artifacts are the system's source of truth
+after a crash — ``load_checkpoint`` can heal a *torn* line, but a record
+that never left the page cache is simply gone, and a power loss can lose a
+whole "successfully written" artifact.  Every durable write therefore goes
+through one of two helpers:
+
+* :func:`fsync_fileobj` — for append-style writers (the campaign JSONL
+  checkpoint): flush Python's buffer, then ``os.fsync`` the descriptor so
+  the line is on stable storage before the record is considered delivered.
+* :func:`durable_write_text` — for whole-file artifacts (``sweep.json``,
+  reports, the observe store): write to a temporary sibling, fsync it,
+  atomically :func:`os.replace` it over the target, then fsync the
+  *directory* so the rename itself survives a power loss.  Readers never
+  observe a half-written file.
+
+``REPRO_NO_FSYNC=1`` downgrades both helpers to plain buffered writes —
+an escape hatch for bulk test runs on filesystems where fsync is
+disproportionately slow; correctness-critical paths leave it unset.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import IO
+
+
+def _fsync_enabled() -> bool:
+    return os.environ.get("REPRO_NO_FSYNC", "") != "1"
+
+
+def fsync_fileobj(fh: IO[str] | IO[bytes]) -> None:
+    """Flush ``fh`` and force its bytes to stable storage."""
+    fh.flush()
+    if not _fsync_enabled():
+        return
+    try:
+        os.fsync(fh.fileno())
+    except (OSError, ValueError):  # pragma: no cover - fd-less file objects
+        # In-memory streams (StringIO in tests) have no descriptor; the
+        # flush above is all the durability they can offer.
+        pass
+
+
+def fsync_dir(path: Path | str) -> None:
+    """fsync a directory so a rename/creation inside it is durable."""
+    if not _fsync_enabled():
+        return
+    flags = os.O_RDONLY | getattr(os, "O_DIRECTORY", 0)
+    try:
+        fd = os.open(str(path), flags)
+    except OSError:  # pragma: no cover - platforms without dir-open support
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def durable_write_text(path: Path | str, text: str) -> Path:
+    """Atomically replace ``path`` with ``text``, surviving a power loss.
+
+    The write lands in ``<name>.tmp`` first, is fsynced, and only then
+    renamed over the target (same directory, so the replace is atomic);
+    finally the directory entry is fsynced.  A crash at any point leaves
+    either the complete old file or the complete new one — never a torn
+    mixture, and never a "written" file that evaporates with the cache.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with tmp.open("w", encoding="utf-8") as fh:
+        fh.write(text)
+        fsync_fileobj(fh)
+    os.replace(tmp, path)
+    fsync_dir(path.parent)
+    return path

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import json
 import math
+import threading
 import time
 from contextlib import contextmanager
 from typing import IO, Any, Iterator
@@ -50,13 +51,17 @@ def _sanitise(value: Any) -> Any:
 class TelemetrySink:
     """Streams telemetry events to a JSONL file; no-op while disabled."""
 
-    __slots__ = ("enabled", "_fh", "_t0", "_seq")
+    __slots__ = ("enabled", "_fh", "_t0", "_seq", "_lock")
 
     def __init__(self) -> None:
         self.enabled = False
         self._fh: IO[str] | None = None
         self._t0 = 0.0
         self._seq = 0
+        # The campaign coordinator emits from ThreadingHTTPServer handler
+        # threads; seq assignment and the line write must be atomic so
+        # concurrent events neither interleave bytes nor share an ordinal.
+        self._lock = threading.Lock()
 
     def configure(self, path: str) -> None:
         """Open ``path`` for writing and start accepting events."""
@@ -82,12 +87,13 @@ class TelemetrySink:
         self.enabled = False
 
     def _emit(self, record: dict[str, Any]) -> None:
-        if self._fh is None:
-            return
-        self._seq += 1
-        record["seq"] = self._seq
-        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
-        self._fh.flush()
+        with self._lock:
+            if self._fh is None:
+                return
+            self._seq += 1
+            record["seq"] = self._seq
+            self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+            self._fh.flush()
 
     def event(self, name: str, **attrs: Any) -> None:
         """Record an instantaneous point event."""

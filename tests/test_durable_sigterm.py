@@ -1,0 +1,134 @@
+"""Crash-durability helpers and SIGTERM lifecycle parity.
+
+Two halves of the same guarantee: artifacts that were reported as written
+survive a crash (fsync + atomic replace + directory sync), and a polite
+kill (SIGTERM from systemd/docker/CI) flushes the same state and prints
+the same resume hint as Ctrl-C, exiting with 128+15.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import signal
+import time
+
+import pytest
+
+from repro import cli
+from repro.utils.durable import durable_write_text, fsync_fileobj
+
+
+class TestDurableWriteText:
+    def test_writes_content_and_returns_path(self, tmp_path):
+        target = tmp_path / "artifact.json"
+        result = durable_write_text(target, '{"ok": true}\n')
+        assert result == target
+        assert target.read_text() == '{"ok": true}\n'
+
+    def test_replaces_existing_file_atomically(self, tmp_path):
+        target = tmp_path / "artifact.json"
+        target.write_text("old bytes")
+        durable_write_text(target, "new bytes")
+        assert target.read_text() == "new bytes"
+        # The temporary sibling never outlives the rename.
+        assert list(tmp_path.iterdir()) == [target]
+
+    def test_no_tmp_sibling_left_behind(self, tmp_path):
+        target = tmp_path / "sweep.jsonl"
+        durable_write_text(target, "line\n")
+        assert not (tmp_path / "sweep.jsonl.tmp").exists()
+
+    def test_unicode_round_trip(self, tmp_path):
+        target = tmp_path / "report.html"
+        text = "drop Δ ≤ 0.05 ✓\n"
+        durable_write_text(target, text)
+        assert target.read_text(encoding="utf-8") == text
+
+    def test_fsync_escape_hatch(self, tmp_path, monkeypatch):
+        # REPRO_NO_FSYNC=1 keeps the atomic-replace semantics, it only
+        # drops the fsync calls — content must be identical either way.
+        monkeypatch.setenv("REPRO_NO_FSYNC", "1")
+        target = tmp_path / "artifact.json"
+        durable_write_text(target, "unfsynced but atomic")
+        assert target.read_text() == "unfsynced but atomic"
+        assert not (tmp_path / "artifact.json.tmp").exists()
+
+    def test_missing_parent_is_a_loud_error(self, tmp_path):
+        # Callers own directory creation; a silent mkdir here would hide
+        # artifact-dir typos until after a campaign had already run.
+        with pytest.raises(OSError):
+            durable_write_text(tmp_path / "nowhere" / "artifact.json", "x")
+
+    def test_fsync_fileobj_tolerates_memory_streams(self):
+        # StringIO has no file descriptor; flush is all it can offer and
+        # the helper must not blow up (checkpoint tests write to StringIO).
+        stream = io.StringIO()
+        stream.write("record\n")
+        fsync_fileobj(stream)
+        assert stream.getvalue() == "record\n"
+
+
+def _await_signal_delivery(deadline=5.0):
+    """Give the interpreter bytecode boundaries to deliver a pending signal."""
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        time.sleep(0.01)
+    raise AssertionError("signal was never delivered")
+
+
+class TestSigtermParity:
+    def test_sigterm_exits_143_with_resume_hint(self, monkeypatch, capsys, tmp_path):
+        # main() installs the SIGTERM handler around the dispatched command;
+        # a kill arriving mid-campaign must unwind like Ctrl-C: same message,
+        # same resume hint, exit code 128+15.
+        def fake_campaign(args):
+            os.kill(os.getpid(), signal.SIGTERM)
+            _await_signal_delivery()
+
+        monkeypatch.setattr(cli, "_cmd_campaign", fake_campaign)
+        code = cli.main(
+            ["campaign", "--trials", "1", "--checkpoint", str(tmp_path / "ck.jsonl")]
+        )
+        assert code == 143
+        err = capsys.readouterr().err
+        assert "terminated" in err
+        assert "completed trials are in the checkpoint" in err
+        assert f"--checkpoint {tmp_path / 'ck.jsonl'}" in err
+        assert "--resume" in err
+
+    def test_sigint_parity_exits_130(self, monkeypatch, capsys, tmp_path):
+        def fake_campaign(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli, "_cmd_campaign", fake_campaign)
+        code = cli.main(
+            ["campaign", "--trials", "1", "--checkpoint", str(tmp_path / "ck.jsonl")]
+        )
+        assert code == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        assert "--resume" in err
+
+    def test_previous_handler_restored(self, monkeypatch):
+        sentinel = lambda signum, frame: None  # noqa: E731
+        previous = signal.signal(signal.SIGTERM, sentinel)
+        try:
+            monkeypatch.setattr(cli, "_cmd_describe", lambda args: 0)
+            assert cli.main(["describe"]) == 0
+            assert signal.getsignal(signal.SIGTERM) is sentinel
+        finally:
+            signal.signal(signal.SIGTERM, previous)
+
+    def test_sweep_hint_names_the_spec(self, monkeypatch, capsys, tmp_path):
+        def fake_sweep(args):
+            raise cli._Terminated()
+
+        monkeypatch.setattr(cli, "_cmd_sweep", fake_sweep)
+        spec = tmp_path / "spec.toml"
+        code = cli.main(
+            ["sweep", "--spec", str(spec), "--sweep-dir", str(tmp_path / "out")]
+        )
+        assert code == 143
+        err = capsys.readouterr().err
+        assert f"--spec {spec}" in err and "--resume" in err
